@@ -1,0 +1,29 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every bench prints the regenerated table (visible with ``pytest -s``) and
+writes it to ``benchmarks/results/<name>.txt`` so the rows survive output
+capture.  pytest-benchmark timings measure the *harness* cost of each
+experiment; the scientific content is the printed rows plus the shape
+assertions in each test.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """record(name, text): print + persist a rendered result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

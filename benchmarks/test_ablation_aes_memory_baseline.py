@@ -1,0 +1,94 @@
+"""Ablation — ERIC vs the related work's AES-encrypted-memory approach.
+
+§V: full-memory AES encryption ([29], [30], AEGIS) pays "an extra delay
+each time when trying to access the main memory"; AEGIS reports ~30 %
+IPC loss.  ERIC decrypts once at load time instead.
+
+The bench runs each workload once, then prices both schemes on the same
+counters: ERIC = one-time HDE cycles; AES-memory = per-miss line
+decryption (recurring, and growing under cache pressure).  A second
+sweep shrinks the caches to show the divergence under memory pressure.
+"""
+
+import pytest
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.device import Device
+from repro.eval.report import format_table
+from repro.hw.aes_memory import AES_CORE_LUTS, AesMemoryModel
+from repro.hw.area import area_table
+from repro.soc.cache import CacheConfig
+from repro.workloads import all_workloads
+
+
+def test_eric_vs_aes_memory(benchmark, record):
+    device = Device(device_seed=0xAE5)
+    compiler = EricCompiler()
+    key = device.enrollment_key()
+    model = AesMemoryModel()
+
+    def sweep():
+        rows = []
+        for name, workload in all_workloads().items():
+            package = compiler.compile_and_package(workload.source, key,
+                                                   name=name)
+            outcome = device.load_and_run(package.package_bytes)
+            counters = outcome.run.counters
+            eric_pct = 100.0 * outcome.hde.total_cycles / counters.cycles
+            aes_pct = model.slowdown_pct(counters)
+            rows.append((name, eric_pct, aes_pct))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("ablation_aes_memory", format_table(
+        ["workload", "ERIC overhead", "AES-memory overhead"],
+        [[n, f"+{e:.2f}%", f"+{a:.2f}%"] for n, e, a in rows],
+        title="ERIC (load-time) vs AES-per-line memory encryption",
+    ))
+    # both overheads exist; ERIC's is one-time, AES-memory recurs every
+    # run — and on re-runs of a resident program ERIC pays ~zero while
+    # AES-memory pays again (asserted structurally: ERIC cost comes from
+    # the HDE, AES cost from the run counters).
+    assert all(e > 0 and a >= 0 for _, e, a in rows)
+
+
+def test_cache_pressure_divergence(record):
+    """Shrink L1s: AES-memory overhead explodes with the miss rate;
+    ERIC's HDE cost is exactly unchanged."""
+    compiler = EricCompiler()
+    model = AesMemoryModel()
+    workload = all_workloads()["dijkstra"]
+    rows = []
+    for size_kib in (16, 4, 1):
+        config = CacheConfig(size_bytes=size_kib * 1024)
+        device = Device(device_seed=0xAE5, icache=config, dcache=config)
+        package = compiler.compile_and_package(
+            workload.source, device.enrollment_key(), name="dijkstra")
+        outcome = device.load_and_run(package.package_bytes)
+        counters = outcome.run.counters
+        rows.append((size_kib,
+                     outcome.hde.total_cycles,
+                     model.extra_cycles(counters),
+                     counters.icache_misses + counters.dcache_misses))
+    record("ablation_aes_cache_pressure", format_table(
+        ["L1 size KiB", "ERIC HDE cycles", "AES-memory extra cycles",
+         "L1 misses"],
+        [[f"{s}", h, a, m] for s, h, a, m in rows],
+        title="Cache-pressure sweep (dijkstra)",
+    ))
+    # ERIC cost identical across cache sizes; AES cost strictly grows
+    assert rows[0][1] == rows[1][1] == rows[2][1]
+    assert rows[0][2] < rows[1][2] < rows[2][2]
+
+
+def test_area_comparison(record):
+    """An AES memory engine alone out-costs the entire HDE."""
+    hde = area_table()
+    assert AES_CORE_LUTS > hde["hde_luts"]
+    record("ablation_aes_area", "\n".join([
+        "Area: HDE vs a single AES-128 memory engine",
+        f"  HDE total      : {hde['hde_luts']} LUTs / "
+        f"{hde['hde_ffs']} FFs",
+        f"  AES-128 engine : {AES_CORE_LUTS} LUTs / 1700 FFs "
+        "(literature, iterative core)",
+    ]))

@@ -1,0 +1,106 @@
+"""Ablation — the paper's three encryption methods compared (§III.1).
+
+Sweeps FULL, PARTIAL at several fractions, and FIELD over one workload,
+reporting package size, HDE cycles, and attacker decode rate: the
+security/size/time trade surface the ERIC interface exposes.
+"""
+
+import pytest
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.device import Device
+from repro.eval.report import format_table
+from repro.net.static_attacker import analyze_blob
+from repro.workloads import get_workload
+
+WORKLOAD = "fft"
+
+
+@pytest.fixture(scope="module")
+def device():
+    return Device(device_seed=0xAB1A)
+
+
+def _package(config, device):
+    compiler = EricCompiler(config)
+    return compiler.compile_and_package(get_workload(WORKLOAD).source,
+                                        device.enrollment_key(),
+                                        name=WORKLOAD)
+
+
+def test_mode_sweep(benchmark, record, device):
+    configs = [
+        ("full", EricConfig(mode=EncryptionMode.FULL)),
+        ("partial 25%", EricConfig(mode=EncryptionMode.PARTIAL,
+                                   partial_fraction=0.25)),
+        ("partial 50%", EricConfig(mode=EncryptionMode.PARTIAL,
+                                   partial_fraction=0.50)),
+        ("partial 75%", EricConfig(mode=EncryptionMode.PARTIAL,
+                                   partial_fraction=0.75)),
+        ("field imm+regs", EricConfig(mode=EncryptionMode.FIELD)),
+        ("field imm only", EricConfig(mode=EncryptionMode.FIELD,
+                                      field_classes=("imm",))),
+    ]
+
+    def sweep():
+        rows = []
+        for label, config in configs:
+            result = _package(config, device)
+            outcome = device.load_and_run(result.package_bytes)
+            report = analyze_blob(result.package.enc_text)
+            rows.append({
+                "label": label,
+                "size": result.package_size,
+                "slots": result.encrypted.enc_map.encrypted_count,
+                "hde": outcome.hde.total_cycles,
+                "decode": report.valid_decode_fraction,
+                "stdout_ok": outcome.run.stdout
+                == get_workload(WORKLOAD).expected_stdout,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("ablation_encryption_modes", format_table(
+        ["mode", "package B", "enc slots", "HDE cycles", "decode rate",
+         "output ok"],
+        [[r["label"], r["size"], r["slots"], r["hde"],
+          f"{r['decode']:.1%}", r["stdout_ok"]] for r in rows],
+        title=f"Encryption-mode ablation ({WORKLOAD})",
+    ))
+
+    by_label = {r["label"]: r for r in rows}
+    assert all(r["stdout_ok"] for r in rows)
+    # more encrypted slots -> more HDE decrypt work
+    assert by_label["partial 25%"]["hde"] < by_label["partial 75%"]["hde"]
+    assert by_label["partial 75%"]["hde"] <= by_label["full"]["hde"]
+    # full encryption defeats the disassembler; field mode looks benign
+    assert by_label["full"]["decode"] < 0.7
+    assert by_label["field imm+regs"]["decode"] > 0.9
+    # partial modes carry the map; full does not
+    assert by_label["partial 25%"]["size"] > by_label["full"]["size"]
+
+
+def test_partial_protects_selected_region(record, device):
+    """Partial encryption with a chosen range keeps the critical slots
+    unreadable while the rest stays plain (the 'protect the critical
+    parts' use of §III.1)."""
+    from repro.core.encryptor import EncryptionMap, encrypt_text
+    from repro.core.keys import KeyManagementUnit
+
+    compiler = EricCompiler()
+    result, _ = compiler.compile_baseline(get_workload(WORKLOAD).source)
+    program = result.program
+    critical = range(10, 50)  # slots of the "secret" kernel
+    enc_map = EncryptionMap.from_indices(program.instruction_count,
+                                         list(critical))
+    kmu = KeyManagementUnit(device.enrollment_key())
+    ciphertext = encrypt_text(program.text, program.layout, enc_map,
+                              kmu.text_cipher("xor-repeating"))
+    for index in critical:
+        slot = program.layout[index]
+        assert ciphertext[slot.offset:slot.offset + slot.size] \
+            != program.text[slot.offset:slot.offset + slot.size]
+    untouched = program.layout[60]
+    assert ciphertext[untouched.offset:untouched.offset + untouched.size] \
+        == program.text[untouched.offset:untouched.offset + untouched.size]

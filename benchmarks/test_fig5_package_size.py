@@ -1,0 +1,57 @@
+"""Fig. 5 — program-package size vs unencrypted compiled program.
+
+Paper: max +3.73 %, average +1.59 %.  Full encryption pays only the
+256-bit signature (+ container header); partial encryption additionally
+pays 1 map bit per instruction; RVC builds pay proportionally more map
+per byte (1 bit per 16 bits, §IV.A).
+"""
+
+from repro.eval import fig5
+
+
+def test_fig5_package_sizes(benchmark, record):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    record("fig5_package_size", result.render())
+
+    s = result.summary
+    # paper band: small single-digit percentages
+    assert s["avg_increase_pct"] < 4.0
+    assert s["max_increase_pct"] < 8.0
+
+    for row in result.rows:
+        # full encryption: signature+header only => below ~2% on our sizes
+        assert 0.0 < row.full_pct < 2.5
+        # partial adds the map: strictly more than full for every program
+        assert row.partial_pct > row.full_pct
+        # RVC halves average instruction size => map overhead ratio grows
+        assert row.rvc_partial_pct > row.partial_pct
+
+
+def test_fig5_small_programs_pay_more(record):
+    """The paper's size-normalization effect: fixed signature cost means
+    smaller binaries see larger percentage increases."""
+    result = fig5.run()
+    by_size = sorted(result.rows, key=lambda r: r.plain_size)
+    smallest, largest = by_size[0], by_size[-1]
+    assert smallest.full_pct > largest.full_pct
+
+
+def test_fig5_absolute_accounting(record):
+    """Package-minus-plain must equal signature + header + map bytes."""
+    from repro.core.compiler_driver import EricCompiler
+    from repro.core.config import EncryptionMode, EricConfig
+    from repro.core.keys import puf_based_key
+    from repro.workloads import get_workload
+
+    key = puf_based_key(b"accounting")
+    source = get_workload("crc32").source
+
+    full = EricCompiler(EricConfig()).compile_and_package(source, key)
+    partial = EricCompiler(
+        EricConfig(mode=EncryptionMode.PARTIAL)).compile_and_package(
+            source, key)
+    map_bytes = (full.program.instruction_count + 7) // 8
+    assert partial.package_size - full.package_size == map_bytes
+    # fixed cost: 32B signature + (header delta vs plain container)
+    fixed = full.package_size - full.plain_size
+    assert 32 <= fixed <= 96

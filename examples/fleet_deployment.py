@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fleet deployment: one compile, many devices (paper §III.1).
+
+"If the hardware manufacturer maps two or more different hardware to the
+same PUF-based key ... programs can be created to run on multiple
+hardware of their own with a single compile step."
+
+The registry issues a *group key* plus per-device XOR helper data; every
+enrolled device recovers the group key inside its own KMU, so a single
+package serves the whole fleet — while non-members still can't run it.
+
+Run:  python examples/fleet_deployment.py
+"""
+
+from repro import Device, DeviceRegistry, EricCompiler, ValidationError
+
+SOURCE = """
+int main() {
+    print_str("fleet firmware v1\\n");
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    registry = DeviceRegistry()
+    fleet = [Device(device_seed=5000 + i) for i in range(4)]
+    for device in fleet:
+        registry.enroll(device)
+
+    group = registry.provision_group([d.device_id for d in fleet])
+    print(f"provisioned {group.group_id} for {len(fleet)} devices")
+
+    # ONE compile for the whole fleet:
+    compiler = EricCompiler()
+    package = compiler.compile_and_package(SOURCE, group.group_key,
+                                           name="firmware")
+    print(f"single package: {package.package_size} bytes\n")
+
+    for device in fleet:
+        mask = group.masks[device.device_id]
+        outcome = device.load_and_run(package.package_bytes, key_mask=mask)
+        print(f"  {device.device_id}: {outcome.run.stdout.strip()!r} "
+              f"({outcome.total_cycles} cycles)")
+
+    print("\nan outsider device (not in the group):")
+    outsider = Device(device_seed=9999)
+    try:
+        outsider.load_and_run(package.package_bytes,
+                              key_mask=group.masks[fleet[0].device_id])
+        print("  !!! outsider ran the firmware (should never happen)")
+    except ValidationError:
+        print("  blocked: helper data is useless without the matching PUF")
+
+
+if __name__ == "__main__":
+    main()

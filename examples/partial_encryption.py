@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Partial and field-level encryption (paper §III.1's three methods).
+
+ERIC's interface lets the programmer pick what to hide:
+
+* FULL     — every instruction is ciphertext;
+* PARTIAL  — a chosen fraction of instructions (random here, as in the
+  paper's evaluation), e.g. to protect one critical kernel;
+* FIELD    — only selected bit-fields, e.g. "the pointer values of the
+  instructions that make memory accesses", leaving opcodes plaintext so
+  the binary does not even look encrypted.
+
+The example packages the same program three ways and shows what a static
+attacker's disassembler makes of each, plus the size cost.
+
+Run:  python examples/partial_encryption.py
+"""
+
+from repro import Device, EncryptionMode, EricCompiler, EricConfig
+from repro.core.interface import describe
+from repro.net.static_attacker import analyze_blob
+
+SOURCE = """
+int key_schedule[16];
+
+void expand_key(int seed) {
+    for (int i = 0; i < 16; i++) {
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+        key_schedule[i] = seed;
+    }
+}
+
+int main() {
+    expand_key(42);
+    int acc = 0;
+    for (int i = 0; i < 16; i++) { acc ^= key_schedule[i]; }
+    print_int(acc);
+    print_char('\\n');
+    return 0;
+}
+"""
+
+CONFIGS = [
+    EricConfig(mode=EncryptionMode.FULL),
+    EricConfig(mode=EncryptionMode.PARTIAL, partial_fraction=0.4),
+    EricConfig(mode=EncryptionMode.FIELD,
+               field_classes=("imm", "rs1", "rs2", "rd")),
+]
+
+
+def main() -> None:
+    device = Device(device_seed=77)
+    key = device.enrollment_key()
+
+    for config in CONFIGS:
+        compiler = EricCompiler(config)
+        result = compiler.compile_and_package(SOURCE, key, name="kernel")
+        report = analyze_blob(result.package.enc_text)
+        outcome = device.load_and_run(result.package_bytes)
+
+        print(describe(config))
+        print(f"  package size        : {result.package_size} B "
+              f"({100 * result.size_increase_fraction:+.2f}% vs plain)")
+        print(f"  encrypted slots     : "
+              f"{result.encrypted.enc_map.encrypted_count}"
+              f"/{result.encrypted.enc_map.count}")
+        print(f"  attacker decode rate: "
+              f"{report.valid_decode_fraction:.1%}")
+        print(f"  attacker verdict    : "
+              f"{'looks like code' if report.looks_like_code else 'noise'}")
+        print(f"  device output       : {outcome.run.stdout.strip()}")
+        print()
+
+    print("note FIELD mode: high decode rate (opcodes are plaintext, so "
+          "it still *looks* like code)\nwhile the operands an attacker "
+          "needs — pointers, offsets, registers — are garbled.")
+
+
+if __name__ == "__main__":
+    main()

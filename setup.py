@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs cannot build. This shim lets
+``pip install -e .`` fall back to ``setup.py develop``
+(``no-use-pep517 = true`` is set in the user pip config). All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

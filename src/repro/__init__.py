@@ -1,0 +1,61 @@
+"""repro — a Python reproduction of ERIC (DSN 2022).
+
+*ERIC: An Efficient and Practical Software Obfuscation Framework* encrypts
+program binaries under keys derived from a target device's physical
+unclonable function (PUF), so that only that device can decrypt,
+integrity-check and execute them — defeating both static and dynamic
+analysis by anyone else.
+
+Quickstart::
+
+    from repro import Device, EricCompiler, EricConfig, deploy
+
+    device = Device(device_seed=42)
+    result = deploy("int main() { print_str(\\"hi\\"); return 0; }", device)
+    print(result.stdout, result.total_cycles)
+
+Package map (see DESIGN.md for the full inventory):
+
+=====================  ====================================================
+``repro.core``         ERIC itself: keys, encryptor, package, HDE, device
+``repro.crypto``       SHA-256, HMAC/KDF, XOR ciphers, AES (from scratch)
+``repro.puf``          arbiter-PUF model, key generator, metrics
+``repro.isa``          RV64IM + RVC encode/decode/disassemble
+``repro.asm``          assembler and program images
+``repro.cc``           MiniC optimizing compiler (the LLVM stand-in)
+``repro.soc``          Rocket-like SoC simulator (caches, timing model)
+``repro.hw``           structural LUT/FF area model (Table II)
+``repro.net``          untrusted channel + static/dynamic attackers
+``repro.workloads``    MiBench-counterpart benchmark programs
+``repro.eval``         regenerates every table and figure of the paper
+=====================  ====================================================
+"""
+
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.compiler_driver import EricCompiler, EricCompileResult
+from repro.core.device import Device, DeviceRunResult
+from repro.core.provisioning import DeviceRegistry
+from repro.core.workflow import DeploymentResult, deploy
+from repro.errors import (
+    EricError,
+    PackageFormatError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EncryptionMode",
+    "EricConfig",
+    "EricCompiler",
+    "EricCompileResult",
+    "Device",
+    "DeviceRunResult",
+    "DeviceRegistry",
+    "DeploymentResult",
+    "deploy",
+    "EricError",
+    "PackageFormatError",
+    "ValidationError",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Assembler and program-image substrate.
+
+The ERIC compiler needs real binaries with known instruction boundaries:
+the per-instruction encryption map (paper §III.1) is one bit per
+instruction *slot*, and slots are 2 or 4 bytes once RVC is in play.  The
+:class:`repro.asm.program.Program` image therefore carries an explicit
+text layout (offset/size per slot) produced by the assembler.
+
+Modules
+-------
+:mod:`repro.asm.assembler`  two-pass assembler with pseudo-instructions,
+                            data directives and optional RVC compression
+:mod:`repro.asm.program`    the ``Program`` image + plain serialization
+:mod:`repro.asm.loader`     loads an image into a flat memory
+"""
+
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.program import InstructionSlot, Program
+from repro.asm.loader import load_program
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "Program",
+    "InstructionSlot",
+    "load_program",
+]

@@ -1,0 +1,25 @@
+"""Program loader: copy a :class:`Program` image into SoC memory.
+
+In the paper's flow the decrypted program is "sent to the Trusted Zone"
+and loaded for execution (§III.2 step 6); this is that copy.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Program
+from repro.errors import MemoryFault
+
+
+def load_program(program: Program, memory: bytearray) -> None:
+    """Write text and data sections at their base addresses."""
+    _copy(memory, program.text_base, program.text, "text")
+    _copy(memory, program.data_base, program.data, "data")
+
+
+def _copy(memory: bytearray, base: int, section: bytes, name: str) -> None:
+    if base < 0 or base + len(section) > len(memory):
+        raise MemoryFault(
+            f"{name} section [{base:#x}, {base + len(section):#x}) does not "
+            f"fit in {len(memory)} bytes of memory"
+        )
+    memory[base:base + len(section)] = section

@@ -1,0 +1,25 @@
+"""MiniC: the reproduction's stand-in for the paper's LLVM/Clang toolchain.
+
+The paper measures compile time of an LLVM 11 pipeline with encryption and
+signing bolted on (§IV.A).  LLVM itself is not reproducible in pure
+Python, but the *measurement* only needs a real compiler: a front end, an
+IR with optimization passes, and a RISC-V back end whose wall-clock time
+can be compared with and without the ERIC packaging stage.  MiniC is that
+compiler.
+
+The language: a C subset sufficient for the MiBench-counterpart workloads
+— 64-bit ``int``, unsigned ``char``, pointers, 1-D arrays, functions with
+recursion, the usual statements and operators, string literals, and four
+builtins (``print_int``, ``print_char``, ``print_str``, ``exit``).
+
+Pipeline: lexer -> parser -> semantic analysis -> three-address IR ->
+optimization passes (constant folding, copy propagation, strength
+reduction, dead-code elimination, jump threading) -> RV64 code generation
+-> :mod:`repro.asm` assembly.
+
+Public entry point: :func:`repro.cc.driver.compile_source`.
+"""
+
+from repro.cc.driver import CompileResult, compile_source
+
+__all__ = ["CompileResult", "compile_source"]

@@ -1,0 +1,172 @@
+"""MiniC abstract syntax tree.
+
+Nodes carry their source line for diagnostics; semantic analysis annotates
+expression nodes with ``ctype`` (their computed :class:`repro.cc.types.CType`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.types import CType
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# --- expressions ------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    ctype: CType | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+    #: filled by sema: 'local' | 'param' | 'global'
+    storage: str = field(default="", kw_only=True)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""              # '-' '~' '!' '*' '&'
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""              # arithmetic / comparison / logical
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr | None = None
+    value: Expr | None = None
+    op: str = ""              # '' for plain '=', else '+', '-', ...
+
+
+@dataclass
+class IncDec(Expr):
+    target: Expr | None = None
+    op: str = ""              # '++' or '--'
+    prefix: bool = True
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+# --- statements -------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    var_type: CType | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None      # VarDecl or ExprStmt or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --- top level --------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ptype: CType | None = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: CType | None = None
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    var_type: CType | None = None
+    #: int for scalars, list[int] for arrays, str for char-array strings
+    init: int | list[int] | str | None = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

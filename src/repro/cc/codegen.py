@@ -1,0 +1,281 @@
+"""IR -> RV64 assembly code generation.
+
+Strategy: a "spill-everything" backend.  Every temp gets a stack slot
+(slots are reused via a linear-scan over live ranges), operands are staged
+through ``t0``/``t1`` and results stored back.  Simple, predictable and
+easy to verify — correctness is carried by the IR passes and the tests,
+not by register-allocation cleverness.  ``t6`` is reserved as the
+large-offset address scratch.
+
+Conditional branches are always emitted as an inverted short branch over
+an unconditional ``j`` so that IR labels can be arbitrarily far away
+(RISC-V conditional branches reach only +-4 KiB).
+
+Live-range safety: a slot freed at a temp's textually last use could be
+clobbered and then re-read along a loop back edge, so ranges are extended
+over every backward jump that crosses them before slots are assigned.
+"""
+
+from __future__ import annotations
+
+from repro.cc import ir
+from repro.errors import CompileError
+
+WORD = 8
+
+
+class FunctionCodegen:
+    def __init__(self, fn: ir.IRFunction) -> None:
+        self.fn = fn
+        self.lines: list[str] = []
+
+    # -- live ranges and slot assignment ------------------------------------
+
+    def _live_ranges(self) -> dict[int, tuple[int, int]]:
+        first: dict[int, int] = {}
+        last: dict[int, int] = {}
+        labels: dict[str, int] = {}
+        for idx, instr in enumerate(self.fn.instrs):
+            if isinstance(instr, ir.Label):
+                labels[instr.name] = idx
+            dst = getattr(instr, "dst", None)
+            if isinstance(dst, int):
+                first.setdefault(dst, idx)
+                last[dst] = idx
+            for temp in ir.instruction_uses(instr):
+                first.setdefault(temp, idx)
+                last[temp] = idx
+
+        # Extend ranges across backward edges: if a back edge at j targets
+        # label i (i < j), any range intersecting [i, j] must live to j.
+        back_edges = []
+        for idx, instr in enumerate(self.fn.instrs):
+            target = None
+            if isinstance(instr, ir.Jump):
+                target = labels.get(instr.label)
+            elif isinstance(instr, ir.Branch):
+                target = labels.get(instr.label)
+            if target is not None and target < idx:
+                back_edges.append((target, idx))
+        changed = True
+        while changed:
+            changed = False
+            for target, source in back_edges:
+                for temp in first:
+                    if first[temp] <= source and last[temp] >= target \
+                            and last[temp] < source:
+                        last[temp] = source
+                        changed = True
+        return {t: (first[t], last[t]) for t in first}
+
+    def _assign_slots(self) -> tuple[dict[int, int], int]:
+        """Map temps to frame offsets; returns (mapping, spill bytes)."""
+        ranges = self._live_ranges()
+        order = sorted(ranges, key=lambda t: ranges[t][0])
+        free: list[int] = []
+        active: list[tuple[int, int]] = []  # (end, slot_index)
+        slots: dict[int, int] = {}
+        n_slots = 0
+        for temp in order:
+            start, end = ranges[temp]
+            # expire finished ranges
+            still_active = []
+            for active_end, slot in active:
+                if active_end < start:
+                    free.append(slot)
+                else:
+                    still_active.append((active_end, slot))
+            active = still_active
+            if free:
+                slot = free.pop()
+            else:
+                slot = n_slots
+                n_slots += 1
+            slots[temp] = slot
+            active.append((end, slot))
+        return ({t: s * WORD for t, s in slots.items()}, n_slots * WORD)
+
+    # -- frame layout ----------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        fn = self.fn
+        temp_offsets, spill_bytes = self._assign_slots()
+
+        local_offsets: dict[str, int] = {}
+        cursor = spill_bytes
+        for slot, size in fn.locals.items():
+            aligned = (size + WORD - 1) // WORD * WORD
+            local_offsets[slot] = cursor
+            cursor += aligned
+        frame = cursor + WORD  # +8 for saved ra
+        frame = (frame + 15) // 16 * 16
+        ra_offset = frame - WORD
+
+        self._temp_offsets = temp_offsets
+        self._local_offsets = local_offsets
+        self._frame = frame
+
+        out = self.lines
+        out.append(f"{fn.name}:")
+        self._adjust_sp(-frame)
+        self._sd("ra", ra_offset)
+        for index, slot in enumerate(fn.params):
+            size = fn.param_sizes[index]
+            self._store_reg(f"a{index}", local_offsets[slot], size)
+
+        for instr in fn.instrs:
+            self._instr(instr)
+
+        out.append(f".L_{fn.name}_epilogue:")
+        self._ld("ra", ra_offset)
+        self._adjust_sp(frame)
+        out.append("  ret")
+        return out
+
+    # -- emission helpers ------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(f"  {text}")
+
+    def _adjust_sp(self, delta: int) -> None:
+        if -2048 <= delta <= 2047:
+            self._emit(f"addi sp, sp, {delta}")
+        else:
+            self._emit(f"li t6, {delta}")
+            self._emit("add sp, sp, t6")
+
+    def _mem(self, op: str, reg: str, offset: int) -> None:
+        """op reg, offset(sp) with large-offset fallback through t6."""
+        if -2048 <= offset <= 2047:
+            self._emit(f"{op} {reg}, {offset}(sp)")
+        else:
+            self._emit(f"li t6, {offset}")
+            self._emit("add t6, sp, t6")
+            self._emit(f"{op} {reg}, 0(t6)")
+
+    def _ld(self, reg: str, offset: int) -> None:
+        self._mem("ld", reg, offset)
+
+    def _sd(self, reg: str, offset: int) -> None:
+        self._mem("sd", reg, offset)
+
+    def _load_temp(self, reg: str, temp: int) -> None:
+        self._ld(reg, self._temp_offsets[temp])
+
+    def _store_temp(self, reg: str, temp: int) -> None:
+        self._sd(reg, self._temp_offsets[temp])
+
+    def _store_reg(self, reg: str, offset: int, size: int) -> None:
+        op = {1: "sb", 8: "sd"}[size]
+        self._mem(op, reg, offset)
+
+    def _label(self, name: str) -> str:
+        return f".L_{self.fn.name}_{name}"
+
+    # -- per-instruction emission ---------------------------------------------
+
+    def _instr(self, instr: ir.IRInstr) -> None:
+        if isinstance(instr, ir.Const):
+            self._emit(f"li t0, {instr.value}")
+            self._store_temp("t0", instr.dst)
+        elif isinstance(instr, ir.BinOp):
+            self._binop(instr)
+        elif isinstance(instr, ir.UnOp):
+            self._load_temp("t0", instr.a)
+            if instr.op == "neg":
+                self._emit("sub t0, zero, t0")
+            elif instr.op == "not":
+                self._emit("xori t0, t0, -1")
+            else:  # lnot
+                self._emit("seqz t0, t0")
+            self._store_temp("t0", instr.dst)
+        elif isinstance(instr, ir.Load):
+            self._load_temp("t0", instr.addr)
+            op = {1: "lbu", 8: "ld"}[instr.size]
+            self._emit(f"{op} t0, 0(t0)")
+            self._store_temp("t0", instr.dst)
+        elif isinstance(instr, ir.Store):
+            self._load_temp("t0", instr.addr)
+            self._load_temp("t1", instr.src)
+            op = {1: "sb", 8: "sd"}[instr.size]
+            self._emit(f"{op} t1, 0(t0)")
+        elif isinstance(instr, ir.AddrLocal):
+            offset = self._local_offsets[instr.slot]
+            if -2048 <= offset <= 2047:
+                self._emit(f"addi t0, sp, {offset}")
+            else:
+                self._emit(f"li t0, {offset}")
+                self._emit("add t0, sp, t0")
+            self._store_temp("t0", instr.dst)
+        elif isinstance(instr, ir.AddrGlobal):
+            self._emit(f"la t0, {instr.symbol}")
+            self._store_temp("t0", instr.dst)
+        elif isinstance(instr, ir.Copy):
+            self._load_temp("t0", instr.src)
+            self._store_temp("t0", instr.dst)
+        elif isinstance(instr, ir.Call):
+            if len(instr.args) > 8:
+                raise CompileError(
+                    f"{self.fn.name}: call with more than 8 arguments")
+            for index, arg in enumerate(instr.args):
+                self._load_temp(f"a{index}", arg)
+            self._emit(f"call {instr.name}")
+            if instr.dst is not None:
+                self._store_temp("a0", instr.dst)
+        elif isinstance(instr, ir.Label):
+            self.lines.append(f"{self._label(instr.name)}:")
+        elif isinstance(instr, ir.Jump):
+            self._emit(f"j {self._label(instr.label)}")
+        elif isinstance(instr, ir.Branch):
+            self._load_temp("t0", instr.cond)
+            skip = f"{self._label(instr.label)}_s{len(self.lines)}"
+            inverted = "beqz" if instr.when_true else "bnez"
+            self._emit(f"{inverted} t0, {skip}")
+            self._emit(f"j {self._label(instr.label)}")
+            self.lines.append(f"{skip}:")
+        elif isinstance(instr, ir.Ret):
+            if instr.src is not None:
+                self._load_temp("a0", instr.src)
+            self._emit(f"j .L_{self.fn.name}_epilogue")
+        else:
+            raise CompileError(f"unhandled IR instruction {instr!r}")
+
+    _BIN_ASM = {
+        "add": "add", "sub": "sub", "mul": "mul", "div": "div",
+        "rem": "rem", "and": "and", "or": "or", "xor": "xor",
+        "shl": "sll", "shr": "sra",
+    }
+
+    def _binop(self, instr: ir.BinOp) -> None:
+        self._load_temp("t0", instr.a)
+        self._load_temp("t1", instr.b)
+        op = instr.op
+        if op in self._BIN_ASM:
+            self._emit(f"{self._BIN_ASM[op]} t0, t0, t1")
+        elif op == "slt":
+            self._emit("slt t0, t0, t1")
+        elif op == "sgt":
+            self._emit("slt t0, t1, t0")
+        elif op == "sle":
+            self._emit("slt t0, t1, t0")
+            self._emit("xori t0, t0, 1")
+        elif op == "sge":
+            self._emit("slt t0, t0, t1")
+            self._emit("xori t0, t0, 1")
+        elif op == "eq":
+            self._emit("sub t0, t0, t1")
+            self._emit("seqz t0, t0")
+        elif op == "ne":
+            self._emit("sub t0, t0, t1")
+            self._emit("snez t0, t0")
+        else:
+            raise CompileError(f"unhandled binop {op}")
+        self._store_temp("t0", instr.dst)
+
+
+def generate_assembly(module: ir.IRModule) -> list[str]:
+    """Emit assembly lines for every function in the module."""
+    lines: list[str] = [".text"]
+    for fn in module.functions:
+        lines.extend(FunctionCodegen(fn).generate())
+    return lines

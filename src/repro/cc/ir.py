@@ -1,0 +1,188 @@
+"""Three-address intermediate representation.
+
+Temps are integers; named storage (locals, params, arrays) lives in
+explicit stack slots addressed via :class:`AddrLocal`, and globals via
+:class:`AddrGlobal`.  The IR is *almost* SSA: temps are written once by
+construction, except for the join temps of short-circuit logical
+operators — optimization passes therefore check definition counts before
+assuming anything.
+
+Comparison ops produce 0/1.  ``shr`` is arithmetic (C ``>>`` on our signed
+64-bit int); division/remainder have RISC-V (= C) truncating semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+BINARY_OPS = frozenset({
+    "add", "sub", "mul", "div", "rem",
+    "and", "or", "xor", "shl", "shr",
+    "slt", "sle", "sgt", "sge", "eq", "ne",
+})
+
+UNARY_OPS = frozenset({"neg", "not", "lnot"})
+
+
+@dataclass
+class IRInstr:
+    pass
+
+
+@dataclass
+class Const(IRInstr):
+    dst: int
+    value: int
+
+
+@dataclass
+class BinOp(IRInstr):
+    dst: int
+    op: str
+    a: int
+    b: int
+
+
+@dataclass
+class UnOp(IRInstr):
+    dst: int
+    op: str
+    a: int
+
+
+@dataclass
+class Load(IRInstr):
+    dst: int
+    addr: int
+    size: int          # 1 (unsigned char) or 8 (int/pointer)
+
+
+@dataclass
+class Store(IRInstr):
+    addr: int
+    src: int
+    size: int
+
+
+@dataclass
+class AddrLocal(IRInstr):
+    dst: int
+    slot: str
+
+
+@dataclass
+class AddrGlobal(IRInstr):
+    dst: int
+    symbol: str
+
+
+@dataclass
+class Copy(IRInstr):
+    dst: int
+    src: int
+
+
+@dataclass
+class Call(IRInstr):
+    dst: int | None
+    name: str
+    args: list[int]
+
+
+@dataclass
+class Label(IRInstr):
+    name: str
+
+
+@dataclass
+class Jump(IRInstr):
+    label: str
+
+
+@dataclass
+class Branch(IRInstr):
+    cond: int
+    label: str
+    when_true: bool    # jump if cond != 0 (True) or == 0 (False)
+
+
+@dataclass
+class Ret(IRInstr):
+    src: int | None
+
+
+@dataclass
+class IRFunction:
+    name: str
+    params: list[str] = field(default_factory=list)   # slot names, in order
+    param_sizes: list[int] = field(default_factory=list)
+    instrs: list[IRInstr] = field(default_factory=list)
+    #: slot name -> byte size (scalars 1/8; arrays their full size)
+    locals: dict[str, int] = field(default_factory=dict)
+    n_temps: int = 0
+
+    def def_counts(self) -> dict[int, int]:
+        """Number of definitions per temp (non-1 means join temp)."""
+        counts: dict[int, int] = {}
+        for instr in self.instrs:
+            dst = getattr(instr, "dst", None)
+            if isinstance(dst, int):
+                counts[dst] = counts.get(dst, 0) + 1
+        return counts
+
+
+@dataclass
+class IRModule:
+    functions: list[IRFunction] = field(default_factory=list)
+    #: string literal text -> data symbol
+    strings: dict[str, str] = field(default_factory=dict)
+
+    def intern_string(self, text: str) -> str:
+        symbol = self.strings.get(text)
+        if symbol is None:
+            symbol = f"__str{len(self.strings)}"
+            self.strings[text] = symbol
+        return symbol
+
+
+def instruction_uses(instr: IRInstr) -> list[int]:
+    """Temps read by ``instr``."""
+    if isinstance(instr, BinOp):
+        return [instr.a, instr.b]
+    if isinstance(instr, UnOp):
+        return [instr.a]
+    if isinstance(instr, Load):
+        return [instr.addr]
+    if isinstance(instr, Store):
+        return [instr.addr, instr.src]
+    if isinstance(instr, Copy):
+        return [instr.src]
+    if isinstance(instr, Call):
+        return list(instr.args)
+    if isinstance(instr, Branch):
+        return [instr.cond]
+    if isinstance(instr, Ret):
+        return [] if instr.src is None else [instr.src]
+    return []
+
+
+def replace_uses(instr: IRInstr, mapping: dict[int, int]) -> None:
+    """Rewrite temp uses in place through ``mapping`` (dst left alone)."""
+    if isinstance(instr, BinOp):
+        instr.a = mapping.get(instr.a, instr.a)
+        instr.b = mapping.get(instr.b, instr.b)
+    elif isinstance(instr, UnOp):
+        instr.a = mapping.get(instr.a, instr.a)
+    elif isinstance(instr, Load):
+        instr.addr = mapping.get(instr.addr, instr.addr)
+    elif isinstance(instr, Store):
+        instr.addr = mapping.get(instr.addr, instr.addr)
+        instr.src = mapping.get(instr.src, instr.src)
+    elif isinstance(instr, Copy):
+        instr.src = mapping.get(instr.src, instr.src)
+    elif isinstance(instr, Call):
+        instr.args = [mapping.get(a, a) for a in instr.args]
+    elif isinstance(instr, Branch):
+        instr.cond = mapping.get(instr.cond, instr.cond)
+    elif isinstance(instr, Ret) and instr.src is not None:
+        instr.src = mapping.get(instr.src, instr.src)

@@ -1,0 +1,395 @@
+"""AST -> IR lowering."""
+
+from __future__ import annotations
+
+from repro.cc import ast_nodes as ast
+from repro.cc import ir
+from repro.cc.types import CType
+from repro.errors import SemanticError
+
+
+class _FunctionContext:
+    """Per-function lowering state."""
+
+    def __init__(self, name: str) -> None:
+        self.fn = ir.IRFunction(name=name)
+        self.scopes: list[dict[str, tuple[str, CType]]] = [{}]
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self._slot_counter = 0
+        self._label_counter = 0
+
+    def temp(self) -> int:
+        self.fn.n_temps += 1
+        return self.fn.n_temps - 1
+
+    def label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def emit(self, instr: ir.IRInstr) -> None:
+        self.fn.instrs.append(instr)
+
+    def declare(self, name: str, ctype: CType, line: int) -> str:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise SemanticError(f"line {line}: redeclaration of {name!r}")
+        self._slot_counter += 1
+        slot = f"{name}.{self._slot_counter}"
+        scope[name] = (slot, ctype)
+        self.fn.locals[slot] = ctype.size
+        return slot
+
+    def lookup(self, name: str) -> tuple[str, CType] | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+
+class IRGenerator:
+    """Lower an analyzed translation unit to :class:`ir.IRModule`."""
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self.unit = unit
+        self.module = ir.IRModule()
+        self.global_types = {g.name: g.var_type for g in unit.globals}
+
+    def generate(self) -> ir.IRModule:
+        for func in self.unit.functions:
+            self.module.functions.append(self._function(func))
+        return self.module
+
+    # -- functions -----------------------------------------------------------
+
+    def _function(self, func: ast.FuncDef) -> ir.IRFunction:
+        ctx = _FunctionContext(func.name)
+        self._ctx = ctx
+        for param in func.params:
+            slot = ctx.declare(param.name, param.ptype, func.line)
+            ctx.fn.params.append(slot)
+            ctx.fn.param_sizes.append(param.ptype.size)
+        self._block(func.body, new_scope=False)
+        # Implicit return for void functions / fallthrough.
+        ctx.emit(ir.Ret(None))
+        return ctx.fn
+
+    # -- statements ------------------------------------------------------------
+
+    def _block(self, block: ast.Block, new_scope: bool = True) -> None:
+        ctx = self._ctx
+        if new_scope:
+            ctx.scopes.append({})
+        for stmt in block.statements:
+            self._stmt(stmt)
+        if new_scope:
+            ctx.scopes.pop()
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        ctx = self._ctx
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            slot = ctx.declare(stmt.name, stmt.var_type, stmt.line)
+            if stmt.init is not None:
+                value = self._rvalue(stmt.init)
+                addr = ctx.temp()
+                ctx.emit(ir.AddrLocal(addr, slot))
+                ctx.emit(ir.Store(addr, value,
+                                  min(stmt.var_type.size, 8)))
+        elif isinstance(stmt, ast.ExprStmt):
+            self._rvalue(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                ctx.emit(ir.Ret(None))
+            else:
+                ctx.emit(ir.Ret(self._rvalue(stmt.value)))
+        elif isinstance(stmt, ast.Break):
+            ctx.emit(ir.Jump(ctx.break_labels[-1]))
+        elif isinstance(stmt, ast.Continue):
+            ctx.emit(ir.Jump(ctx.continue_labels[-1]))
+        else:
+            raise SemanticError(f"unhandled stmt {type(stmt).__name__}")
+
+    def _if(self, stmt: ast.If) -> None:
+        ctx = self._ctx
+        else_label = ctx.label("Lelse")
+        end_label = ctx.label("Lend")
+        cond = self._rvalue(stmt.cond)
+        ctx.emit(ir.Branch(cond, else_label, when_true=False))
+        self._stmt(stmt.then)
+        if stmt.otherwise is not None:
+            ctx.emit(ir.Jump(end_label))
+            ctx.emit(ir.Label(else_label))
+            self._stmt(stmt.otherwise)
+            ctx.emit(ir.Label(end_label))
+        else:
+            ctx.emit(ir.Label(else_label))
+
+    def _while(self, stmt: ast.While) -> None:
+        ctx = self._ctx
+        head = ctx.label("Lwhile")
+        end = ctx.label("Lwend")
+        ctx.emit(ir.Label(head))
+        cond = self._rvalue(stmt.cond)
+        ctx.emit(ir.Branch(cond, end, when_true=False))
+        ctx.break_labels.append(end)
+        ctx.continue_labels.append(head)
+        self._stmt(stmt.body)
+        ctx.break_labels.pop()
+        ctx.continue_labels.pop()
+        ctx.emit(ir.Jump(head))
+        ctx.emit(ir.Label(end))
+
+    def _for(self, stmt: ast.For) -> None:
+        ctx = self._ctx
+        ctx.scopes.append({})
+        head = ctx.label("Lfor")
+        step_label = ctx.label("Lstep")
+        end = ctx.label("Lfend")
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        ctx.emit(ir.Label(head))
+        if stmt.cond is not None:
+            cond = self._rvalue(stmt.cond)
+            ctx.emit(ir.Branch(cond, end, when_true=False))
+        ctx.break_labels.append(end)
+        ctx.continue_labels.append(step_label)
+        self._stmt(stmt.body)
+        ctx.break_labels.pop()
+        ctx.continue_labels.pop()
+        ctx.emit(ir.Label(step_label))
+        if stmt.step is not None:
+            self._rvalue(stmt.step, want_value=False)
+        ctx.emit(ir.Jump(head))
+        ctx.emit(ir.Label(end))
+        ctx.scopes.pop()
+
+    # -- expressions ----------------------------------------------------------
+
+    def _rvalue(self, expr: ast.Expr, want_value: bool = True) -> int:
+        """Lower ``expr``; returns the temp holding its value.
+
+        With ``want_value=False`` (expression statements) the value temp
+        may be meaningless for void calls.
+        """
+        ctx = self._ctx
+        if isinstance(expr, ast.IntLit):
+            dst = ctx.temp()
+            ctx.emit(ir.Const(dst, expr.value))
+            return dst
+        if isinstance(expr, ast.StrLit):
+            symbol = self.module.intern_string(expr.value)
+            dst = ctx.temp()
+            ctx.emit(ir.AddrGlobal(dst, symbol))
+            return dst
+        if isinstance(expr, ast.Var):
+            slot_info = ctx.lookup(expr.name)
+            ctype = expr.ctype
+            if ctype.kind == "array":
+                # decay: the value of an array is its address
+                return self._lvalue_address(expr)
+            addr = self._lvalue_address(expr)
+            dst = ctx.temp()
+            ctx.emit(ir.Load(dst, addr, min(ctype.size, 8)))
+            return dst
+        if isinstance(expr, ast.Index):
+            elem = expr.ctype
+            addr = self._lvalue_address(expr)
+            if elem.kind == "array":
+                return addr  # multi-dim decay (not used by workloads)
+            dst = ctx.temp()
+            ctx.emit(ir.Load(dst, addr, min(elem.size, 8)))
+            return dst
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr, want_value)
+        if isinstance(expr, ast.IncDec):
+            return self._incdec(expr, want_value)
+        if isinstance(expr, ast.Call):
+            args = [self._rvalue(a) for a in expr.args]
+            if expr.ctype.kind == "void":
+                ctx.emit(ir.Call(None, expr.name, args))
+                if not want_value:
+                    return -1
+                dst = ctx.temp()
+                ctx.emit(ir.Const(dst, 0))
+                return dst
+            dst = ctx.temp()
+            ctx.emit(ir.Call(dst, expr.name, args))
+            return dst
+        raise SemanticError(f"unhandled expr {type(expr).__name__}")
+
+    def _unary(self, expr: ast.Unary) -> int:
+        ctx = self._ctx
+        op = expr.op
+        if op == "&":
+            return self._lvalue_address(expr.operand)
+        if op == "*":
+            pointer = self._rvalue(expr.operand)
+            ctype = expr.ctype
+            dst = ctx.temp()
+            ctx.emit(ir.Load(dst, pointer, min(ctype.size, 8)))
+            return dst
+        operand = self._rvalue(expr.operand)
+        dst = ctx.temp()
+        if op == "-":
+            ctx.emit(ir.UnOp(dst, "neg", operand))
+        elif op == "~":
+            ctx.emit(ir.UnOp(dst, "not", operand))
+        elif op == "!":
+            ctx.emit(ir.UnOp(dst, "lnot", operand))
+        else:
+            raise SemanticError(f"unhandled unary {op}")
+        return dst
+
+    _CMP = {"<": "slt", "<=": "sle", ">": "sgt", ">=": "sge",
+            "==": "eq", "!=": "ne"}
+    _ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+              "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+
+    def _binary(self, expr: ast.Binary) -> int:
+        ctx = self._ctx
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._logical(expr)
+        left_type = expr.left.ctype.decay()
+        right_type = expr.right.ctype.decay()
+        a = self._rvalue(expr.left)
+        b = self._rvalue(expr.right)
+        dst = ctx.temp()
+        if op in self._CMP:
+            ctx.emit(ir.BinOp(dst, self._CMP[op], a, b))
+            return dst
+        ir_op = self._ARITH[op]
+        # pointer arithmetic scaling
+        if op in ("+", "-") and left_type.kind == "ptr" \
+                and right_type.is_arithmetic:
+            b = self._scale(b, left_type.base.size)
+        elif op == "+" and right_type.kind == "ptr" \
+                and left_type.is_arithmetic:
+            a = self._scale(a, right_type.base.size)
+        elif op == "-" and left_type.kind == "ptr" \
+                and right_type.kind == "ptr":
+            diff = ctx.temp()
+            ctx.emit(ir.BinOp(diff, "sub", a, b))
+            return self._unscale(diff, left_type.base.size)
+        ctx.emit(ir.BinOp(dst, ir_op, a, b))
+        return dst
+
+    def _scale(self, temp: int, elem_size: int) -> int:
+        if elem_size == 1:
+            return temp
+        ctx = self._ctx
+        size = ctx.temp()
+        ctx.emit(ir.Const(size, elem_size))
+        scaled = ctx.temp()
+        ctx.emit(ir.BinOp(scaled, "mul", temp, size))
+        return scaled
+
+    def _unscale(self, temp: int, elem_size: int) -> int:
+        if elem_size == 1:
+            return temp
+        ctx = self._ctx
+        size = ctx.temp()
+        ctx.emit(ir.Const(size, elem_size))
+        result = ctx.temp()
+        ctx.emit(ir.BinOp(result, "div", temp, size))
+        return result
+
+    def _logical(self, expr: ast.Binary) -> int:
+        ctx = self._ctx
+        dst = ctx.temp()
+        rhs_label = ctx.label("Llog")
+        end_label = ctx.label("Llogend")
+        a = self._rvalue(expr.left)
+        if expr.op == "&&":
+            ctx.emit(ir.Branch(a, rhs_label, when_true=True))
+            ctx.emit(ir.Const(dst, 0))
+        else:
+            ctx.emit(ir.Branch(a, rhs_label, when_true=False))
+            ctx.emit(ir.Const(dst, 1))
+        ctx.emit(ir.Jump(end_label))
+        ctx.emit(ir.Label(rhs_label))
+        b = self._rvalue(expr.right)
+        zero = ctx.temp()
+        ctx.emit(ir.Const(zero, 0))
+        ctx.emit(ir.BinOp(dst, "ne", b, zero))
+        ctx.emit(ir.Label(end_label))
+        return dst
+
+    def _assign(self, expr: ast.Assign, want_value: bool) -> int:
+        ctx = self._ctx
+        target_type = expr.target.ctype
+        size = min(target_type.size, 8)
+        addr = self._lvalue_address(expr.target)
+        if not expr.op:
+            value = self._rvalue(expr.value)
+            ctx.emit(ir.Store(addr, value, size))
+            return value
+        # compound: load, combine, store
+        old = ctx.temp()
+        ctx.emit(ir.Load(old, addr, size))
+        rhs = self._rvalue(expr.value)
+        if target_type.kind == "ptr" and expr.op in ("+", "-"):
+            rhs = self._scale(rhs, target_type.base.size)
+        new = ctx.temp()
+        ctx.emit(ir.BinOp(new, self._ARITH[expr.op], old, rhs))
+        ctx.emit(ir.Store(addr, new, size))
+        return new
+
+    def _incdec(self, expr: ast.IncDec, want_value: bool) -> int:
+        ctx = self._ctx
+        target_type = expr.target.ctype
+        size = min(target_type.size, 8)
+        addr = self._lvalue_address(expr.target)
+        old = ctx.temp()
+        ctx.emit(ir.Load(old, addr, size))
+        delta = ctx.temp()
+        step = target_type.base.size if target_type.kind == "ptr" else 1
+        ctx.emit(ir.Const(delta, step))
+        new = ctx.temp()
+        op = "add" if expr.op == "++" else "sub"
+        ctx.emit(ir.BinOp(new, op, old, delta))
+        ctx.emit(ir.Store(addr, new, size))
+        return new if expr.prefix else old
+
+    def _lvalue_address(self, expr: ast.Expr) -> int:
+        """Temp holding the address of an lvalue (or array base)."""
+        ctx = self._ctx
+        if isinstance(expr, ast.Var):
+            slot_info = ctx.lookup(expr.name)
+            dst = ctx.temp()
+            if slot_info is not None:
+                ctx.emit(ir.AddrLocal(dst, slot_info[0]))
+            elif expr.name in self.global_types:
+                ctx.emit(ir.AddrGlobal(dst, expr.name))
+            else:
+                raise SemanticError(
+                    f"line {expr.line}: unknown variable {expr.name!r}")
+            return dst
+        if isinstance(expr, ast.Index):
+            base_type = expr.base.ctype.decay()
+            base = self._rvalue(expr.base)  # array decays to address
+            index = self._rvalue(expr.index)
+            scaled = self._scale(index, base_type.base.size)
+            dst = ctx.temp()
+            ctx.emit(ir.BinOp(dst, "add", base, scaled))
+            return dst
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._rvalue(expr.operand)
+        raise SemanticError(f"line {expr.line}: not an lvalue")
+
+
+def generate(unit: ast.TranslationUnit) -> ir.IRModule:
+    """Lower an analyzed unit to IR."""
+    return IRGenerator(unit).generate()

@@ -1,0 +1,165 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset({
+    "int", "char", "void", "if", "else", "while", "for",
+    "return", "break", "continue",
+})
+
+# Multi-character operators first (maximal munch).
+_OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0",
+            "\\": "\\", "'": "'", '"': '"'}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str    # 'ident' | 'keyword' | 'int' | 'string' | operator text | 'eof'
+    text: str
+    value: int | str | None
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source; raises :class:`LexError` with location."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(f"line {line}:{col}: {message}")
+
+    while i < length:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for j in range(i, end + 2):
+                if source[j] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line, col))
+            col += i - start
+            continue
+        # numbers
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < length and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                if i == start + 2:
+                    raise error("malformed hex literal")
+                value = int(source[start:i], 16)
+            else:
+                while i < length and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            tokens.append(Token("int", source[start:i], value, line, col))
+            col += i - start
+            continue
+        # char literal
+        if ch == "'":
+            start_col = col
+            i += 1
+            if i >= length:
+                raise error("unterminated char literal")
+            if source[i] == "\\":
+                if i + 1 >= length or source[i + 1] not in _ESCAPES:
+                    raise error("bad escape in char literal")
+                value = ord(_ESCAPES[source[i + 1]])
+                i += 2
+                consumed = 4
+            else:
+                value = ord(source[i])
+                i += 1
+                consumed = 3
+            if i >= length or source[i] != "'":
+                raise error("unterminated char literal")
+            i += 1
+            tokens.append(Token("int", f"'{chr(value)}'", value, line,
+                                start_col))
+            col += consumed
+            continue
+        # string literal
+        if ch == '"':
+            start_col = col
+            i += 1
+            chars: list[str] = []
+            while i < length and source[i] != '"':
+                if source[i] == "\n":
+                    raise error("newline in string literal")
+                if source[i] == "\\":
+                    if i + 1 >= length or source[i + 1] not in _ESCAPES:
+                        raise error("bad escape in string literal")
+                    chars.append(_ESCAPES[source[i + 1]])
+                    i += 2
+                    col += 2
+                    continue
+                chars.append(source[i])
+                i += 1
+                col += 1
+            if i >= length:
+                raise error("unterminated string literal")
+            i += 1
+            text = "".join(chars)
+            tokens.append(Token("string", text, text, line, start_col))
+            col += 2
+            continue
+        # operators / punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, None, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", None, line, col))
+    return tokens

@@ -1,0 +1,389 @@
+"""MiniC recursive-descent parser with precedence climbing."""
+
+from __future__ import annotations
+
+from repro.cc import ast_nodes as ast
+from repro.cc.lexer import Token, tokenize
+from repro.cc.types import CHAR, INT, VOID, CType, array_of, pointer_to
+from repro.errors import ParseError
+
+# binary operator -> (precedence, ir-op is resolved later)
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<",
+                    ">>=": ">>"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        if not self._check(kind, text):
+            token = self._current
+            wanted = text or kind
+            raise ParseError(
+                f"line {token.line}: expected {wanted!r}, "
+                f"got {token.text or token.kind!r}"
+            )
+        return self._advance()
+
+    # -- top level ----------------------------------------------------------
+
+    def parse(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1)
+        while not self._check("eof"):
+            self._declaration(unit)
+        return unit
+
+    def _declaration(self, unit: ast.TranslationUnit) -> None:
+        line = self._current.line
+        base = self._type_specifier()
+        ctype, name = self._declarator(base)
+        if self._check("("):
+            unit.functions.append(self._function(ctype, name, line))
+            return
+        unit.globals.append(self._global_var(ctype, name, line))
+        while self._accept(","):
+            ctype2, name2 = self._declarator(base)
+            unit.globals.append(self._global_var(ctype2, name2, line,
+                                                 standalone=False))
+        self._expect(";")
+
+    def _type_specifier(self) -> CType:
+        token = self._current
+        if token.kind == "keyword" and token.text in ("int", "char", "void"):
+            self._advance()
+            return {"int": INT, "char": CHAR, "void": VOID}[token.text]
+        raise ParseError(f"line {token.line}: expected a type, "
+                         f"got {token.text!r}")
+
+    def _declarator(self, base: CType) -> tuple[CType, str]:
+        ctype = base
+        while self._accept("*"):
+            ctype = pointer_to(ctype)
+        name = self._expect("ident").text
+        if self._accept("["):
+            if self._check("]"):
+                # size inferred from the initializer ("char s[] = ...");
+                # count 0 is the "unsized" marker fixed up by the caller.
+                self._expect("]")
+                return CType("array", ctype, 0), name
+            size_token = self._expect("int")
+            self._expect("]")
+            return array_of(ctype, size_token.value), name
+        return ctype, name
+
+    def _global_var(self, ctype: CType, name: str, line: int,
+                    standalone: bool = True) -> ast.GlobalVar:
+        init: int | list[int] | str | None = None
+        if self._accept("="):
+            init = self._global_initializer(ctype, line)
+        if ctype.kind == "array" and ctype.count == 0:
+            # infer size from the initializer
+            if isinstance(init, str):
+                ctype = array_of(ctype.base, len(init) + 1)
+            elif isinstance(init, list):
+                ctype = array_of(ctype.base, len(init))
+            else:
+                raise ParseError(
+                    f"line {line}: unsized array {name!r} needs an "
+                    "initializer")
+        return ast.GlobalVar(name=name, var_type=ctype, init=init, line=line)
+
+    def _global_initializer(self, ctype: CType,
+                            line: int) -> int | list[int] | str:
+        if self._check("string"):
+            return self._advance().value
+        if self._accept("{"):
+            values = []
+            if not self._check("}"):
+                values.append(self._const_expr())
+                while self._accept(","):
+                    if self._check("}"):
+                        break
+                    values.append(self._const_expr())
+            self._expect("}")
+            return values
+        return self._const_expr()
+
+    def _const_expr(self) -> int:
+        """Constant expression for global initializers (fold +,-,* only)."""
+        value = self._const_term()
+        while self._check("+") or self._check("-"):
+            op = self._advance().text
+            rhs = self._const_term()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _const_term(self) -> int:
+        negative = False
+        while self._accept("-"):
+            negative = not negative
+        token = self._expect("int")
+        return -token.value if negative else token.value
+
+    def _function(self, return_type: CType, name: str,
+                  line: int) -> ast.FuncDef:
+        self._expect("(")
+        params: list[ast.Param] = []
+        if not self._check(")"):
+            if self._check("keyword", "void") \
+                    and self._tokens[self._pos + 1].kind == ")":
+                self._advance()
+            else:
+                params.append(self._param())
+                while self._accept(","):
+                    params.append(self._param())
+        self._expect(")")
+        body = self._block()
+        return ast.FuncDef(name=name, return_type=return_type,
+                           params=params, body=body, line=line)
+
+    def _param(self) -> ast.Param:
+        line = self._current.line
+        base = self._type_specifier()
+        ctype = base
+        while self._accept("*"):
+            ctype = pointer_to(ctype)
+        name = self._expect("ident").text
+        if self._accept("["):
+            self._accept("int")
+            self._expect("]")
+            ctype = pointer_to(ctype)  # array parameters decay
+        return ast.Param(name=name, ptype=ctype, line=line)
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        start = self._expect("{")
+        statements: list[ast.Stmt] = []
+        while not self._check("}"):
+            statements.append(self._statement())
+        self._expect("}")
+        return ast.Block(statements=statements, line=start.line)
+
+    def _statement(self) -> ast.Stmt:
+        token = self._current
+        if token.kind == "{":
+            return self._block()
+        if token.kind == "keyword":
+            if token.text in ("int", "char"):
+                return self._local_decl()
+            if token.text == "if":
+                return self._if()
+            if token.text == "while":
+                return self._while()
+            if token.text == "for":
+                return self._for()
+            if token.text == "return":
+                self._advance()
+                value = None if self._check(";") else self._expression()
+                self._expect(";")
+                return ast.Return(value=value, line=token.line)
+            if token.text == "break":
+                self._advance()
+                self._expect(";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self._advance()
+                self._expect(";")
+                return ast.Continue(line=token.line)
+        if self._accept(";"):
+            return ast.Block(statements=[], line=token.line)
+        expr = self._expression()
+        self._expect(";")
+        return ast.ExprStmt(expr=expr, line=token.line)
+
+    def _local_decl(self) -> ast.Stmt:
+        line = self._current.line
+        base = self._type_specifier()
+        decls: list[ast.Stmt] = []
+        while True:
+            ctype, name = self._declarator(base)
+            init = None
+            if self._accept("="):
+                init = self._expression()
+            if ctype.kind == "array" and ctype.count == 0:
+                raise ParseError(
+                    f"line {line}: local array {name!r} needs an explicit "
+                    "size")
+            decls.append(ast.VarDecl(name=name, var_type=ctype, init=init,
+                                     line=line))
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(statements=decls, line=line)
+
+    def _if(self) -> ast.If:
+        token = self._expect("keyword", "if")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        then = self._statement()
+        otherwise = None
+        if self._accept("keyword", "else"):
+            otherwise = self._statement()
+        return ast.If(cond=cond, then=then, otherwise=otherwise,
+                      line=token.line)
+
+    def _while(self) -> ast.While:
+        token = self._expect("keyword", "while")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        return ast.While(cond=cond, body=self._statement(), line=token.line)
+
+    def _for(self) -> ast.For:
+        token = self._expect("keyword", "for")
+        self._expect("(")
+        init: ast.Stmt | None = None
+        if not self._check(";"):
+            if self._check("keyword", "int") or self._check("keyword", "char"):
+                init = self._local_decl()
+            else:
+                init = ast.ExprStmt(expr=self._expression(), line=token.line)
+                self._expect(";")
+        else:
+            self._expect(";")
+        cond = None if self._check(";") else self._expression()
+        self._expect(";")
+        step = None if self._check(")") else self._expression()
+        self._expect(")")
+        return ast.For(init=init, cond=cond, step=step,
+                       body=self._statement(), line=token.line)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Expr:
+        left = self._binary(1)
+        token = self._current
+        if token.kind == "=":
+            self._advance()
+            value = self._assignment()
+            return ast.Assign(target=left, value=value, line=token.line)
+        if token.kind in _COMPOUND_ASSIGN:
+            self._advance()
+            value = self._assignment()
+            return ast.Assign(target=left, value=value,
+                              op=_COMPOUND_ASSIGN[token.kind],
+                              line=token.line)
+        return left
+
+    def _binary(self, min_precedence: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self._current
+            precedence = _BINARY_PRECEDENCE.get(token.kind)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._binary(precedence + 1)
+            left = ast.Binary(op=token.kind, left=left, right=right,
+                              line=token.line)
+
+    def _unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind in ("-", "~", "!", "*", "&"):
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(op=token.kind, operand=operand, line=token.line)
+        if token.kind == "+":
+            self._advance()
+            return self._unary()
+        if token.kind in ("++", "--"):
+            self._advance()
+            target = self._unary()
+            return ast.IncDec(target=target, op=token.kind, prefix=True,
+                              line=token.line)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            token = self._current
+            if token.kind == "[":
+                self._advance()
+                index = self._expression()
+                self._expect("]")
+                expr = ast.Index(base=expr, index=index, line=token.line)
+            elif token.kind in ("++", "--"):
+                self._advance()
+                expr = ast.IncDec(target=expr, op=token.kind, prefix=False,
+                                  line=token.line)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind == "string":
+            self._advance()
+            return ast.StrLit(value=token.value, line=token.line)
+        if token.kind == "ident":
+            self._advance()
+            if self._check("("):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check(")"):
+                    args.append(self._expression())
+                    while self._accept(","):
+                        args.append(self._expression())
+                self._expect(")")
+                return ast.Call(name=token.text, args=args, line=token.line)
+            return ast.Var(name=token.text, line=token.line)
+        if token.kind == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        raise ParseError(
+            f"line {token.line}: unexpected token {token.text or token.kind!r}"
+        )
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source text into a :class:`TranslationUnit`."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,66 @@
+"""MiniC runtime: startup code, asm builtins, and the MiniC-level library.
+
+The runtime has three layers:
+
+* ``RUNTIME_ASM`` — ``_start`` (calls ``main``, exits with its return
+  value) and the two syscall shims ``print_char`` and ``exit``.
+* ``LIBRARY_SOURCE`` — ``print_int`` and ``print_str`` written *in MiniC*
+  and compiled together with every program (they exercise the compiler on
+  every build, and their cost is honestly attributed in every measurement).
+"""
+
+RUNTIME_ASM = """
+.text
+_start:
+    call main
+    li a7, 93
+    ecall
+
+print_char:
+    li a7, 1
+    ecall
+    ret
+
+exit:
+    li a7, 93
+    ecall
+"""
+
+LIBRARY_SOURCE = """
+void print_str(char *s) {
+    int i = 0;
+    while (s[i]) {
+        print_char(s[i]);
+        i = i + 1;
+    }
+}
+
+void print_int(int x) {
+    char buf[32];
+    int i = 0;
+    int v = x;
+    if (v < 0) {
+        print_char('-');
+    } else {
+        v = -v;
+    }
+    while (v != 0) {
+        int d = v % 10;
+        buf[i] = '0' - d;
+        i = i + 1;
+        v = v / 10;
+    }
+    if (i == 0) {
+        print_char('0');
+        return;
+    }
+    while (i > 0) {
+        i = i - 1;
+        print_char(buf[i]);
+    }
+}
+"""
+
+#: Functions defined in assembly; the MiniC library/user code must not
+#: redefine them (sema registers them as builtins).
+ASM_BUILTINS = ("print_char", "exit")

@@ -1,0 +1,395 @@
+"""MiniC semantic analysis.
+
+Resolves names, computes and annotates expression types, checks lvalues,
+call signatures, loop placement of break/continue, and return types.
+Arrays decay to pointers in rvalue positions; ``char`` is unsigned and
+promotes to ``int`` in arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc import ast_nodes as ast
+from repro.cc.types import CHAR, INT, VOID, CType, pointer_to
+from repro.errors import SemanticError
+
+#: Builtins implemented in assembly by the runtime (see repro.cc.runtime).
+#: print_int/print_str are *library* functions written in MiniC and are
+#: compiled together with every program, so they are not listed here.
+BUILTINS: dict[str, tuple[CType, tuple[CType, ...]]] = {
+    "print_char": (VOID, (INT,)),
+    "exit": (VOID, (INT,)),
+}
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    return_type: CType
+    param_types: tuple[CType, ...]
+
+
+@dataclass
+class Scope:
+    parent: "Scope | None" = None
+    names: dict[str, CType] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> CType | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, ctype: CType, line: int) -> None:
+        if name in self.names:
+            raise SemanticError(f"line {line}: redeclaration of {name!r}")
+        self.names[name] = ctype
+
+
+class Analyzer:
+    """One-pass semantic checker + annotator."""
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self.unit = unit
+        self.globals: dict[str, CType] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._locals: Scope | None = None
+        self._params: dict[str, CType] = {}
+        self._loop_depth = 0
+        self._return_type: CType = VOID
+
+    def analyze(self) -> ast.TranslationUnit:
+        for name, (ret, params) in BUILTINS.items():
+            self.functions[name] = FunctionInfo(name, ret, params)
+        for gvar in self.unit.globals:
+            self._global(gvar)
+        for func in self.unit.functions:
+            self._declare_function(func)
+        for func in self.unit.functions:
+            self._function(func)
+        return self.unit
+
+    # -- declarations ------------------------------------------------------
+
+    def _global(self, gvar: ast.GlobalVar) -> None:
+        if gvar.name in self.globals or gvar.name in self.functions:
+            raise SemanticError(
+                f"line {gvar.line}: redefinition of {gvar.name!r}")
+        if gvar.var_type.kind == "void":
+            raise SemanticError(
+                f"line {gvar.line}: variable {gvar.name!r} has type void")
+        if isinstance(gvar.init, str):
+            if not (gvar.var_type.kind == "array"
+                    and gvar.var_type.base.kind == "char"):
+                if gvar.var_type == pointer_to(CHAR):
+                    pass  # char *s = "..." is fine
+                else:
+                    raise SemanticError(
+                        f"line {gvar.line}: string initializer needs "
+                        f"char[] or char*, got {gvar.var_type}")
+            elif gvar.var_type.count < len(gvar.init) + 1:
+                raise SemanticError(
+                    f"line {gvar.line}: string initializer too long for "
+                    f"{gvar.var_type}")
+        if isinstance(gvar.init, list):
+            if gvar.var_type.kind != "array":
+                raise SemanticError(
+                    f"line {gvar.line}: brace initializer on non-array")
+            if gvar.var_type.count < len(gvar.init):
+                raise SemanticError(
+                    f"line {gvar.line}: too many initializers for "
+                    f"{gvar.var_type}")
+        if isinstance(gvar.init, int) and not gvar.var_type.is_scalar:
+            raise SemanticError(
+                f"line {gvar.line}: scalar initializer on {gvar.var_type}")
+        self.globals[gvar.name] = gvar.var_type
+
+    def _declare_function(self, func: ast.FuncDef) -> None:
+        if func.name in self.functions:
+            raise SemanticError(
+                f"line {func.line}: redefinition of function {func.name!r}")
+        if func.name in self.globals:
+            raise SemanticError(
+                f"line {func.line}: {func.name!r} already a global variable")
+        seen = set()
+        for param in func.params:
+            if param.name in seen:
+                raise SemanticError(
+                    f"line {func.line}: duplicate parameter {param.name!r}")
+            seen.add(param.name)
+            if not param.ptype.is_scalar:
+                raise SemanticError(
+                    f"line {func.line}: parameter {param.name!r} must be "
+                    "scalar")
+        if len(func.params) > 8:
+            raise SemanticError(
+                f"line {func.line}: more than 8 parameters in {func.name!r}")
+        self.functions[func.name] = FunctionInfo(
+            func.name, func.return_type,
+            tuple(p.ptype for p in func.params),
+        )
+
+    def _function(self, func: ast.FuncDef) -> None:
+        self._locals = Scope()
+        self._params = {}
+        self._return_type = func.return_type
+        for param in func.params:
+            self._locals.declare(param.name, param.ptype, func.line)
+            self._params[param.name] = param.ptype
+        self._block(func.body, new_scope=False)
+        self._locals = None
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._locals = Scope(parent=self._locals)
+        for stmt in block.statements:
+            self._statement(stmt)
+        if new_scope:
+            self._locals = self._locals.parent
+
+    def _statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.var_type.kind == "void":
+                raise SemanticError(
+                    f"line {stmt.line}: variable {stmt.name!r} has type void")
+            self._locals.declare(stmt.name, stmt.var_type, stmt.line)
+            if stmt.init is not None:
+                init_type = self._expr(stmt.init)
+                self._check_assignable(stmt.var_type, init_type, stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._condition(stmt.cond)
+            self._statement(stmt.then)
+            if stmt.otherwise is not None:
+                self._statement(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._condition(stmt.cond)
+            self._loop_depth += 1
+            self._statement(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self._locals = Scope(parent=self._locals)
+            if stmt.init is not None:
+                self._statement(stmt.init)
+            if stmt.cond is not None:
+                self._condition(stmt.cond)
+            if stmt.step is not None:
+                self._expr(stmt.step)
+            self._loop_depth += 1
+            self._statement(stmt.body)
+            self._loop_depth -= 1
+            self._locals = self._locals.parent
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if self._return_type.kind != "void":
+                    raise SemanticError(
+                        f"line {stmt.line}: return without a value in a "
+                        f"function returning {self._return_type}")
+            else:
+                value_type = self._expr(stmt.value)
+                if self._return_type.kind == "void":
+                    raise SemanticError(
+                        f"line {stmt.line}: returning a value from a void "
+                        "function")
+                self._check_assignable(self._return_type, value_type,
+                                       stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(stmt, ast.Break) else \
+                    "continue"
+                raise SemanticError(
+                    f"line {stmt.line}: {keyword} outside a loop")
+        else:
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}")
+
+    def _condition(self, expr: ast.Expr) -> None:
+        ctype = self._expr(expr)
+        if not ctype.decay().is_scalar:
+            raise SemanticError(
+                f"line {expr.line}: condition is not scalar ({ctype})")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> CType:
+        ctype = self._expr_inner(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_inner(self, expr: ast.Expr) -> CType:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.StrLit):
+            return pointer_to(CHAR)
+        if isinstance(expr, ast.Var):
+            ctype = self._locals.lookup(expr.name) if self._locals else None
+            if ctype is not None:
+                # Parameters are spilled to local slots in the prologue, so
+                # codegen treats them uniformly as locals.
+                expr.storage = "local"
+                return ctype
+            if expr.name in self.globals:
+                expr.storage = "global"
+                return self.globals[expr.name]
+            raise SemanticError(
+                f"line {expr.line}: undeclared identifier {expr.name!r}")
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr)
+        if isinstance(expr, ast.IncDec):
+            target_type = self._expr(expr.target)
+            self._check_lvalue(expr.target)
+            if not target_type.is_scalar:
+                raise SemanticError(
+                    f"line {expr.line}: {expr.op} needs a scalar")
+            return target_type
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Index):
+            base_type = self._expr(expr.base).decay()
+            index_type = self._expr(expr.index).decay()
+            if base_type.kind != "ptr":
+                raise SemanticError(
+                    f"line {expr.line}: indexing non-pointer ({base_type})")
+            if not index_type.is_arithmetic:
+                raise SemanticError(
+                    f"line {expr.line}: array index is not arithmetic")
+            return base_type.base
+        raise SemanticError(f"unhandled expression {type(expr).__name__}")
+
+    def _unary(self, expr: ast.Unary) -> CType:
+        operand_type = self._expr(expr.operand)
+        op = expr.op
+        if op == "&":
+            self._check_lvalue(expr.operand)
+            return pointer_to(operand_type)
+        decayed = operand_type.decay()
+        if op == "*":
+            if decayed.kind != "ptr":
+                raise SemanticError(
+                    f"line {expr.line}: dereferencing non-pointer "
+                    f"({operand_type})")
+            return decayed.base
+        if op in ("-", "~"):
+            if not decayed.is_arithmetic:
+                raise SemanticError(
+                    f"line {expr.line}: unary {op} needs arithmetic type")
+            return INT
+        if op == "!":
+            if not decayed.is_scalar:
+                raise SemanticError(
+                    f"line {expr.line}: unary ! needs a scalar")
+            return INT
+        raise SemanticError(f"line {expr.line}: unknown unary {op!r}")
+
+    def _binary(self, expr: ast.Binary) -> CType:
+        left = self._expr(expr.left).decay()
+        right = self._expr(expr.right).decay()
+        op = expr.op
+        if op in ("&&", "||"):
+            if not (left.is_scalar and right.is_scalar):
+                raise SemanticError(
+                    f"line {expr.line}: {op} needs scalar operands")
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.kind == "ptr" and right.kind == "ptr":
+                return INT
+            if left.is_arithmetic and right.is_arithmetic:
+                return INT
+            if {left.kind, right.kind} == {"ptr", "int"}:
+                return INT  # pointer vs integer compare (0 for NULL)
+            raise SemanticError(
+                f"line {expr.line}: cannot compare {left} with {right}")
+        if op == "+":
+            if left.kind == "ptr" and right.is_arithmetic:
+                return left
+            if right.kind == "ptr" and left.is_arithmetic:
+                return right
+        if op == "-":
+            if left.kind == "ptr" and right.is_arithmetic:
+                return left
+            if left.kind == "ptr" and right.kind == "ptr":
+                return INT
+        if left.is_arithmetic and right.is_arithmetic:
+            return INT
+        raise SemanticError(
+            f"line {expr.line}: invalid operands to {op!r} "
+            f"({left} and {right})")
+
+    def _assign(self, expr: ast.Assign) -> CType:
+        target_type = self._expr(expr.target)
+        self._check_lvalue(expr.target)
+        value_type = self._expr(expr.value)
+        if expr.op:
+            # compound assignment: target op= value
+            if target_type.kind == "ptr" and expr.op in ("+", "-") \
+                    and value_type.decay().is_arithmetic:
+                return target_type
+            if not (target_type.is_arithmetic
+                    and value_type.decay().is_arithmetic):
+                raise SemanticError(
+                    f"line {expr.line}: invalid compound assignment")
+            return target_type
+        self._check_assignable(target_type, value_type, expr.line)
+        return target_type
+
+    def _call(self, expr: ast.Call) -> CType:
+        info = self.functions.get(expr.name)
+        if info is None:
+            raise SemanticError(
+                f"line {expr.line}: call to undefined function "
+                f"{expr.name!r}")
+        if len(expr.args) != len(info.param_types):
+            raise SemanticError(
+                f"line {expr.line}: {expr.name} expects "
+                f"{len(info.param_types)} arguments, got {len(expr.args)}")
+        for arg, expected in zip(expr.args, info.param_types):
+            actual = self._expr(arg)
+            self._check_assignable(expected, actual, expr.line)
+        return info.return_type
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Var):
+            if expr.ctype is not None and expr.ctype.kind == "array":
+                raise SemanticError(
+                    f"line {expr.line}: array {expr.name!r} is not "
+                    "assignable")
+            return
+        if isinstance(expr, ast.Index):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise SemanticError(f"line {expr.line}: expression is not an lvalue")
+
+    @staticmethod
+    def _check_assignable(target: CType, value: CType, line: int) -> None:
+        value = value.decay()
+        if target.kind == "array":
+            raise SemanticError(f"line {line}: cannot assign to an array")
+        if target.is_arithmetic and value.is_arithmetic:
+            return
+        if target.kind == "ptr" and value.kind == "ptr":
+            return  # permissive pointer conversion (MiniC, not ISO C)
+        if target.kind == "ptr" and value.kind == "int":
+            return  # integer-to-pointer (NULL and address literals)
+        if target.kind == "int" and value.kind == "ptr":
+            return  # pointer-to-integer
+        raise SemanticError(
+            f"line {line}: cannot assign {value} to {target}")
+
+
+def analyze(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Run semantic analysis, annotating the tree in place."""
+    return Analyzer(unit).analyze()

@@ -1,0 +1,62 @@
+"""MiniC type system: int (i64), unsigned char, void, pointers, arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemanticError
+
+
+@dataclass(frozen=True)
+class CType:
+    kind: str                 # 'int' | 'char' | 'void' | 'ptr' | 'array'
+    base: "CType | None" = None
+    count: int = 0            # array element count
+
+    @property
+    def size(self) -> int:
+        if self.kind == "int":
+            return 8
+        if self.kind == "char":
+            return 1
+        if self.kind == "ptr":
+            return 8
+        if self.kind == "array":
+            return self.base.size * self.count
+        raise SemanticError(f"type {self} has no size")
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind in ("int", "char", "ptr")
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.kind in ("int", "char")
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay."""
+        if self.kind == "array":
+            return CType("ptr", self.base)
+        return self
+
+    def __str__(self) -> str:
+        if self.kind == "ptr":
+            return f"{self.base}*"
+        if self.kind == "array":
+            return f"{self.base}[{self.count}]"
+        return self.kind
+
+
+INT = CType("int")
+CHAR = CType("char")
+VOID = CType("void")
+
+
+def pointer_to(base: CType) -> CType:
+    return CType("ptr", base)
+
+
+def array_of(base: CType, count: int) -> CType:
+    if count <= 0:
+        raise SemanticError(f"array size must be positive, got {count}")
+    return CType("array", base, count)

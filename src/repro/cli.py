@@ -1,0 +1,168 @@
+"""``eric`` — command-line front end (the paper's GUI, headless).
+
+Subcommands::
+
+    eric describe --config cfg.json       show an encryption configuration
+    eric package  prog.c -o prog.eric     compile+sign+encrypt a program
+    eric run      prog.eric               decrypt+validate+run on a device
+    eric inspect  prog.eric               parse a package header
+    eric disasm   prog.c                  compile and disassemble (plain)
+    eric eval     [table1 ...]            regenerate paper tables/figures
+
+Device identity is simulated: ``--device-seed`` selects the die.  The
+same seed on ``package`` and ``run`` is the happy path; different seeds
+demonstrate the two-way authentication failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.device import Device
+from repro.core.interface import config_from_dict, describe
+from repro.core.package import ProgramPackage
+from repro.errors import EricError
+
+
+def _load_config(path: str | None):
+    if path is None:
+        return config_from_dict({})
+    with open(path, "r", encoding="utf-8") as handle:
+        return config_from_dict(json.load(handle))
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(describe(_load_config(args.config)))
+    return 0
+
+
+def _cmd_package(args: argparse.Namespace) -> int:
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    config = _load_config(args.config)
+    device = Device(device_seed=args.device_seed)
+    compiler = EricCompiler(config)
+    result = compiler.compile_and_package(source,
+                                          device.enrollment_key(),
+                                          name=args.source)
+    with open(args.output, "wb") as handle:
+        handle.write(result.package_bytes)
+    t = result.timings
+    print(f"packaged {args.source} -> {args.output}")
+    print(f"  plain size   : {result.plain_size} B")
+    print(f"  package size : {result.package_size} B "
+          f"({100 * result.size_increase_fraction:+.2f}%)")
+    print(f"  stages       : compile {t.compile_s * 1e3:.1f} ms, "
+          f"sign {t.signature_s * 1e3:.1f} ms, "
+          f"encrypt {t.encryption_s * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.package, "rb") as handle:
+        blob = handle.read()
+    device = Device(device_seed=args.device_seed)
+    outcome = device.load_and_run(blob,
+                                  max_instructions=args.max_instructions)
+    sys.stdout.write(outcome.run.stdout)
+    print(f"[exit {outcome.run.exit_code}; "
+          f"hde {outcome.hde.total_cycles} + "
+          f"run {outcome.run.counters.cycles} cycles]")
+    return outcome.run.exit_code
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    with open(args.package, "rb") as handle:
+        package = ProgramPackage.deserialize(handle.read())
+    print(f"mode          : {package.mode.value}")
+    print(f"cipher        : {package.cipher}")
+    if package.field_classes:
+        print(f"field classes : {', '.join(package.field_classes)}")
+    print(f"entry         : {package.entry:#x}")
+    print(f"text          : {len(package.enc_text)} B at "
+          f"{package.text_base:#x}")
+    print(f"data          : {len(package.data)} B at "
+          f"{package.data_base:#x} "
+          f"({'signed' if package.data_signed else 'unsigned'})")
+    print(f"instructions  : {package.enc_map.count} "
+          f"({package.enc_map.encrypted_count} encrypted)")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.cc.driver import compile_source
+    from repro.isa.disassembler import disassemble_text
+
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = compile_source(source, name=args.source,
+                             compress=args.compress).program
+    for line in disassemble_text(program.text, program.text_base):
+        print(line)
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.eval.__main__ import main as eval_main
+    return eval_main(args.experiments)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eric",
+        description="ERIC software-obfuscation framework (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="show an encryption configuration")
+    p.add_argument("--config", help="JSON config file")
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("package", help="compile+sign+encrypt a program")
+    p.add_argument("source", help="MiniC source file")
+    p.add_argument("-o", "--output", default="program.eric")
+    p.add_argument("--config", help="JSON config file")
+    p.add_argument("--device-seed", type=lambda s: int(s, 0),
+                   default=0xC0FFEE)
+    p.set_defaults(func=_cmd_package)
+
+    p = sub.add_parser("run", help="decrypt+validate+run a package")
+    p.add_argument("package", help=".eric package file")
+    p.add_argument("--device-seed", type=lambda s: int(s, 0),
+                   default=0xC0FFEE)
+    p.add_argument("--max-instructions", type=int, default=20_000_000)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("inspect", help="parse a package header")
+    p.add_argument("package")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("disasm", help="compile and disassemble (plain)")
+    p.add_argument("source")
+    p.add_argument("--compress", action="store_true")
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("eval", help="regenerate paper tables/figures")
+    p.add_argument("experiments", nargs="*",
+                   help="table1 table2 fig5 fig6 fig7 (default: all)")
+    p.set_defaults(func=_cmd_eval)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except EricError as exc:
+        print(f"eric: error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"eric: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

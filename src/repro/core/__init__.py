@@ -1,0 +1,60 @@
+"""ERIC core: the paper's primary contribution.
+
+Software side (runs at the software source):
+
+* :mod:`repro.core.config`          — encryption configuration (the GUI's
+  decision surface) and the Table I test environment
+* :mod:`repro.core.keys`            — Key Management Unit: PUF key ->
+  PUF-based key -> per-purpose keys; fleet helper data
+* :mod:`repro.core.signature`       — Signature Generator (SHA-256)
+* :mod:`repro.core.encryptor`       — full / partial / field-level
+  encryption + the encryption map
+* :mod:`repro.core.package`         — the program-package wire format
+* :mod:`repro.core.compiler_driver` — the ERIC compiler (compile, sign,
+  encrypt, package; with stage timings for Fig. 6)
+
+Hardware side (runs in the target device):
+
+* :mod:`repro.core.hde`             — Hardware Decryption Engine
+  (Decryption Unit, Signature Generator, Validation Unit, KMU, PKG
+  integration; cycle-cost model for Fig. 7)
+* :mod:`repro.core.device`          — a target device: PUF + HDE + SoC
+
+Deployment plumbing:
+
+* :mod:`repro.core.provisioning`    — enrollment registry, device groups
+* :mod:`repro.core.interface`       — declarative config front end
+* :mod:`repro.core.workflow`        — the end-to-end Fig. 3 flow ①-⑥
+"""
+
+from repro.core.config import EncryptionMode, EricConfig, TABLE_I_ENVIRONMENT
+from repro.core.keys import KeyManagementUnit, puf_based_key
+from repro.core.signature import compute_signature
+from repro.core.encryptor import EncryptionMap, encrypt_program
+from repro.core.package import ProgramPackage
+from repro.core.compiler_driver import EricCompiler, EricCompileResult
+from repro.core.hde import HardwareDecryptionEngine, HdeReport
+from repro.core.device import Device, DeviceRunResult
+from repro.core.provisioning import DeviceRegistry
+from repro.core.workflow import deploy, DeploymentResult
+
+__all__ = [
+    "EncryptionMode",
+    "EricConfig",
+    "TABLE_I_ENVIRONMENT",
+    "KeyManagementUnit",
+    "puf_based_key",
+    "compute_signature",
+    "EncryptionMap",
+    "encrypt_program",
+    "ProgramPackage",
+    "EricCompiler",
+    "EricCompileResult",
+    "HardwareDecryptionEngine",
+    "HdeReport",
+    "Device",
+    "DeviceRunResult",
+    "DeviceRegistry",
+    "deploy",
+    "DeploymentResult",
+]

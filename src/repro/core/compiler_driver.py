@@ -1,0 +1,141 @@
+"""The ERIC compiler: compile, sign, encrypt, package — with timings.
+
+This wraps the MiniC driver (the "baseline compiler" of Fig. 6) and adds
+the paper's step ③: signature generation, encryption under the target's
+PUF-based key, and packaging.  ``compile_and_package`` measures each
+stage's wall time so the Fig. 6 bench can report
+
+    (ERIC compile time) / (baseline compile time)
+
+exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.cc.driver import CompileResult, compile_source
+from repro.core.config import EricConfig
+from repro.core.encryptor import EncryptedProgram, encrypt_program
+from repro.core.keys import KeyManagementUnit
+from repro.core.package import ProgramPackage
+from repro.core.signature import compute_signature
+from repro.errors import ConfigError
+
+
+@dataclass
+class PackagingTimings:
+    """Wall-clock seconds per stage (Fig. 6's raw material)."""
+
+    compile_s: float = 0.0
+    signature_s: float = 0.0
+    encryption_s: float = 0.0
+    packaging_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (self.compile_s + self.signature_s + self.encryption_s
+                + self.packaging_s)
+
+    @property
+    def eric_overhead_s(self) -> float:
+        """Time added on top of the plain compile."""
+        return self.signature_s + self.encryption_s + self.packaging_s
+
+
+@dataclass
+class EricCompileResult:
+    """Everything the software source produces for one program."""
+
+    package_bytes: bytes
+    package: ProgramPackage
+    program: Program
+    encrypted: EncryptedProgram
+    timings: PackagingTimings
+    config: EricConfig
+    plain_size: int = 0
+
+    @property
+    def package_size(self) -> int:
+        return len(self.package_bytes)
+
+    @property
+    def size_increase_fraction(self) -> float:
+        """Fig. 5: (package - plain) / plain."""
+        if self.plain_size == 0:
+            return 0.0
+        return (self.package_size - self.plain_size) / self.plain_size
+
+
+class EricCompiler:
+    """Software-source side of ERIC (Fig. 4 left half)."""
+
+    def __init__(self, config: EricConfig | None = None) -> None:
+        self.config = (config or EricConfig()).validate()
+
+    def compile_baseline(self, source: str, name: str = "program",
+                         ) -> tuple[CompileResult, float]:
+        """Plain compile (no ERIC); returns the result and wall seconds."""
+        start = time.perf_counter()
+        result = compile_source(source, name=name,
+                                optimize=self.config.optimize,
+                                compress=self.config.compress)
+        return result, time.perf_counter() - start
+
+    def package_program(self, program: Program, target_key: bytes,
+                        timings: PackagingTimings | None = None,
+                        ) -> EricCompileResult:
+        """Steps ③-④ for an already-compiled program."""
+        if len(target_key) != 32:
+            raise ConfigError(
+                "target_key must be the device's 32-byte PUF-based key")
+        timings = timings or PackagingTimings()
+        config = self.config
+
+        start = time.perf_counter()
+        signature = compute_signature(program,
+                                      include_data=config.sign_data)
+        timings.signature_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        kmu = KeyManagementUnit(target_key)
+        text_cipher = kmu.text_cipher(config.cipher)
+        signature_cipher = kmu.signature_cipher(config.cipher)
+        encrypted = encrypt_program(program, config, text_cipher,
+                                    signature_cipher, signature)
+        data_payload = program.data
+        if config.encrypt_data and program.data:
+            data_payload = kmu.data_cipher(config.cipher).transform(
+                program.data, 0)
+        timings.encryption_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        package = ProgramPackage(
+            mode=config.mode, cipher=config.cipher,
+            field_classes=(config.field_classes
+                           if config.mode.value == "field" else ()),
+            entry=program.entry, text_base=program.text_base,
+            data_base=program.data_base, enc_text=encrypted.ciphertext,
+            data=data_payload, enc_map=encrypted.enc_map,
+            enc_signature=encrypted.enc_signature,
+            data_signed=config.sign_data,
+            data_encrypted=config.encrypt_data,
+        )
+        package_bytes = package.serialize()
+        timings.packaging_s = time.perf_counter() - start
+
+        return EricCompileResult(
+            package_bytes=package_bytes, package=package, program=program,
+            encrypted=encrypted, timings=timings, config=config,
+            plain_size=len(program.serialize_plain()),
+        )
+
+    def compile_and_package(self, source: str, target_key: bytes,
+                            name: str = "program") -> EricCompileResult:
+        """The full software-source flow: steps ②-④ of Fig. 3."""
+        compile_result, compile_s = self.compile_baseline(source, name)
+        timings = PackagingTimings(compile_s=compile_s)
+        return self.package_program(compile_result.program, target_key,
+                                    timings)

@@ -1,0 +1,97 @@
+"""A target device: physical PUF + HDE + Rocket-like SoC.
+
+``Device.load_and_run`` is the whole hardware side of Fig. 3: the package
+arrives, the HDE decrypts and validates it, and only then does the SoC
+execute it.  ``Device.run_plain`` is the paper's baseline: the same SoC
+running an unencrypted binary with no HDE in the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.core.hde import HardwareDecryptionEngine, HdeReport
+from repro.core.keys import puf_based_key
+from repro.puf.arbiter import NOISE_SIGMA, PufArray
+from repro.puf.environment import NOMINAL, Environment
+from repro.puf.key_generator import PufKeyGenerator
+from repro.soc.cache import CacheConfig
+from repro.soc.pipeline import DEFAULT_PIPELINE, PipelineModel
+from repro.soc.soc import RocketLikeSoC, RunResult
+
+
+@dataclass
+class DeviceRunResult:
+    """End-to-end outcome: decryption report + execution result."""
+
+    run: RunResult
+    hde: HdeReport
+
+    @property
+    def total_cycles(self) -> int:
+        """HDE cycles + program cycles — the Fig. 7 numerator."""
+        return self.hde.total_cycles + self.run.counters.cycles
+
+
+class Device:
+    """One physical device (Table I configuration by default)."""
+
+    def __init__(self, device_seed: int, *,
+                 puf_width: int = 32, puf_stages: int = 8,
+                 key_bits: int = 32, votes: int = 11,
+                 noise_sigma: float = NOISE_SIGMA,
+                 epoch: bytes = b"epoch-0",
+                 environment: Environment = NOMINAL,
+                 memory_size: int = 1 << 20,
+                 pipeline: PipelineModel = DEFAULT_PIPELINE,
+                 icache: CacheConfig = CacheConfig(),
+                 dcache: CacheConfig = CacheConfig(),
+                 overlapped_hde: bool = False) -> None:
+        self.device_seed = device_seed
+        self.device_id = f"dev-{device_seed:016x}"
+        self.epoch = epoch
+        self.environment = environment
+        self.puf_array = PufArray(width=puf_width, n_stages=puf_stages,
+                                  device_seed=device_seed,
+                                  noise_sigma=noise_sigma)
+        self.pkg = PufKeyGenerator(self.puf_array, key_bits=key_bits,
+                                   votes=votes)
+        self.hde = HardwareDecryptionEngine(self.pkg, epoch=epoch,
+                                            environment=environment,
+                                            overlapped=overlapped_hde)
+        self.soc = RocketLikeSoC(memory_size=memory_size, icache=icache,
+                                 dcache=dcache, pipeline=pipeline)
+
+    # -- provisioning -----------------------------------------------------
+
+    def enrollment_key(self) -> bytes:
+        """The PUF-based key exported at enrollment (step ① + handshake).
+
+        Note what is *not* exported: the raw PUF key.  The vendor and the
+        software source only ever see the conversion-function output, so
+        the device can be re-keyed for other parties with a different
+        epoch (paper §III.1 abstraction layer).
+        """
+        readout = self.pkg.generate(self.environment)
+        return puf_based_key(readout.key, self.epoch)
+
+    # -- execution ----------------------------------------------------------
+
+    def load_and_run(self, package_bytes: bytes,
+                     key_mask: bytes | None = None,
+                     max_instructions: int = 20_000_000) -> DeviceRunResult:
+        """Steps ⑤-⑥: decrypt, validate, execute.
+
+        Raises :class:`repro.errors.ValidationError` (program never runs)
+        if the package was not produced for this device or was modified.
+        """
+        program, report = self.hde.process(package_bytes,
+                                           key_mask=key_mask)
+        run = self.soc.run(program, max_instructions=max_instructions)
+        return DeviceRunResult(run=run, hde=report)
+
+    def run_plain(self, program: Program,
+                  max_instructions: int = 20_000_000) -> RunResult:
+        """Baseline: execute an unencrypted program, HDE bypassed."""
+        return self.soc.run(program, max_instructions=max_instructions)

@@ -1,0 +1,184 @@
+"""Compiler-side Encryption Unit: full / partial / field encryption.
+
+Granularity is the *instruction slot* (paper §III.1): the encryption map
+carries one bit per instruction, and the keystream is addressed by the
+slot's byte offset inside the text section, so the HDE can decrypt any
+subset of slots with the same key material.
+
+FIELD mode encrypts only selected bit-fields of 32-bit instructions
+(e.g. the "pointer values of the instructions that make memory
+accesses"); opcode and funct bits stay plaintext so the HDE can recompute
+the masks — and so the binary does not obviously look encrypted.
+Compressed (16-bit) slots are not field-encrypted: their map bit stays 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import InstructionSlot, Program
+from repro.core.config import EncryptionMode, EricConfig
+from repro.crypto.prng import Xoshiro256StarStar
+from repro.crypto.xor_cipher import Cipher
+from repro.errors import ConfigError, PackageFormatError
+
+
+@dataclass(frozen=True)
+class EncryptionMap:
+    """One bit per instruction slot: is the slot encrypted?"""
+
+    bits: bytes
+    count: int
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != (self.count + 7) // 8:
+            raise PackageFormatError(
+                f"map of {self.count} slots needs "
+                f"{(self.count + 7) // 8} bytes, got {len(self.bits)}")
+
+    def __getitem__(self, index: int) -> bool:
+        if not 0 <= index < self.count:
+            raise IndexError(index)
+        return bool(self.bits[index // 8] & (1 << (index % 8)))
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def encrypted_count(self) -> int:
+        return sum(1 for i in range(self.count) if self[i])
+
+    @classmethod
+    def full(cls, count: int) -> "EncryptionMap":
+        bits = bytearray((count + 7) // 8)
+        for i in range(count):
+            bits[i // 8] |= 1 << (i % 8)
+        return cls(bytes(bits), count)
+
+    @classmethod
+    def from_indices(cls, count: int, indices) -> "EncryptionMap":
+        bits = bytearray((count + 7) // 8)
+        for i in indices:
+            if not 0 <= i < count:
+                raise ConfigError(f"slot index {i} out of range")
+            bits[i // 8] |= 1 << (i % 8)
+        return cls(bytes(bits), count)
+
+
+def select_partial_slots(slot_count: int, fraction: float,
+                         seed: int) -> list[int]:
+    """Random slot selection for PARTIAL mode (paper: "the instructions
+    randomly determined are selected for encryption")."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError("fraction must be in [0, 1]")
+    chosen = round(slot_count * fraction)
+    if chosen == 0:
+        return []
+    return Xoshiro256StarStar(seed).sample_indices(slot_count, chosen)
+
+
+def select_field_slots(layout: tuple[InstructionSlot, ...], fraction: float,
+                       seed: int) -> list[int]:
+    """FIELD-mode selection: only 32-bit slots are eligible."""
+    eligible = [i for i, slot in enumerate(layout) if slot.size == 4]
+    chosen = round(len(eligible) * fraction)
+    if chosen == 0:
+        return []
+    picks = Xoshiro256StarStar(seed).sample_indices(len(eligible), chosen)
+    return [eligible[i] for i in picks]
+
+
+def build_map(program: Program, config: EricConfig) -> EncryptionMap:
+    """The encryption map a configuration implies for a program."""
+    count = program.instruction_count
+    if config.mode is EncryptionMode.FULL:
+        return EncryptionMap.full(count)
+    if config.mode is EncryptionMode.PARTIAL:
+        indices = select_partial_slots(count, config.partial_fraction,
+                                       config.selection_seed)
+        return EncryptionMap.from_indices(count, indices)
+    indices = select_field_slots(program.layout, config.field_fraction,
+                                 config.selection_seed)
+    return EncryptionMap.from_indices(count, indices)
+
+
+def encrypt_text(text: bytes, layout: tuple[InstructionSlot, ...],
+                 enc_map: EncryptionMap, cipher: Cipher,
+                 mode: EncryptionMode = EncryptionMode.FULL,
+                 field_classes: tuple[str, ...] = ()) -> bytes:
+    """Encrypt the flagged slots of a text section.
+
+    For FULL/PARTIAL the whole slot is XORed with keystream at its byte
+    offset.  For FIELD only the class mask bits of the (32-bit) slot are
+    XORed — the mask is recomputed by the HDE from the plaintext
+    opcode/funct bits, see :func:`repro.isa.fields.encryptable_mask`.
+    """
+    if len(enc_map) != len(layout):
+        raise PackageFormatError("encryption map does not match layout")
+    out = bytearray(text)
+    if mode is EncryptionMode.FIELD:
+        from repro.isa.fields import encryptable_mask
+        for index, slot in enumerate(layout):
+            if not enc_map[index]:
+                continue
+            start, size = slot.offset, slot.size
+            if size != 4:
+                raise PackageFormatError(
+                    "FIELD mode selected a compressed slot")
+            word = int.from_bytes(out[start:start + 4], "little")
+            mask = encryptable_mask(word, field_classes)
+            stream = int.from_bytes(cipher.keystream(start, 4), "little")
+            word ^= stream & mask
+            out[start:start + 4] = word.to_bytes(4, "little")
+        return bytes(out)
+
+    # FULL/PARTIAL: merge consecutive flagged slots into spans and
+    # transform each span in one call (keystream is offset-addressed, so
+    # a span transform is bit-identical to per-slot transforms — this is
+    # the software analogue of the HDE's streaming 64-bit XOR lane).
+    for start, end in _flagged_spans(layout, enc_map):
+        out[start:end] = cipher.transform(bytes(out[start:end]), start)
+    return bytes(out)
+
+
+def _flagged_spans(layout: tuple[InstructionSlot, ...],
+                   enc_map: EncryptionMap):
+    """Yield (start, end) byte ranges of maximal runs of flagged slots."""
+    span_start = None
+    span_end = 0
+    for index, slot in enumerate(layout):
+        if enc_map[index]:
+            if span_start is None:
+                span_start = slot.offset
+            span_end = slot.offset + slot.size
+        elif span_start is not None:
+            yield span_start, span_end
+            span_start = None
+    if span_start is not None:
+        yield span_start, span_end
+
+
+@dataclass
+class EncryptedProgram:
+    """Output of the Encryption Unit, ready for packaging."""
+
+    ciphertext: bytes
+    enc_map: EncryptionMap
+    enc_signature: bytes
+    program: Program
+    config: EricConfig
+
+
+def encrypt_program(program: Program, config: EricConfig,
+                    text_cipher: Cipher, signature_cipher: Cipher,
+                    signature: bytes) -> EncryptedProgram:
+    """Full Encryption Unit flow: map -> encrypt text -> wrap signature."""
+    config.validate()
+    enc_map = build_map(program, config)
+    ciphertext = encrypt_text(program.text, program.layout, enc_map,
+                              text_cipher, config.mode,
+                              config.field_classes)
+    enc_signature = signature_cipher.transform(signature, 0)
+    return EncryptedProgram(ciphertext=ciphertext, enc_map=enc_map,
+                            enc_signature=enc_signature, program=program,
+                            config=config)

@@ -1,0 +1,240 @@
+"""Hardware Decryption Engine — the paper's §III.2 hardware architecture.
+
+``process(package_bytes)`` executes steps ⑤-⑥ of Fig. 3:
+
+1. **PUF Key Generator** reads the physical PUF (majority-voted).
+2. **Key Management Unit** converts the PUF key into the PUF-based key
+   for the configured epoch and derives the cipher keys.
+3. **Decryption Unit** walks the instruction slots: for every map-flagged
+   slot it XORs keystream (addressed by the slot's byte offset); slot
+   sizes are discovered from the RISC-V length bits as decryption
+   proceeds, so the package needs only 1 map bit per instruction.
+4. **Signature Generator** hashes the decrypted image as it streams by.
+5. **Validation Unit** decrypts the carried signature and compares; on
+   mismatch the program never reaches the core (``ValidationError``).
+
+Every step reports cycles from the same datapath widths the area model
+uses (64-round serialized SHA, 64-bit XOR lane), which is what makes the
+Fig. 7 end-to-end overhead reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import InstructionSlot, Program
+from repro.core.config import EncryptionMode
+from repro.core.keys import KMU_SETUP_CYCLES, KeyManagementUnit, \
+    puf_based_key, recover_group_key
+from repro.core.package import ProgramPackage
+from repro.core.signature import StreamingSignatureGenerator, \
+    compute_signature
+from repro.errors import ConfigError, PackageFormatError, ValidationError
+from repro.puf.environment import NOMINAL, Environment
+from repro.puf.key_generator import PufKeyGenerator
+
+#: Decryption Unit datapath: bytes XORed per cycle.
+XOR_BYTES_PER_CYCLE = 8
+#: Cycles to advance the slot walk (map shift + length check).
+SLOT_WALK_CYCLES = 1
+#: Cycles to decrypt the 256-bit carried signature on the 64-bit lane.
+SIGNATURE_DECRYPT_CYCLES = 4
+#: Cycles for the streaming 32-bit signature comparison.
+SIGNATURE_COMPARE_CYCLES = 8
+
+
+@dataclass
+class HdeReport:
+    """Cycle breakdown of one package decryption (per HDE unit)."""
+
+    puf_keygen_cycles: int = 0
+    kmu_cycles: int = 0
+    decrypt_cycles: int = 0
+    signature_cycles: int = 0
+    validation_cycles: int = 0
+    signature_ok: bool = False
+    decrypted_slots: int = 0
+    total_slots: int = 0
+    #: overlapped mode (paper §VI future work): the Decryption Unit and
+    #: the Signature Generator run as a pipeline, so the slower of the
+    #: two hides the faster instead of adding to it.
+    overlapped: bool = False
+
+    @property
+    def total_cycles(self) -> int:
+        setup = self.puf_keygen_cycles + self.kmu_cycles
+        tail = self.validation_cycles
+        if self.overlapped:
+            return setup + max(self.decrypt_cycles,
+                               self.signature_cycles) + tail
+        return setup + self.decrypt_cycles + self.signature_cycles + tail
+
+
+class HardwareDecryptionEngine:
+    """The HDE block bolted onto the SoC (outside the core, §V)."""
+
+    def __init__(self, pkg: PufKeyGenerator, epoch: bytes = b"epoch-0",
+                 environment: Environment = NOMINAL,
+                 overlapped: bool = False) -> None:
+        self.pkg = pkg
+        self.epoch = epoch
+        self.environment = environment
+        #: paper §VI future work: pipeline the Decryption Unit with the
+        #: Signature Generator (both stream the same decrypted words)
+        self.overlapped = overlapped
+
+    def process(self, package_bytes: bytes,
+                key_mask: bytes | None = None,
+                ) -> tuple[Program, HdeReport]:
+        """Decrypt, verify and release a program for execution.
+
+        Args:
+            package_bytes: the received program package.
+            key_mask: optional fleet helper data; when given, the KMU
+                uses ``pbk XOR mask`` (the group key) instead of the
+                device's own PUF-based key.
+
+        Raises:
+            PackageFormatError: structurally broken package.
+            ValidationError: signature mismatch — wrong device, wrong
+                epoch, or tampering in transit.
+        """
+        package = ProgramPackage.deserialize(package_bytes)
+        report = HdeReport(total_slots=package.enc_map.count,
+                           overlapped=self.overlapped)
+
+        # ① PUF key readout + ② KMU conversion/derivation
+        readout = self.pkg.generate(self.environment)
+        report.puf_keygen_cycles = readout.cycles
+        pbk = puf_based_key(readout.key, self.epoch)
+        if key_mask is not None:
+            pbk = recover_group_key(pbk, key_mask)
+        kmu = KeyManagementUnit(pbk)
+        try:
+            text_cipher = kmu.text_cipher(package.cipher)
+            signature_cipher = kmu.signature_cipher(package.cipher)
+        except ConfigError as exc:
+            # a corrupted/hostile header naming an unknown cipher must
+            # fail closed like any other tampering
+            raise ValidationError(
+                f"package names an unsupported cipher: {exc}") from None
+        report.kmu_cycles = KMU_SETUP_CYCLES
+
+        # ⑤ decryption walk
+        plaintext, layout, decrypt_cycles, decrypted = self._decrypt_walk(
+            package, text_cipher)
+        report.decrypt_cycles = decrypt_cycles
+        report.decrypted_slots = decrypted
+
+        data = package.data
+        if package.data_encrypted and data:
+            data = kmu.data_cipher(package.cipher).transform(data, 0)
+            report.decrypt_cycles += (len(data) + XOR_BYTES_PER_CYCLE - 1) \
+                // XOR_BYTES_PER_CYCLE
+
+        program = Program(
+            text=plaintext, data=data,
+            text_base=package.text_base, data_base=package.data_base,
+            entry=package.entry, layout=layout,
+        )
+
+        # ⑤ signature regeneration (streams over the decrypted image;
+        # the data section is covered only when the package says so)
+        generator = StreamingSignatureGenerator.for_program(program)
+        generator.absorb(program.text)
+        if package.data_signed:
+            generator.absorb(program.data)
+        computed = generator.digest()
+        report.signature_cycles = generator.cycles
+
+        # ⑥ validation
+        carried = signature_cipher.transform(package.enc_signature, 0)
+        report.validation_cycles = (SIGNATURE_DECRYPT_CYCLES
+                                    + SIGNATURE_COMPARE_CYCLES)
+        if carried != computed:
+            raise ValidationError(
+                "signature mismatch: package was not produced for this "
+                "device/epoch or was modified in transit")
+        report.signature_ok = True
+        return program, report
+
+    def _decrypt_walk(self, package: ProgramPackage, cipher
+                      ) -> tuple[bytes, tuple, int, int]:
+        """Walk instruction slots, decrypting flagged ones in place.
+
+        Slot sizes come from the RISC-V length bits of the (possibly
+        just-decrypted) first halfword, so only the 1-bit-per-instruction
+        map is needed — exactly the paper's accounting.
+        """
+        text = bytearray(package.enc_text)
+        enc_map = package.enc_map
+        mode = package.mode
+        slots = []
+        cycles = 0
+        decrypted = 0
+        offset = 0
+        for index in range(enc_map.count):
+            cycles += SLOT_WALK_CYCLES
+            if offset + 2 > len(text):
+                raise ValidationError(
+                    "slot walk ran past the text section (corrupt package "
+                    "or wrong key)")
+            flagged = enc_map[index]
+            if flagged and mode is not EncryptionMode.FIELD:
+                # decrypt the first halfword to see the length bits
+                first = cipher.transform(bytes(text[offset:offset + 2]),
+                                         offset)
+                text[offset:offset + 2] = first
+                halfword = int.from_bytes(first, "little")
+                size = 4 if halfword & 0b11 == 0b11 else 2
+                if size == 4:
+                    if offset + 4 > len(text):
+                        raise ValidationError(
+                            "slot walk ran past the text section")
+                    text[offset + 2:offset + 4] = cipher.transform(
+                        bytes(text[offset + 2:offset + 4]), offset + 2)
+                cycles += (size + XOR_BYTES_PER_CYCLE - 1) \
+                    // XOR_BYTES_PER_CYCLE
+                decrypted += 1
+            else:
+                halfword = int.from_bytes(text[offset:offset + 2], "little")
+                size = 4 if halfword & 0b11 == 0b11 else 2
+                if flagged:  # FIELD mode: 32-bit slot, masked bits only
+                    if size != 4 or offset + 4 > len(text):
+                        raise ValidationError(
+                            "field-encrypted slot is not a 32-bit "
+                            "instruction")
+                    from repro.isa.fields import encryptable_mask
+                    word = int.from_bytes(text[offset:offset + 4], "little")
+                    try:
+                        mask = encryptable_mask(word,
+                                                package.field_classes)
+                    except Exception as exc:  # DecodingError and kin
+                        raise ValidationError(
+                            f"cannot derive field mask at offset "
+                            f"{offset:#x}: {exc}") from None
+                    stream = int.from_bytes(cipher.keystream(offset, 4),
+                                            "little")
+                    word ^= stream & mask
+                    text[offset:offset + 4] = word.to_bytes(4, "little")
+                    cycles += 1
+                    decrypted += 1
+            if offset + size > len(text):
+                raise ValidationError("slot walk ran past the text section")
+            slots.append(InstructionSlot(offset=offset, size=size))
+            offset += size
+        if offset != len(text):
+            raise ValidationError(
+                f"slot walk ended at {offset} but text is {len(text)} "
+                "bytes (corrupt package or wrong key)")
+        return bytes(text), tuple(slots), cycles, decrypted
+
+
+def verify_roundtrip(program: Program, package_bytes: bytes,
+                     hde: HardwareDecryptionEngine) -> bool:
+    """Debug helper: does the HDE reproduce ``program`` exactly?"""
+    recovered, _ = hde.process(package_bytes)
+    return (recovered.text == program.text
+            and recovered.data == program.data
+            and recovered.entry == program.entry
+            and compute_signature(recovered) == compute_signature(program))

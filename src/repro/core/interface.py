@@ -1,0 +1,95 @@
+"""Declarative configuration front end — the GUI stand-in.
+
+The paper ships a graphical interface for choosing encryption options
+(§III.1).  Headless reproductions get the same decision surface as a
+dict/JSON schema: :func:`config_from_dict` validates and builds an
+:class:`EricConfig`; :func:`describe` renders the choices a user would
+see on screen.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EncryptionMode, EricConfig
+from repro.crypto.xor_cipher import registered_ciphers
+from repro.errors import ConfigError
+from repro.isa.fields import FIELD_CLASSES
+
+_KNOWN_KEYS = {
+    "mode", "cipher", "partial_fraction", "field_classes",
+    "field_fraction", "selection_seed", "compress", "optimize", "epoch",
+    "sign_data", "encrypt_data",
+}
+
+
+def config_from_dict(options: dict) -> EricConfig:
+    """Build a validated :class:`EricConfig` from plain options.
+
+    Accepts JSON-friendly values: mode as string, epoch as string,
+    field_classes as a list.
+    """
+    unknown = set(options) - _KNOWN_KEYS
+    if unknown:
+        raise ConfigError(
+            f"unknown options {sorted(unknown)}; known: "
+            f"{sorted(_KNOWN_KEYS)}")
+    kwargs: dict = {}
+    if "mode" in options:
+        try:
+            kwargs["mode"] = EncryptionMode(options["mode"])
+        except ValueError:
+            raise ConfigError(
+                f"unknown mode {options['mode']!r}; choose from "
+                f"{[m.value for m in EncryptionMode]}") from None
+    for key in ("cipher", "partial_fraction", "field_fraction",
+                "selection_seed", "compress", "optimize", "sign_data",
+                "encrypt_data"):
+        if key in options:
+            kwargs[key] = options[key]
+    if "field_classes" in options:
+        kwargs["field_classes"] = tuple(options["field_classes"])
+    if "epoch" in options:
+        epoch = options["epoch"]
+        kwargs["epoch"] = epoch.encode() if isinstance(epoch, str) else epoch
+    return EricConfig(**kwargs).validate()
+
+
+def config_to_dict(config: EricConfig) -> dict:
+    """JSON-friendly view of a configuration."""
+    return {
+        "mode": config.mode.value,
+        "cipher": config.cipher,
+        "partial_fraction": config.partial_fraction,
+        "field_classes": list(config.field_classes),
+        "field_fraction": config.field_fraction,
+        "selection_seed": config.selection_seed,
+        "compress": config.compress,
+        "optimize": config.optimize,
+        "epoch": config.epoch.decode("latin-1"),
+        "sign_data": config.sign_data,
+        "encrypt_data": config.encrypt_data,
+    }
+
+
+def describe(config: EricConfig) -> str:
+    """Human-readable rendering (what the GUI would display)."""
+    lines = [
+        "ERIC encryption configuration",
+        f"  mode:              {config.mode.value}",
+        f"  cipher:            {config.cipher} "
+        f"(available: {', '.join(registered_ciphers())})",
+    ]
+    if config.mode is EncryptionMode.PARTIAL:
+        lines.append(f"  encrypted slots:   "
+                     f"{config.partial_fraction:.0%} of instructions "
+                     f"(seed {config.selection_seed:#x})")
+    if config.mode is EncryptionMode.FIELD:
+        lines.append(f"  encrypted fields:  {', '.join(config.field_classes)}"
+                     f" on {config.field_fraction:.0%} of 32-bit "
+                     "instructions")
+        lines.append(f"  (selectable fields: {', '.join(FIELD_CLASSES)};"
+                     " opcode always stays plaintext)")
+    lines.append(f"  RVC compression:   {'on' if config.compress else 'off'}")
+    lines.append(f"  optimizer:         "
+                 f"{'on' if config.optimize else 'off'}")
+    lines.append(f"  KMU epoch:         {config.epoch.decode('latin-1')}")
+    return "\n".join(lines)

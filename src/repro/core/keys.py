@@ -1,0 +1,96 @@
+"""Key Management Unit — both sides of the paper's key abstraction.
+
+The raw PUF key never leaves the device (and is never handed to the
+software developer).  The KMU's *conversion function* turns it into a
+PUF-based key bound to an epoch/context; everything else (text-encryption
+key, signature-wrap key) derives from the PUF-based key with purpose
+labels:
+
+    PUF key --(conversion: SHA-256, epoch)--> PUF-based key
+    PUF-based key --(KDF "text-encryption")--> cipher key
+    PUF-based key --(KDF "signature-wrap")--> signature cipher key
+
+Re-keying a device = changing the epoch (no hardware change).  Fleet
+deployment (one compile, many devices, §III.1) uses XOR helper data:
+``mask_i = pbk_i XOR group_key`` is public, and each device recovers
+``group_key = pbk_i XOR mask_i`` inside its KMU.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.kdf import derive_key
+from repro.crypto.sha256 import ROUNDS_PER_BLOCK, sha256
+from repro.crypto.xor_cipher import Cipher, make_cipher
+from repro.errors import ConfigError
+
+_CONVERSION_TAG = b"ERIC-PBK-v1"
+
+#: Cycle cost the HDE charges for one on-device KMU key setup: the
+#: conversion hash plus two KDF invocations on a serialized SHA core
+#: (each HMAC = 2 hashes = ~4 compression blocks).
+KMU_SETUP_BLOCKS = 10
+KMU_SETUP_CYCLES = KMU_SETUP_BLOCKS * ROUNDS_PER_BLOCK
+
+
+def puf_based_key(puf_key: bytes, epoch: bytes = b"epoch-0") -> bytes:
+    """The KMU conversion function: PUF key -> 32-byte PUF-based key."""
+    if not puf_key:
+        raise ConfigError("puf_key must be non-empty")
+    if not epoch:
+        raise ConfigError("epoch must be non-empty")
+    return sha256(_CONVERSION_TAG + len(epoch).to_bytes(2, "little")
+                  + epoch + puf_key)
+
+
+class KeyManagementUnit:
+    """Per-purpose key derivation above a PUF-based key.
+
+    The same class serves the software source (which received the
+    PUF-based key through the vendor handshake) and the hardware (which
+    regenerates it from the physical PUF) — that symmetry *is* the
+    paper's abstraction layer.
+    """
+
+    def __init__(self, pbk: bytes) -> None:
+        if len(pbk) != 32:
+            raise ConfigError("PUF-based key must be 32 bytes")
+        self._pbk = bytes(pbk)
+
+    def encryption_key(self) -> bytes:
+        return derive_key(self._pbk, "text-encryption")
+
+    def signature_key(self) -> bytes:
+        return derive_key(self._pbk, "signature-wrap")
+
+    def data_key(self) -> bytes:
+        return derive_key(self._pbk, "data-encryption")
+
+    def text_cipher(self, cipher_name: str) -> Cipher:
+        return make_cipher(cipher_name, self.encryption_key())
+
+    def signature_cipher(self, cipher_name: str) -> Cipher:
+        return make_cipher(cipher_name, self.signature_key())
+
+    def data_cipher(self, cipher_name: str) -> Cipher:
+        return make_cipher(cipher_name, self.data_key())
+
+    def fingerprint(self) -> str:
+        """Non-secret identifier for logs/registry display."""
+        return sha256(b"ERIC-FP" + self._pbk)[:8].hex()
+
+
+# --- fleet helper data -------------------------------------------------------
+
+
+def group_mask(device_pbk: bytes, group_key: bytes) -> bytes:
+    """Helper data binding a device to a group key (public value)."""
+    if len(device_pbk) != len(group_key):
+        raise ConfigError("device key and group key sizes differ")
+    return bytes(a ^ b for a, b in zip(device_pbk, group_key))
+
+
+def recover_group_key(device_pbk: bytes, mask: bytes) -> bytes:
+    """Device-side recovery of the group key from helper data."""
+    if len(device_pbk) != len(mask):
+        raise ConfigError("device key and mask sizes differ")
+    return bytes(a ^ b for a, b in zip(device_pbk, mask))

@@ -1,0 +1,69 @@
+"""The end-to-end Fig. 3 flow, steps ① through ⑥, as one function.
+
+``deploy`` is the narrative of the paper in code: enroll the device,
+compile+sign+encrypt for it, ship the package over an (optionally
+hostile) network, and have the device decrypt/validate/run it.  The
+examples and the integration tests are built on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler_driver import EricCompileResult, EricCompiler
+from repro.core.config import EricConfig
+from repro.core.device import Device, DeviceRunResult
+from repro.core.provisioning import DeviceRegistry
+from repro.net.channel import UntrustedChannel
+
+
+@dataclass
+class DeploymentResult:
+    """Everything observable from one secure deployment."""
+
+    compile_result: EricCompileResult
+    delivered_bytes: bytes
+    run_result: DeviceRunResult
+
+    @property
+    def stdout(self) -> str:
+        return self.run_result.run.stdout
+
+    @property
+    def exit_code(self) -> int:
+        return self.run_result.run.exit_code
+
+    @property
+    def total_cycles(self) -> int:
+        return self.run_result.total_cycles
+
+
+def deploy(source: str, device: Device,
+           config: EricConfig | None = None,
+           channel: UntrustedChannel | None = None,
+           registry: DeviceRegistry | None = None,
+           name: str = "program",
+           max_instructions: int = 20_000_000) -> DeploymentResult:
+    """Run the whole ①-⑥ flow for one program on one device.
+
+    Any :class:`repro.errors.ValidationError` raised by the device (e.g.
+    because the channel tampered with the package) propagates to the
+    caller — the program does not run.
+    """
+    registry = registry or DeviceRegistry()
+    if device.device_id not in registry.enrolled:
+        registry.enroll(device)                         # step ①
+    target_key = registry.handshake(device.device_id)   # handshake
+
+    compiler = EricCompiler(config)                     # step ②
+    result = compiler.compile_and_package(source, target_key,
+                                          name=name)    # step ③
+
+    channel = channel or UntrustedChannel()
+    delivered = channel.transfer(result.package_bytes)  # step ④
+
+    run_result = device.load_and_run(                   # steps ⑤-⑥
+        delivered, max_instructions=max_instructions)
+    return DeploymentResult(compile_result=result,
+                            delivered_bytes=delivered,
+                            run_result=run_result)

@@ -1,0 +1,195 @@
+"""AES-128 from scratch (FIPS 197).
+
+ERIC's related work ([29], [30] in the paper) encrypts every memory line
+with AES and pays "high memory latency ... an extra delay each time when
+trying to access the main memory" (§V).  To reproduce that comparison, the
+ablation benchmark `test_ablation_aes_memory_baseline` models an
+AES-per-cache-line memory-encryption SoC and contrasts it with ERIC's
+load-time-only decryption.  This module supplies the cipher itself.
+
+Only AES-128 ECB-of-one-block and a CTR keystream helper are provided —
+enough for the baseline model and for known-answer tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ConfigError
+
+# --- S-box generation (from GF(2^8) inversion + affine map) ----------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverses via brute force (once, at import).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = bytearray(256)
+    for x in range(256):
+        b = inverse[x]
+        result = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            result ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        # The affine transform folds the rotations into result; 0x63 is the
+        # constant term (FIPS 197 §5.1.1).
+        sbox[x] = result & 0xFF
+    inv = bytearray(256)
+    for x in range(256):
+        inv[sbox[x]] = x
+    return bytes(sbox), bytes(inv)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+#: Cycle cost charged per 16-byte block by hardware models that embed an
+#: AES engine (10 rounds + key add, a typical iterative FPGA core).
+CYCLES_PER_BLOCK = 11
+
+
+class AES128:
+    """AES-128 block cipher.
+
+    >>> key = bytes(range(16))
+    >>> AES128(key).encrypt_block(bytes(16)).hex()
+    'c6a13b37878f5b826f4f8162a1c8d879'
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ConfigError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([w ^ t for w, t in zip(words[i - 4], temp)])
+        # Group into 11 round keys of 16 bytes (column-major state order).
+        return [
+            [b for word in words[r * 4:(r + 1) * 4] for b in word]
+            for r in range(11)
+        ]
+
+    # State is a flat 16-byte list in column-major order, matching FIPS 197.
+
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: bytes) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # Row r (elements r, r+4, r+8, r+12) rotates left by r.
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = state[4 * c:4 * c + 4]
+            state[4 * c + 0] = (_gf_mul(col[0], 2) ^ _gf_mul(col[1], 3)
+                                ^ col[2] ^ col[3])
+            state[4 * c + 1] = (col[0] ^ _gf_mul(col[1], 2)
+                                ^ _gf_mul(col[2], 3) ^ col[3])
+            state[4 * c + 2] = (col[0] ^ col[1] ^ _gf_mul(col[2], 2)
+                                ^ _gf_mul(col[3], 3))
+            state[4 * c + 3] = (_gf_mul(col[0], 3) ^ col[1] ^ col[2]
+                                ^ _gf_mul(col[3], 2))
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for c in range(4):
+            col = state[4 * c:4 * c + 4]
+            state[4 * c + 0] = (_gf_mul(col[0], 14) ^ _gf_mul(col[1], 11)
+                                ^ _gf_mul(col[2], 13) ^ _gf_mul(col[3], 9))
+            state[4 * c + 1] = (_gf_mul(col[0], 9) ^ _gf_mul(col[1], 14)
+                                ^ _gf_mul(col[2], 11) ^ _gf_mul(col[3], 13))
+            state[4 * c + 2] = (_gf_mul(col[0], 13) ^ _gf_mul(col[1], 9)
+                                ^ _gf_mul(col[2], 14) ^ _gf_mul(col[3], 11))
+            state[4 * c + 3] = (_gf_mul(col[0], 11) ^ _gf_mul(col[1], 13)
+                                ^ _gf_mul(col[2], 9) ^ _gf_mul(col[3], 14))
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ConfigError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, 10):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ConfigError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[10])
+        for rnd in range(9, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+def aes128_ctr_keystream(key: bytes, nonce: int, length: int) -> bytes:
+    """CTR keystream: AES-128 over a 128-bit counter seeded by ``nonce``."""
+    cipher = AES128(key)
+    output = bytearray()
+    counter = 0
+    while len(output) < length:
+        block = struct.pack(">QQ", nonce & 0xFFFFFFFFFFFFFFFF, counter)
+        output.extend(cipher.encrypt_block(block))
+        counter += 1
+    return bytes(output[:length])

@@ -1,0 +1,54 @@
+"""Counter-mode key derivation over HMAC-SHA256 (NIST SP 800-108 style).
+
+This is the "conversion function" of the paper's Key Management Unit
+(§III.2): the raw PUF key never leaves the device or the vendor's
+enrollment record; everything downstream uses keys derived from it with a
+purpose label.  Re-labelling (``context``) is how the KMU re-keys a device
+over time without touching the physical PUF.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.hmac import hmac_sha256
+
+
+def derive_key(secret: bytes, label: str, context: bytes = b"",
+               length: int = 32) -> bytes:
+    """Derive a ``length``-byte key from ``secret`` for purpose ``label``.
+
+    ``label`` is a human-readable purpose string ("encryption",
+    "signature-wrap", ...); ``context`` binds extra data (device id, epoch).
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    encoded_label = label.encode("utf-8")
+    output = bytearray()
+    counter = 1
+    while len(output) < length:
+        block = hmac_sha256(
+            secret,
+            struct.pack(">I", counter) + encoded_label + b"\x00" + context
+            + struct.pack(">I", length * 8),
+        )
+        output.extend(block)
+        counter += 1
+    return bytes(output[:length])
+
+
+def expand_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Expand ``key`` into a ``length``-byte keystream bound to ``nonce``.
+
+    Counter-mode PRF expansion: block ``i`` is
+    ``HMAC-SHA256(key, nonce || i)``.  Deterministic and seekable at
+    32-byte granularity (used by :class:`repro.crypto.xor_cipher.Sha256CtrCipher`).
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    output = bytearray()
+    counter = 0
+    while len(output) < length:
+        output.extend(hmac_sha256(key, nonce + struct.pack(">Q", counter)))
+        counter += 1
+    return bytes(output[:length])

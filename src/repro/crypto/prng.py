@@ -1,0 +1,108 @@
+"""Deterministic PRNGs used across the framework.
+
+Every stochastic component of the reproduction — PUF fabrication variation,
+evaluation noise, random selection of instructions for partial encryption,
+soft-error injection on the channel — draws from these generators with an
+explicit seed, so every test, example and benchmark is reproducible.
+
+SplitMix64 seeds Xoshiro256**, the main generator (Blackman & Vigna).
+"""
+
+from __future__ import annotations
+
+import math
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class SplitMix64:
+    """Tiny 64-bit generator; primarily a seeder for Xoshiro256**."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+
+def _rotl(x: int, k: int) -> int:
+    return ((x << k) | (x >> (64 - k))) & _MASK64
+
+
+class Xoshiro256StarStar:
+    """xoshiro256** 1.0 — fast, high-quality, deterministic."""
+
+    def __init__(self, seed: int) -> None:
+        seeder = SplitMix64(seed)
+        self._s = [seeder.next_u64() for _ in range(4)]
+        if not any(self._s):  # all-zero state is degenerate
+            self._s[0] = 1
+
+    def next_u64(self) -> int:
+        s = self._s
+        result = (_rotl((s[1] * 5) & _MASK64, 7) * 9) & _MASK64
+        t = (s[1] << 17) & _MASK64
+        s[2] ^= s[0]
+        s[3] ^= s[1]
+        s[1] ^= s[2]
+        s[0] ^= s[3]
+        s[2] ^= t
+        s[3] = _rotl(s[3], 45)
+        return result
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with 53 bits of precision."""
+        return (self.next_u64() >> 11) / (1 << 53)
+
+    def uniform(self, low: float, high: float) -> float:
+        return low + (high - low) * self.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError("empty range")
+        span = high - low + 1
+        # Rejection sampling to avoid modulo bias.
+        limit = (1 << 64) - ((1 << 64) % span)
+        while True:
+            value = self.next_u64()
+            if value < limit:
+                return low + value % span
+
+    def gauss(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        """Normal deviate via Box–Muller (one value per call)."""
+        u1 = self.random()
+        while u1 <= 1e-12:
+            u1 = self.random()
+        u2 = self.random()
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return mean + sigma * z
+
+    def bytes(self, length: int) -> bytes:
+        out = bytearray()
+        while len(out) < length:
+            out.extend(self.next_u64().to_bytes(8, "little"))
+        return bytes(out[:length])
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher–Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def sample_indices(self, population: int, count: int) -> list[int]:
+        """``count`` distinct indices from ``range(population)``, sorted."""
+        if count > population:
+            raise ValueError("sample larger than population")
+        if count > population // 2:
+            indices = list(range(population))
+            self.shuffle(indices)
+            return sorted(indices[:count])
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            chosen.add(self.randint(0, population - 1))
+        return sorted(chosen)

@@ -1,0 +1,194 @@
+"""RSA from scratch — the paper's stated future work.
+
+"We also aim to bring RSA-based key generation and usage to ERIC"
+(§VI).  This module supplies that extension: deterministic RSA key
+generation (Miller–Rabin over the library PRNG) and an OAEP-style
+padded encrypt/decrypt used by :mod:`repro.core.provisioning` to wrap
+PUF-based keys for transport to software sources — so the enrollment
+handshake no longer assumes a pre-shared secure channel.
+
+Scope note: this is a faithful *algorithmic* implementation for the
+reproduction (deterministic seeding, modest default modulus for test
+speed).  It is not hardened against side channels and must not be reused
+as production cryptography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.kdf import expand_keystream
+from repro.crypto.prng import Xoshiro256StarStar
+from repro.crypto.sha256 import sha256
+from repro.errors import ConfigError
+
+_E = 65537
+
+# Small primes for trial division before Miller-Rabin.
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def _rand_below(limit: int, rng: Xoshiro256StarStar) -> int:
+    """Uniform-ish integer in [0, limit) for arbitrarily wide limits.
+
+    ``Xoshiro256StarStar.randint`` rejects per 64-bit word and cannot
+    span multi-word ranges; this stitches words then reduces modulo the
+    limit (the tiny bias is irrelevant for Miller-Rabin bases).
+    """
+    words = (limit.bit_length() + 63) // 64 + 1
+    value = 0
+    for _ in range(words):
+        value = (value << 64) | rng.next_u64()
+    return value % limit
+
+
+def _is_probable_prime(n: int, rng: Xoshiro256StarStar,
+                       rounds: int = 32) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + _rand_below(n - 3, rng)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: Xoshiro256StarStar) -> int:
+    while True:
+        candidate = rng.next_u64()
+        value = 0
+        for _ in range((bits + 63) // 64):
+            value = (value << 64) | rng.next_u64()
+        value &= (1 << bits) - 1
+        value |= (1 << (bits - 1)) | 1  # full width, odd
+        if value % _E == 1:
+            continue  # gcd(e, p-1) must be 1; cheap pre-filter
+        if _is_probable_prime(value, rng):
+            return value
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int = _E
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    d: int
+    e: int = _E
+
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+
+def generate_keypair(bits: int = 1024, seed: int = 0) -> RsaPrivateKey:
+    """Deterministic RSA keypair (same seed -> same keys)."""
+    if bits < 512 or bits % 2:
+        raise ConfigError("modulus must be an even bit count >= 512")
+    rng = Xoshiro256StarStar(seed ^ 0x52534131)
+    half = bits // 2
+    p = _random_prime(half, rng)
+    q = _random_prime(half, rng)
+    while q == p:
+        q = _random_prime(half, rng)
+    n = p * q
+    phi = (p - 1) * (q - 1)
+    d = pow(_E, -1, phi)
+    return RsaPrivateKey(n=n, d=d)
+
+
+# --- OAEP-style padding ------------------------------------------------------
+#
+# Simplified OAEP: message block = 0x00 || masked_seed(32) || masked_db,
+# with MGF built from the library's SHA-256 counter expansion.  Same
+# structure (two Feistel-masked halves + integrity hash) as RFC 8017,
+# adapted to the in-repo primitives.
+
+_SEED_LEN = 32
+_LABEL_HASH = sha256(b"ERIC-RSA-OAEP")
+
+
+def _mgf(seed: bytes, length: int) -> bytes:
+    return expand_keystream(seed, b"oaep-mgf", length)
+
+
+def _pad(message: bytes, k: int, entropy: bytes) -> int:
+    # block: 0x00 | masked_seed(32) | masked_db(k-33)
+    # db:    lhash(32) | zero padding | 0x01 | message
+    max_message = k - _SEED_LEN - 2 - len(_LABEL_HASH)
+    if len(message) > max_message:
+        raise ConfigError(
+            f"message of {len(message)} bytes exceeds OAEP capacity "
+            f"{max_message} for this modulus")
+    db = _LABEL_HASH + b"\x00" * (
+        k - len(message) - _SEED_LEN - 2 - len(_LABEL_HASH)) \
+        + b"\x01" + message
+    seed = sha256(entropy)[:_SEED_LEN]
+    masked_db = bytes(a ^ b for a, b in zip(db, _mgf(seed, len(db))))
+    masked_seed = bytes(a ^ b for a, b in
+                        zip(seed, _mgf(masked_db, _SEED_LEN)))
+    return int.from_bytes(b"\x00" + masked_seed + masked_db, "big")
+
+
+def _unpad(value: int, k: int) -> bytes:
+    blob = value.to_bytes(k, "big")
+    if blob[0] != 0:
+        raise ConfigError("OAEP: bad leading byte")
+    masked_seed = blob[1:1 + _SEED_LEN]
+    masked_db = blob[1 + _SEED_LEN:]
+    seed = bytes(a ^ b for a, b in
+                 zip(masked_seed, _mgf(masked_db, _SEED_LEN)))
+    db = bytes(a ^ b for a, b in zip(masked_db, _mgf(seed, len(masked_db))))
+    if db[:len(_LABEL_HASH)] != _LABEL_HASH:
+        raise ConfigError("OAEP: label hash mismatch (wrong key?)")
+    rest = db[len(_LABEL_HASH):]
+    try:
+        split = rest.index(b"\x01")
+    except ValueError:
+        raise ConfigError("OAEP: missing separator") from None
+    if any(rest[:split]):
+        raise ConfigError("OAEP: nonzero padding")
+    return rest[split + 1:]
+
+
+def encrypt(public: RsaPublicKey, message: bytes,
+            entropy: bytes = b"entropy") -> bytes:
+    """OAEP-padded RSA encryption of a short message (e.g. a 32-byte
+    PUF-based key).  ``entropy`` seeds the padding (pass something fresh
+    per encryption)."""
+    k = public.modulus_bytes
+    padded = _pad(message, k, entropy + message)
+    if padded >= public.n:
+        raise ConfigError("padded message does not fit modulus")
+    return pow(padded, public.e, public.n).to_bytes(k, "big")
+
+
+def decrypt(private: RsaPrivateKey, ciphertext: bytes) -> bytes:
+    k = private.public().modulus_bytes
+    if len(ciphertext) != k:
+        raise ConfigError(
+            f"ciphertext must be exactly {k} bytes for this modulus")
+    value = pow(int.from_bytes(ciphertext, "big"), private.d, private.n)
+    return _unpad(value, k)

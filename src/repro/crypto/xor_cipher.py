@@ -1,0 +1,141 @@
+"""XOR ciphers: the paper's symmetric encryption function.
+
+The prototype in the paper uses an "XOR Cipher" — instructions pass through
+successive XOR gates keyed by material from the Key Management Unit, and
+decryption is the symmetric inverse (§IV.A).  Two implementations:
+
+* :class:`RepeatingKeyXor` — the faithful hardware-cheap variant: the
+  expanded key repeats over the message.  One XOR gate array wide enough
+  for a word; one cycle per word in the HDE cycle model.
+* :class:`Sha256CtrCipher` — a stronger drop-in: SHA-256-CTR keystream via
+  :func:`repro.crypto.kdf.expand_keystream`.  Demonstrates the paper's
+  claim that the encryption function is pluggable (§III.1).
+
+Both are *offset addressable*: ``transform(data, offset)`` en/decrypts a
+fragment as if it sat at byte ``offset`` of the full message.  Partial
+encryption needs this — the HDE decrypts only flagged instruction slots,
+and the keystream position must follow the slot's byte offset, not the
+count of encrypted slots.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.kdf import expand_keystream
+from repro.errors import ConfigError
+
+
+class Cipher:
+    """Interface for symmetric, offset-addressable stream transforms."""
+
+    #: registry name used by package headers / config files
+    name = "abstract"
+
+    def transform(self, data: bytes, offset: int = 0) -> bytes:
+        """En/decrypt ``data`` positioned at byte ``offset`` of the message.
+
+        XOR ciphers are involutions, so the same call decrypts.
+        """
+        raise NotImplementedError
+
+    def keystream(self, offset: int, length: int) -> bytes:
+        """Return ``length`` keystream bytes starting at ``offset``."""
+        raise NotImplementedError
+
+
+class RepeatingKeyXor(Cipher):
+    """XOR with a repeating key — the paper prototype's cipher."""
+
+    name = "xor-repeating"
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ConfigError("RepeatingKeyXor requires a non-empty key")
+        self._key = bytes(key)
+
+    def keystream(self, offset: int, length: int) -> bytes:
+        key = self._key
+        klen = len(key)
+        start = offset % klen
+        reps = (start + length) // klen + 1
+        return ((key[start:] + key * reps)[:length])
+
+    def transform(self, data: bytes, offset: int = 0) -> bytes:
+        stream = self.keystream(offset, len(data))
+        return _xor(data, stream)
+
+
+class Sha256CtrCipher(Cipher):
+    """SHA-256-CTR keystream cipher (stronger pluggable alternative).
+
+    The keystream is generated lazily and cached per instance: slot-by-
+    slot partial decryption in the HDE touches ascending offsets, and
+    regenerating from block zero each time would be quadratic.
+    """
+
+    name = "xor-sha256ctr"
+
+    _BLOCK = 32
+
+    def __init__(self, key: bytes, nonce: bytes = b"ERIC-text") -> None:
+        if not key:
+            raise ConfigError("Sha256CtrCipher requires a non-empty key")
+        self._key = bytes(key)
+        self._nonce = bytes(nonce)
+        self._stream = bytearray()
+
+    def _ensure(self, length: int) -> None:
+        import struct as _struct
+
+        from repro.crypto.hmac import hmac_sha256
+        counter = len(self._stream) // self._BLOCK
+        while len(self._stream) < length:
+            self._stream.extend(hmac_sha256(
+                self._key, self._nonce + _struct.pack(">Q", counter)))
+            counter += 1
+
+    def keystream(self, offset: int, length: int) -> bytes:
+        self._ensure(offset + length)
+        return bytes(self._stream[offset:offset + length])
+
+    def transform(self, data: bytes, offset: int = 0) -> bytes:
+        return _xor(data, self.keystream(offset, len(data)))
+
+
+_CIPHERS = {
+    RepeatingKeyXor.name: RepeatingKeyXor,
+    Sha256CtrCipher.name: Sha256CtrCipher,
+}
+
+
+def make_cipher(name: str, key: bytes) -> Cipher:
+    """Instantiate a registered cipher by name (package header dispatch)."""
+    try:
+        cls = _CIPHERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown cipher {name!r}; known: {sorted(_CIPHERS)}"
+        ) from None
+    return cls(key)
+
+
+def register_cipher(cls: type) -> type:
+    """Register a user-supplied cipher class (the paper's "upload your own
+    encryption method" hook, §III.1).  Usable as a decorator."""
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigError("cipher class must define a string 'name'")
+    _CIPHERS[name] = cls
+    return cls
+
+
+def registered_ciphers() -> tuple[str, ...]:
+    """Names of all currently registered ciphers."""
+    return tuple(sorted(_CIPHERS))
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    # int-wide XOR: much faster than a byte loop for multi-KiB programs.
+    return (
+        int.from_bytes(data, "little")
+        ^ int.from_bytes(stream[:len(data)], "little")
+    ).to_bytes(len(data), "little")

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ERIC reproduction.
+
+Every failure mode in the framework maps to a distinct exception type so
+that callers (and tests) can distinguish, e.g., a tampered package from a
+wrong-device decryption: both fail signature validation, but the package
+parser can also fail earlier on structural corruption.
+"""
+
+from __future__ import annotations
+
+
+class EricError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(EricError):
+    """An encryption/compilation configuration is invalid or inconsistent."""
+
+
+class PackageFormatError(EricError):
+    """A serialized program package is structurally malformed."""
+
+
+class ValidationError(EricError):
+    """Signature validation failed: the package was not produced for this
+    device, or it was modified in transit (paper §III.2, Validation Unit)."""
+
+
+class KeyMismatchError(ValidationError):
+    """Decryption produced an image whose signature cannot validate —
+    the device's PUF-based key does not match the packaging key."""
+
+
+class TamperDetectedError(ValidationError):
+    """The decrypted image validates against neither the carried signature
+    nor a clean decode — the package bytes were modified in transit."""
+
+
+class AssemblerError(EricError):
+    """The assembler rejected an assembly source."""
+
+
+class CompileError(EricError):
+    """The MiniC compiler rejected a source program."""
+
+
+class LexError(CompileError):
+    """Tokenization failure with source location."""
+
+
+class ParseError(CompileError):
+    """Syntax error with source location."""
+
+
+class SemanticError(CompileError):
+    """Type/semantic error with source location."""
+
+
+class EncodingError(EricError):
+    """An instruction cannot be encoded (bad operands, out-of-range imm)."""
+
+
+class DecodingError(EricError):
+    """A word does not decode to a known instruction."""
+
+
+class SimulatorError(EricError):
+    """The SoC simulator hit an unrecoverable condition."""
+
+
+class MemoryFault(SimulatorError):
+    """An access outside mapped memory or misaligned beyond tolerance."""
+
+
+class IllegalInstruction(SimulatorError):
+    """The CPU fetched a word that does not decode; carries the pc."""
+
+    def __init__(self, pc: int, word: int) -> None:
+        super().__init__(f"illegal instruction at pc={pc:#x}: word={word:#010x}")
+        self.pc = pc
+        self.word = word
+
+
+class ExecutionLimitExceeded(SimulatorError):
+    """The instruction budget was exhausted before the program exited."""
+
+
+class ProvisioningError(EricError):
+    """Device enrollment/handshake failure (unknown device, bad helper data)."""
+
+
+class ChannelError(EricError):
+    """The transfer channel dropped or refused the payload."""

@@ -1,0 +1,31 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+=========  ==================================================  ===========
+exp id     content                                             module
+=========  ==================================================  ===========
+table1     test environment configuration                      table1
+table2     FPGA area (LUT/FF, baseline vs +HDE)                table2
+fig5       program-package size vs plain binary                fig5
+fig6       compile-time overhead of encrypted compilation      fig6
+fig7       end-to-end execution-time overhead                  fig7
+=========  ==================================================  ===========
+
+Each module exposes ``run()`` returning a result object with ``rows``
+(per-workload or per-parameter series) and a ``summary`` with the
+paper-vs-measured headline numbers, plus ``render()`` for the printed
+table.  ``python -m repro.eval`` runs everything.
+"""
+
+from repro.eval import fig5, fig6, fig7, table1, table2
+from repro.eval.report import format_table
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+}
+
+__all__ = ["EXPERIMENTS", "format_table", "table1", "table2", "fig5",
+           "fig6", "fig7"]

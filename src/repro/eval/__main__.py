@@ -1,0 +1,29 @@
+"""``python -m repro.eval [experiment ...]`` — regenerate paper results.
+
+With no arguments, runs every experiment (table1, table2, fig5, fig6,
+fig7) and prints each table with paper-vs-measured headlines.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {list(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = EXPERIMENTS[name].run()
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,104 @@
+"""Fig. 5 — program-package size vs unencrypted compiled program.
+
+Paper headline: the largest increase is +3.73 %, the average +1.59 %.
+Drivers: every package carries a fixed 256-bit signature; *partial*
+encryption additionally carries 1 map bit per instruction (which is 1 bit
+per 16 bits of text when RVC compression is on — the paper's closing
+observation in §IV.A).
+
+The reproduction reports, per workload: plain size, FULL-mode package
+size, PARTIAL-mode package size, and the same with RVC builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.keys import puf_based_key
+from repro.eval.report import format_table
+from repro.workloads import all_workloads
+
+_EVAL_KEY = puf_based_key(b"eval-device")
+
+
+@dataclass
+class Fig5Row:
+    name: str
+    plain_size: int
+    full_size: int
+    partial_size: int
+    full_pct: float
+    partial_pct: float
+    rvc_partial_pct: float
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row] = field(default_factory=list)
+
+    @property
+    def summary(self) -> dict:
+        full = [r.full_pct for r in self.rows]
+        partial = [r.partial_pct for r in self.rows]
+        worst = max(max(full), max(partial))
+        mean_all = (sum(full) + sum(partial)) / (2 * len(self.rows))
+        return {
+            "avg_increase_pct": mean_all,
+            "max_increase_pct": worst,
+            "paper_avg_increase_pct": 1.59,
+            "paper_max_increase_pct": 3.73,
+        }
+
+    def render(self) -> str:
+        table_rows = [
+            [r.name, r.plain_size, r.full_size, f"{r.full_pct:.2f}%",
+             r.partial_size, f"{r.partial_pct:.2f}%",
+             f"{r.rvc_partial_pct:.2f}%"]
+            for r in self.rows
+        ]
+        s = self.summary
+        table_rows.append([
+            "average", "", "", f"{sum(r.full_pct for r in self.rows) / len(self.rows):.2f}%",
+            "", f"{sum(r.partial_pct for r in self.rows) / len(self.rows):.2f}%",
+            f"{sum(r.rvc_partial_pct for r in self.rows) / len(self.rows):.2f}%",
+        ])
+        body = format_table(
+            ["workload", "plain B", "full B", "full +%", "partial B",
+             "partial +%", "RVC partial +%"],
+            table_rows,
+            title="Fig. 5: Program package size vs unencrypted program",
+        )
+        tail = (f"measured: avg +{s['avg_increase_pct']:.2f}% / "
+                f"max +{s['max_increase_pct']:.2f}%   "
+                f"paper: avg +{s['paper_avg_increase_pct']:.2f}% / "
+                f"max +{s['paper_max_increase_pct']:.2f}%")
+        return body + "\n" + tail
+
+
+def run(partial_fraction: float = 0.5) -> Fig5Result:
+    result = Fig5Result()
+    full_compiler = EricCompiler(EricConfig(mode=EncryptionMode.FULL))
+    partial_compiler = EricCompiler(EricConfig(
+        mode=EncryptionMode.PARTIAL, partial_fraction=partial_fraction))
+    rvc_partial_compiler = EricCompiler(EricConfig(
+        mode=EncryptionMode.PARTIAL, partial_fraction=partial_fraction,
+        compress=True))
+    for name, workload in all_workloads().items():
+        full = full_compiler.compile_and_package(workload.source, _EVAL_KEY,
+                                                 name=name)
+        partial = partial_compiler.compile_and_package(
+            workload.source, _EVAL_KEY, name=name)
+        rvc = rvc_partial_compiler.compile_and_package(
+            workload.source, _EVAL_KEY, name=name)
+        result.rows.append(Fig5Row(
+            name=name,
+            plain_size=full.plain_size,
+            full_size=full.package_size,
+            partial_size=partial.package_size,
+            full_pct=100.0 * full.size_increase_fraction,
+            partial_pct=100.0 * partial.size_increase_fraction,
+            rvc_partial_pct=100.0 * rvc.size_increase_fraction,
+        ))
+    return result

@@ -1,0 +1,124 @@
+"""Fig. 6 — compile-time overhead of encrypted compilation.
+
+Paper headline: +33.20 % in the worst case, +15.22 % on average, measured
+as (time to compile+sign+encrypt+package) / (time to compile with the
+stock compiler).
+
+Fidelity note (recorded in EXPERIMENTS.md): the paper's ratio divides a
+C++ SHA-256 + XOR stage by an *LLVM* compile — a heavyweight compiler
+over a fast hash.  This reproduction divides a pure-Python SHA-256 by a
+lightweight MiniC compile, so the raw ratio lands higher.  The table
+therefore reports both the **measured** overhead and an **adjusted**
+overhead in which only the signature stage is re-costed at a native
+SHA-256 throughput (150 MB/s, conservative for the authors' C++
+implementation); the claim under test — a bounded one-time packaging
+cost, roughly proportional to program size, worst case about twice the
+average — is visible in both columns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EricConfig
+from repro.core.keys import puf_based_key
+from repro.eval.report import format_table
+from repro.workloads import all_workloads
+
+_EVAL_KEY = puf_based_key(b"eval-device")
+
+#: Conservative native SHA-256 software throughput (bytes/second) used
+#: for the adjusted column.
+NATIVE_SHA_THROUGHPUT = 150e6
+
+
+@dataclass
+class Fig6Row:
+    name: str
+    baseline_s: float
+    eric_s: float
+    signature_s: float
+    signed_bytes: int
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * (self.eric_s / self.baseline_s - 1.0)
+
+    @property
+    def adjusted_overhead_pct(self) -> float:
+        native_sig = self.signed_bytes / NATIVE_SHA_THROUGHPUT
+        adjusted = self.eric_s - self.signature_s + native_sig
+        return 100.0 * (adjusted / self.baseline_s - 1.0)
+
+
+@dataclass
+class Fig6Result:
+    rows: list[Fig6Row] = field(default_factory=list)
+
+    @property
+    def summary(self) -> dict:
+        overheads = [r.overhead_pct for r in self.rows]
+        adjusted = [r.adjusted_overhead_pct for r in self.rows]
+        return {
+            "avg_overhead_pct": sum(overheads) / len(overheads),
+            "max_overhead_pct": max(overheads),
+            "adjusted_avg_overhead_pct": sum(adjusted) / len(adjusted),
+            "adjusted_max_overhead_pct": max(adjusted),
+            "paper_avg_overhead_pct": 15.22,
+            "paper_max_overhead_pct": 33.20,
+        }
+
+    def render(self) -> str:
+        table_rows = [
+            [r.name, f"{r.baseline_s * 1e3:.1f}", f"{r.eric_s * 1e3:.1f}",
+             f"{r.overhead_pct:+.2f}%",
+             f"{r.adjusted_overhead_pct:+.2f}%"]
+            for r in self.rows
+        ]
+        s = self.summary
+        body = format_table(
+            ["workload", "baseline ms", "ERIC ms", "overhead",
+             "adj. overhead"],
+            table_rows,
+            title="Fig. 6: Compile-time, ERIC vs baseline compiler",
+        )
+        tail = (
+            f"measured: avg +{s['avg_overhead_pct']:.2f}% / "
+            f"max +{s['max_overhead_pct']:.2f}%   "
+            f"adjusted (native-SHA signature): "
+            f"avg +{s['adjusted_avg_overhead_pct']:.2f}% / "
+            f"max +{s['adjusted_max_overhead_pct']:.2f}%\n"
+            f"paper: avg +{s['paper_avg_overhead_pct']:.2f}% / "
+            f"max +{s['paper_max_overhead_pct']:.2f}%"
+        )
+        return body + "\n" + tail
+
+
+def run(config: EricConfig | None = None, repeats: int = 5) -> Fig6Result:
+    compiler = EricCompiler(config)
+    result = Fig6Result()
+    for name, workload in all_workloads().items():
+        baseline_s = min(
+            compiler.compile_baseline(workload.source, name)[1]
+            for _ in range(repeats)
+        )
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            package = compiler.compile_and_package(workload.source,
+                                                   _EVAL_KEY, name=name)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[0]:
+                best = (elapsed, package)
+        elapsed, package = best
+        signed = len(package.program.text)
+        if compiler.config.sign_data:
+            signed += len(package.program.data)
+        result.rows.append(Fig6Row(
+            name=name, baseline_s=baseline_s, eric_s=elapsed,
+            signature_s=package.timings.signature_s,
+            signed_bytes=signed,
+        ))
+    return result

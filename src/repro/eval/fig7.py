@@ -1,0 +1,89 @@
+"""Fig. 7 — end-to-end execution-time overhead on the target hardware.
+
+Paper headline: ERIC "slows down the system by 7.05 % at most and 4.13 %
+on average", and the overhead is proportional to the program's static
+size over its dynamic length (the HDE decrypts+verifies once at load).
+
+The reproduction runs every workload twice on the same device model:
+plain (no HDE in the path) and as an ERIC package (HDE cycles + run
+cycles), reporting total-cycle ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EricConfig
+from repro.core.device import Device
+from repro.eval.report import format_table
+from repro.workloads import all_workloads
+
+_DEVICE_SEED = 0xE7A1
+
+
+@dataclass
+class Fig7Row:
+    name: str
+    plain_cycles: int
+    hde_cycles: int
+    eric_cycles: int
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * (self.eric_cycles / self.plain_cycles - 1.0)
+
+
+@dataclass
+class Fig7Result:
+    rows: list[Fig7Row] = field(default_factory=list)
+
+    @property
+    def summary(self) -> dict:
+        overheads = [r.overhead_pct for r in self.rows]
+        return {
+            "avg_overhead_pct": sum(overheads) / len(overheads),
+            "max_overhead_pct": max(overheads),
+            "paper_avg_overhead_pct": 4.13,
+            "paper_max_overhead_pct": 7.05,
+        }
+
+    def render(self) -> str:
+        table_rows = [
+            [r.name, r.plain_cycles, r.hde_cycles, r.eric_cycles,
+             f"+{r.overhead_pct:.2f}%"]
+            for r in self.rows
+        ]
+        s = self.summary
+        body = format_table(
+            ["workload", "plain cycles", "HDE cycles", "ERIC cycles",
+             "overhead"],
+            table_rows,
+            title="Fig. 7: Execution time, ERIC vs unencrypted baseline",
+        )
+        tail = (f"measured: avg +{s['avg_overhead_pct']:.2f}% / "
+                f"max +{s['max_overhead_pct']:.2f}%   "
+                f"paper: avg +{s['paper_avg_overhead_pct']:.2f}% / "
+                f"max +{s['paper_max_overhead_pct']:.2f}%")
+        return body + "\n" + tail
+
+
+def run(config: EricConfig | None = None,
+        device: Device | None = None) -> Fig7Result:
+    device = device or Device(device_seed=_DEVICE_SEED)
+    compiler = EricCompiler(config)
+    target_key = device.enrollment_key()
+    result = Fig7Result()
+    for name, workload in all_workloads().items():
+        package = compiler.compile_and_package(workload.source, target_key,
+                                               name=name)
+        plain = device.run_plain(package.program)
+        eric = device.load_and_run(package.package_bytes)
+        assert eric.run.stdout == workload.expected_stdout, name
+        result.rows.append(Fig7Row(
+            name=name,
+            plain_cycles=plain.counters.cycles,
+            hde_cycles=eric.hde.total_cycles,
+            eric_cycles=eric.total_cycles,
+        ))
+    return result

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "",
+                 ) -> str:
+    """Render an ASCII table; cells are str()-ed, numbers right-aligned."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts: list[str], pad: str = " ") -> str:
+        return "| " + " | ".join(
+            part.ljust(width, pad) if not _is_number(part)
+            else part.rjust(width)
+            for part, width in zip(parts, widths)
+        ) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(headers))
+    out.append(separator)
+    for row in cells:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text.replace("%", "").replace("x", ""))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,27 @@
+"""Table I — test environment (paper configuration vs reproduction)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TABLE_I_ENVIRONMENT
+from repro.eval.report import format_table
+
+
+@dataclass
+class Table1Result:
+    rows: list[list[str]]
+
+    def render(self) -> str:
+        return format_table(
+            ["Parameter", "Paper", "Reproduction"], self.rows,
+            title="Table I: Test Environment",
+        )
+
+
+def run() -> Table1Result:
+    rows = [
+        [parameter, paper, ours]
+        for parameter, (paper, ours) in TABLE_I_ENVIRONMENT.items()
+    ]
+    return Table1Result(rows=rows)

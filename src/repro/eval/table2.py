@@ -1,0 +1,53 @@
+"""Table II — FPGA area results (structural model vs paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.report import format_table
+from repro.hw.area import HdeAreaModel, area_table
+
+
+@dataclass
+class Table2Result:
+    table: dict
+    rows: list[list] = field(default_factory=list)
+    unit_rows: list[list] = field(default_factory=list)
+
+    @property
+    def summary(self) -> dict:
+        return {
+            "lut_increase_pct": self.table["lut_increase_pct"],
+            "ff_increase_pct": self.table["ff_increase_pct"],
+            "paper_lut_increase_pct": self.table["paper_lut_increase_pct"],
+            "paper_ff_increase_pct": self.table["paper_ff_increase_pct"],
+        }
+
+    def render(self) -> str:
+        main = format_table(
+            ["", "Rocket Chip", "Rocket Chip + HDE", "Change (%)",
+             "Paper change (%)"],
+            self.rows,
+            title="Table II: Area Results of FPGA Implementation",
+        )
+        units = format_table(
+            ["HDE unit", "LUTs", "FFs"], self.unit_rows,
+            title="HDE unit breakdown (structural estimate)",
+        )
+        return main + "\n\n" + units
+
+
+def run(model: HdeAreaModel | None = None) -> Table2Result:
+    table = area_table(model)
+    rows = [
+        ["Total Slice LUTs", table["rocket_luts"], table["with_hde_luts"],
+         f"+{table['lut_increase_pct']:.2f}",
+         f"+{table['paper_lut_increase_pct']:.2f}"],
+        ["Total Flip-Flops", table["rocket_ffs"], table["with_hde_ffs"],
+         f"+{table['ff_increase_pct']:.2f}",
+         f"+{table['paper_ff_increase_pct']:.2f}"],
+        ["Frequency (MHz)", 25, 25, "-", "-"],
+    ]
+    unit_rows = [[name, luts, ffs]
+                 for name, (luts, ffs) in table["units"].items()]
+    return Table2Result(table=table, rows=rows, unit_rows=unit_rows)

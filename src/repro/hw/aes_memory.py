@@ -1,0 +1,53 @@
+"""AES-per-cache-line memory-encryption baseline (related work, §V).
+
+The paper contrasts ERIC with architectures that encrypt *all* of memory
+with AES ([29], [30], AEGIS [47-49]): every cache-line fill decrypts, and
+every write-back re-encrypts, so "programs with poor cache performance
+experience an extra delay each time when trying to access the main
+memory" — reported as an ~30 % class IPC loss.
+
+This model applies that cost to a finished run's counters: each L1 miss
+pays the iterative AES core latency for a full line (fills), and a
+write-allocate share of misses pays it again (write-backs).  ERIC's
+load-time-only HDE cost is independent of cache behaviour, which is the
+comparison the ablation bench prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import CYCLES_PER_BLOCK
+from repro.soc.counters import PerfCounters
+
+
+@dataclass(frozen=True)
+class AesMemoryModel:
+    """Cost model for an AES engine on the memory port."""
+
+    line_bytes: int = 64
+    #: fraction of misses that also force an (encrypted) write-back
+    writeback_fraction: float = 0.3
+
+    @property
+    def cycles_per_line(self) -> int:
+        blocks = (self.line_bytes + 15) // 16
+        return blocks * CYCLES_PER_BLOCK
+
+    def extra_cycles(self, counters: PerfCounters) -> int:
+        misses = counters.icache_misses + counters.dcache_misses
+        fills = misses * self.cycles_per_line
+        writebacks = int(misses * self.writeback_fraction) \
+            * self.cycles_per_line
+        return fills + writebacks
+
+    def slowdown_pct(self, counters: PerfCounters) -> float:
+        if counters.cycles == 0:
+            return 0.0
+        return 100.0 * self.extra_cycles(counters) / counters.cycles
+
+
+#: Rough LUT cost of an iterative AES-128 core on 7-series fabric, for
+#: the area comparison against the HDE (literature values ~2.4-3.5k).
+AES_CORE_LUTS = 2800
+AES_CORE_FFS = 1700

@@ -1,0 +1,53 @@
+"""RISC-V ISA substrate (RV64IM plus an RVC subset).
+
+The paper targets RV64GC on a Rocket Chip (Table I).  The reproduction
+implements the integer subsets that matter for the evaluation:
+
+* **RV64I + M** — everything the MiniC compiler emits and the SoC executes;
+* **RVC subset** — compressed forms of the common data-processing, load and
+  store instructions.  The paper notes that compressed instructions change
+  the encryption-map overhead ("1 bit of extra information is received for
+  16 bits", §IV.A) — reproducing Fig. 5 needs real RVC layouts.
+
+Modules
+-------
+:mod:`repro.isa.spec`          registers, ABI names, opcode constants
+:mod:`repro.isa.instruction`   the ``Instruction`` value type
+:mod:`repro.isa.encoding`      instruction -> 32-bit word
+:mod:`repro.isa.decoding`      word -> instruction
+:mod:`repro.isa.compressed`    RVC subset encode/decode/expand
+:mod:`repro.isa.fields`        per-format bit-field masks (field-level
+                               partial encryption, paper §III.1)
+:mod:`repro.isa.disassembler`  text disassembly (the static attacker's tool)
+:mod:`repro.isa.pseudo`        pseudo-instruction expansion (li, la, mv, ...)
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import encode
+from repro.isa.decoding import decode, decode_at
+from repro.isa.compressed import (
+    compress,
+    decode_compressed,
+    expand_compressed,
+    is_compressed_halfword,
+)
+from repro.isa.fields import field_mask, FIELD_CLASSES
+from repro.isa.disassembler import disassemble, disassemble_text
+from repro.isa.spec import REGISTER_NAMES, parse_register
+
+__all__ = [
+    "Instruction",
+    "encode",
+    "decode",
+    "decode_at",
+    "compress",
+    "decode_compressed",
+    "expand_compressed",
+    "is_compressed_halfword",
+    "field_mask",
+    "FIELD_CLASSES",
+    "disassemble",
+    "disassemble_text",
+    "REGISTER_NAMES",
+    "parse_register",
+]

@@ -1,0 +1,342 @@
+"""RVC (compressed) subset: encode, decode, expand.
+
+The paper observes that with RVC "1 bit of extra information is received
+for 16 bits" of program text (§IV.A) — i.e. the per-instruction encryption
+map costs proportionally more on compressed code.  To reproduce that in
+Fig. 5 we implement the RVC forms a simple compiler actually hits:
+
+======================  =======================================
+quadrant C0             c.addi4spn, c.lw, c.ld, c.sw, c.sd
+quadrant C1             c.nop, c.addi, c.addiw, c.li, c.lui,
+                        c.addi16sp, c.srli, c.srai, c.andi,
+                        c.sub, c.xor, c.or, c.and, c.subw, c.addw
+quadrant C2             c.slli, c.lwsp, c.ldsp, c.swsp, c.sdsp,
+                        c.mv, c.add, c.jr, c.jalr, c.ebreak
+======================  =======================================
+
+Branches and direct jumps stay 32-bit (their offsets would couple layout
+and compression; register jumps ``c.jr``/``c.jalr`` are offset-free and are
+compressed).  :func:`compress` maps an expanded 32-bit instruction to its
+compressed encoding when eligible; :func:`decode_compressed` inverts it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.spec import fits_signed, sign_extend
+
+# Registers addressable by the 3-bit rd'/rs' fields (x8..x15).
+_C_REGS = range(8, 16)
+
+
+def is_compressed_halfword(halfword: int) -> bool:
+    """True if a 16-bit parcel starts a compressed instruction."""
+    return (halfword & 0b11) != 0b11
+
+
+def _creg(reg: int) -> int:
+    return reg - 8
+
+
+# --- encoding helpers -------------------------------------------------------
+
+
+def _enc_ci(funct3: int, op: int, rd: int, imm6: int) -> int:
+    imm = imm6 & 0x3F
+    return (funct3 << 13) | (((imm >> 5) & 1) << 12) | (rd << 7) \
+        | ((imm & 0x1F) << 2) | op
+
+
+def _enc_ca(funct6: int, funct2: int, rd_p: int, rs2_p: int) -> int:
+    return (funct6 << 10) | (_creg(rd_p) << 7) | (funct2 << 5) \
+        | (_creg(rs2_p) << 2) | 0b01
+
+
+def compress(instr: Instruction) -> int | None:
+    """Return the 16-bit RVC encoding for ``instr``, or ``None``.
+
+    Only returns an encoding when it is *exactly* equivalent to the 32-bit
+    form (same architectural effect).
+    """
+    name = instr.name
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+
+    if name == "addi":
+        if rd == 0 and rs1 == 0 and imm == 0:
+            return 0x0001  # c.nop
+        if rd == rs1 != 0 and imm != 0 and fits_signed(imm, 6):
+            return _enc_ci(0b000, 0b01, rd, imm)  # c.addi
+        if rd != 0 and rs1 == 0 and fits_signed(imm, 6):
+            return _enc_ci(0b010, 0b01, rd, imm)  # c.li
+        if rd == 2 and rs1 == 2 and imm != 0 and imm % 16 == 0 \
+                and fits_signed(imm, 10):
+            u = imm & 0x3FF  # c.addi16sp
+            return (0b011 << 13) | (((u >> 9) & 1) << 12) | (2 << 7) \
+                | (((u >> 4) & 1) << 6) | (((u >> 6) & 1) << 5) \
+                | (((u >> 7) & 0x3) << 3) | (((u >> 5) & 1) << 2) | 0b01
+        if rd in _C_REGS and rs1 == 2 and imm is not None and imm > 0 \
+                and imm % 4 == 0 and imm <= 1020:
+            u = imm  # c.addi4spn
+            return (0b000 << 13) | (((u >> 4) & 0x3) << 11) \
+                | (((u >> 6) & 0xF) << 7) | (((u >> 2) & 1) << 6) \
+                | (((u >> 3) & 1) << 5) | (_creg(rd) << 2) | 0b00
+        return None
+
+    if name == "addiw" and rd == rs1 != 0 and fits_signed(imm, 6):
+        return _enc_ci(0b001, 0b01, rd, imm)
+
+    if name == "lui" and rd not in (0, 2):
+        value = sign_extend(imm, 20)
+        if value != 0 and fits_signed(value, 6):
+            return _enc_ci(0b011, 0b01, rd, value)
+
+    if name == "slli" and rd == rs1 != 0 and imm and 0 < imm < 64:
+        return _enc_ci(0b000, 0b10, rd, imm)
+
+    if name in ("srli", "srai") and rd == rs1 and rd in _C_REGS \
+            and imm and 0 < imm < 64:
+        funct2 = 0b00 if name == "srli" else 0b01
+        u = imm & 0x3F
+        return (0b100 << 13) | (((u >> 5) & 1) << 12) | (funct2 << 10) \
+            | (_creg(rd) << 7) | ((u & 0x1F) << 2) | 0b01
+
+    if name == "andi" and rd == rs1 and rd in _C_REGS \
+            and fits_signed(imm, 6):
+        u = imm & 0x3F
+        return (0b100 << 13) | (((u >> 5) & 1) << 12) | (0b10 << 10) \
+            | (_creg(rd) << 7) | ((u & 0x1F) << 2) | 0b01
+
+    if name in ("sub", "xor", "or", "and") and rd == rs1 \
+            and rd in _C_REGS and rs2 in _C_REGS:
+        funct2 = {"sub": 0b00, "xor": 0b01, "or": 0b10, "and": 0b11}[name]
+        return _enc_ca(0b100011, funct2, rd, rs2)
+
+    if name in ("subw", "addw") and rd == rs1 and rd in _C_REGS \
+            and rs2 in _C_REGS:
+        funct2 = 0b00 if name == "subw" else 0b01
+        return _enc_ca(0b100111, funct2, rd, rs2)
+
+    if name == "add":
+        if rd == rs1 != 0 and rs2 != 0:
+            return (0b100 << 13) | (1 << 12) | (rd << 7) | (rs2 << 2) | 0b10
+        if rd != 0 and rs1 == 0 and rs2 != 0:  # c.mv
+            return (0b100 << 13) | (rd << 7) | (rs2 << 2) | 0b10
+        return None
+
+    if name == "jalr" and imm == 0 and rs1 != 0:
+        if rd == 0:   # c.jr
+            return (0b100 << 13) | (rs1 << 7) | 0b10
+        if rd == 1:   # c.jalr
+            return (0b100 << 13) | (1 << 12) | (rs1 << 7) | 0b10
+        return None
+
+    if name == "ebreak":
+        return (0b100 << 13) | (1 << 12) | 0b10
+
+    if name in ("lw", "ld") and rs1 == 2 and rd != 0 and imm is not None \
+            and imm >= 0:
+        if name == "lw" and imm % 4 == 0 and imm <= 252:  # c.lwsp
+            u = imm
+            return (0b010 << 13) | (((u >> 5) & 1) << 12) | (rd << 7) \
+                | (((u >> 2) & 0x7) << 4) | (((u >> 6) & 0x3) << 2) | 0b10
+        if name == "ld" and imm % 8 == 0 and imm <= 504:  # c.ldsp
+            u = imm
+            return (0b011 << 13) | (((u >> 5) & 1) << 12) | (rd << 7) \
+                | (((u >> 3) & 0x3) << 5) | (((u >> 6) & 0x7) << 2) | 0b10
+        return None
+
+    if name in ("sw", "sd") and rs1 == 2 and imm is not None and imm >= 0:
+        if name == "sw" and imm % 4 == 0 and imm <= 252:  # c.swsp
+            u = imm
+            return (0b110 << 13) | (((u >> 2) & 0xF) << 9) \
+                | (((u >> 6) & 0x3) << 7) | (rs2 << 2) | 0b10
+        if name == "sd" and imm % 8 == 0 and imm <= 504:  # c.sdsp
+            u = imm
+            return (0b111 << 13) | (((u >> 3) & 0x7) << 10) \
+                | (((u >> 6) & 0x7) << 7) | (rs2 << 2) | 0b10
+        return None
+
+    if name in ("lw", "ld") and rs1 in _C_REGS and rd in _C_REGS \
+            and imm is not None and imm >= 0:
+        if name == "lw" and imm % 4 == 0 and imm <= 124:  # c.lw
+            u = imm
+            return (0b010 << 13) | (((u >> 3) & 0x7) << 10) \
+                | (_creg(rs1) << 7) | (((u >> 2) & 1) << 6) \
+                | (((u >> 6) & 1) << 5) | (_creg(rd) << 2) | 0b00
+        if name == "ld" and imm % 8 == 0 and imm <= 248:  # c.ld
+            u = imm
+            return (0b011 << 13) | (((u >> 3) & 0x7) << 10) \
+                | (_creg(rs1) << 7) | (((u >> 6) & 0x3) << 5) \
+                | (_creg(rd) << 2) | 0b00
+        return None
+
+    if name in ("sw", "sd") and rs1 in _C_REGS and rs2 in _C_REGS \
+            and imm is not None and imm >= 0:
+        if name == "sw" and imm % 4 == 0 and imm <= 124:  # c.sw
+            u = imm
+            return (0b110 << 13) | (((u >> 3) & 0x7) << 10) \
+                | (_creg(rs1) << 7) | (((u >> 2) & 1) << 6) \
+                | (((u >> 6) & 1) << 5) | (_creg(rs2) << 2) | 0b00
+        if name == "sd" and imm % 8 == 0 and imm <= 248:  # c.sd
+            u = imm
+            return (0b111 << 13) | (((u >> 3) & 0x7) << 10) \
+                | (_creg(rs1) << 7) | (((u >> 6) & 0x3) << 5) \
+                | (_creg(rs2) << 2) | 0b00
+        return None
+
+    return None
+
+
+def decode_compressed(halfword: int) -> tuple[str, Instruction]:
+    """Decode a 16-bit parcel.
+
+    Returns ``(rvc_name, expanded)`` where ``expanded`` is the equivalent
+    32-bit :class:`Instruction` (what the CPU executes, and what
+    :func:`compress` would re-compress).
+    """
+    if not 0 <= halfword < (1 << 16):
+        raise DecodingError(f"{halfword:#x} is not a 16-bit parcel")
+    if not is_compressed_halfword(halfword):
+        raise DecodingError(f"{halfword:#06x} is a 32-bit instruction head")
+    if halfword == 0:
+        raise DecodingError("all-zero parcel is defined illegal")
+
+    op = halfword & 0b11
+    funct3 = (halfword >> 13) & 0b111
+
+    if op == 0b00:
+        rd_p = 8 + ((halfword >> 2) & 0x7)
+        rs1_p = 8 + ((halfword >> 7) & 0x7)
+        if funct3 == 0b000:  # c.addi4spn
+            u = (((halfword >> 11) & 0x3) << 4) \
+                | (((halfword >> 7) & 0xF) << 6) \
+                | (((halfword >> 6) & 1) << 2) | (((halfword >> 5) & 1) << 3)
+            if u == 0:
+                raise DecodingError("c.addi4spn with zero immediate")
+            return "c.addi4spn", Instruction("addi", rd=rd_p, rs1=2, imm=u)
+        if funct3 == 0b010:  # c.lw
+            u = (((halfword >> 10) & 0x7) << 3) \
+                | (((halfword >> 6) & 1) << 2) | (((halfword >> 5) & 1) << 6)
+            return "c.lw", Instruction("lw", rd=rd_p, rs1=rs1_p, imm=u)
+        if funct3 == 0b011:  # c.ld
+            u = (((halfword >> 10) & 0x7) << 3) \
+                | (((halfword >> 5) & 0x3) << 6)
+            return "c.ld", Instruction("ld", rd=rd_p, rs1=rs1_p, imm=u)
+        if funct3 == 0b110:  # c.sw
+            u = (((halfword >> 10) & 0x7) << 3) \
+                | (((halfword >> 6) & 1) << 2) | (((halfword >> 5) & 1) << 6)
+            return "c.sw", Instruction("sw", rs1=rs1_p, rs2=rd_p, imm=u)
+        if funct3 == 0b111:  # c.sd
+            u = (((halfword >> 10) & 0x7) << 3) \
+                | (((halfword >> 5) & 0x3) << 6)
+            return "c.sd", Instruction("sd", rs1=rs1_p, rs2=rd_p, imm=u)
+        raise DecodingError(f"unsupported C0 encoding {halfword:#06x}")
+
+    if op == 0b01:
+        rd = (halfword >> 7) & 0x1F
+        imm6 = sign_extend((((halfword >> 12) & 1) << 5)
+                           | ((halfword >> 2) & 0x1F), 6)
+        if funct3 == 0b000:
+            if rd == 0:
+                return "c.nop", Instruction("addi", rd=0, rs1=0, imm=0)
+            return "c.addi", Instruction("addi", rd=rd, rs1=rd, imm=imm6)
+        if funct3 == 0b001:
+            if rd == 0:
+                raise DecodingError("c.addiw with rd=0 is reserved")
+            return "c.addiw", Instruction("addiw", rd=rd, rs1=rd, imm=imm6)
+        if funct3 == 0b010:
+            return "c.li", Instruction("addi", rd=rd, rs1=0, imm=imm6)
+        if funct3 == 0b011:
+            if rd == 2:  # c.addi16sp
+                imm = sign_extend(
+                    (((halfword >> 12) & 1) << 9)
+                    | (((halfword >> 6) & 1) << 4)
+                    | (((halfword >> 5) & 1) << 6)
+                    | (((halfword >> 3) & 0x3) << 7)
+                    | (((halfword >> 2) & 1) << 5), 10)
+                return "c.addi16sp", Instruction("addi", rd=2, rs1=2, imm=imm)
+            if imm6 == 0:
+                raise DecodingError("c.lui with zero immediate")
+            return "c.lui", Instruction("lui", rd=rd, imm=imm6 & 0xFFFFF)
+        if funct3 == 0b100:
+            sub = (halfword >> 10) & 0x3
+            rd_p = 8 + ((halfword >> 7) & 0x7)
+            if sub == 0b00:
+                shamt = (((halfword >> 12) & 1) << 5) | ((halfword >> 2) & 0x1F)
+                return "c.srli", Instruction("srli", rd=rd_p, rs1=rd_p,
+                                             imm=shamt)
+            if sub == 0b01:
+                shamt = (((halfword >> 12) & 1) << 5) | ((halfword >> 2) & 0x1F)
+                return "c.srai", Instruction("srai", rd=rd_p, rs1=rd_p,
+                                             imm=shamt)
+            if sub == 0b10:
+                return "c.andi", Instruction("andi", rd=rd_p, rs1=rd_p,
+                                             imm=imm6)
+            rs2_p = 8 + ((halfword >> 2) & 0x7)
+            funct2 = (halfword >> 5) & 0x3
+            if (halfword >> 12) & 1:
+                name = {0b00: "subw", 0b01: "addw"}.get(funct2)
+            else:
+                name = {0b00: "sub", 0b01: "xor",
+                        0b10: "or", 0b11: "and"}[funct2]
+            if name is None:
+                raise DecodingError(f"reserved CA encoding {halfword:#06x}")
+            return f"c.{name}", Instruction(name, rd=rd_p, rs1=rd_p,
+                                            rs2=rs2_p)
+        raise DecodingError(f"unsupported C1 encoding {halfword:#06x} "
+                            "(c.j/c.beqz not emitted by this toolchain)")
+
+    # op == 0b10
+    rd = (halfword >> 7) & 0x1F
+    rs2 = (halfword >> 2) & 0x1F
+    if funct3 == 0b000:
+        shamt = (((halfword >> 12) & 1) << 5) | ((halfword >> 2) & 0x1F)
+        if rd == 0 or shamt == 0:
+            raise DecodingError("c.slli with rd=0 or shamt=0")
+        return "c.slli", Instruction("slli", rd=rd, rs1=rd, imm=shamt)
+    if funct3 == 0b010:  # c.lwsp
+        if rd == 0:
+            raise DecodingError("c.lwsp with rd=0 is reserved")
+        u = (((halfword >> 12) & 1) << 5) | (((halfword >> 4) & 0x7) << 2) \
+            | (((halfword >> 2) & 0x3) << 6)
+        return "c.lwsp", Instruction("lw", rd=rd, rs1=2, imm=u)
+    if funct3 == 0b011:  # c.ldsp
+        if rd == 0:
+            raise DecodingError("c.ldsp with rd=0 is reserved")
+        u = (((halfword >> 12) & 1) << 5) | (((halfword >> 5) & 0x3) << 3) \
+            | (((halfword >> 2) & 0x7) << 6)
+        return "c.ldsp", Instruction("ld", rd=rd, rs1=2, imm=u)
+    if funct3 == 0b100:
+        bit12 = (halfword >> 12) & 1
+        if bit12 == 0:
+            if rs2 == 0:
+                if rd == 0:
+                    raise DecodingError("c.jr with rs1=0 is reserved")
+                return "c.jr", Instruction("jalr", rd=0, rs1=rd, imm=0)
+            return "c.mv", Instruction("add", rd=rd, rs1=0, rs2=rs2)
+        if rs2 == 0:
+            if rd == 0:
+                return "c.ebreak", Instruction("ebreak")
+            return "c.jalr", Instruction("jalr", rd=1, rs1=rd, imm=0)
+        return "c.add", Instruction("add", rd=rd, rs1=rd, rs2=rs2)
+    if funct3 == 0b110:  # c.swsp
+        u = (((halfword >> 9) & 0xF) << 2) | (((halfword >> 7) & 0x3) << 6)
+        return "c.swsp", Instruction("sw", rs1=2, rs2=rs2, imm=u)
+    if funct3 == 0b111:  # c.sdsp
+        u = (((halfword >> 10) & 0x7) << 3) | (((halfword >> 7) & 0x7) << 6)
+        return "c.sdsp", Instruction("sd", rs1=2, rs2=rs2, imm=u)
+    raise DecodingError(f"unsupported C2 encoding {halfword:#06x}")
+
+
+def expand_compressed(halfword: int) -> Instruction:
+    """The expanded 32-bit equivalent of a compressed parcel."""
+    return decode_compressed(halfword)[1]
+
+
+def encode_compressed(instr: Instruction) -> int:
+    """Like :func:`compress` but raises instead of returning ``None``."""
+    encoding = compress(instr)
+    if encoding is None:
+        raise EncodingError(f"{instr} has no RVC encoding in this subset")
+    return encoding

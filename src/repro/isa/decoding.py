@@ -1,0 +1,137 @@
+"""Instruction decoding: 32-bit word -> :class:`Instruction`.
+
+Also provides :func:`decode_at`, the variable-length fetch helper used by
+the SoC (and by the HDE when it walks an instruction stream): RISC-V
+encodes length in the low bits — ``bits[1:0] == 0b11`` means a 32-bit
+instruction, anything else is a 16-bit compressed one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+from repro.isa.instruction import Instruction
+from repro.isa.spec import (
+    INSTRUCTION_SPECS,
+    OPCODE_MISC_MEM,
+    OPCODE_SYSTEM,
+    sign_extend,
+)
+
+# Build reverse lookup tables once at import.
+#   (opcode) -> U/J entry
+#   (opcode, funct3) -> I/S/B entries
+#   (opcode, funct3, funct7) -> R entries
+_BY_OPCODE: dict[int, str] = {}
+_BY_F3: dict[tuple[int, int], str] = {}
+_BY_F3_F7: dict[tuple[int, int, int], str] = {}
+_SHIFT64: dict[tuple[int, int, int], str] = {}  # funct6 keyed
+_SHIFT32: dict[tuple[int, int, int], str] = {}
+
+for _name, (_fmt, _op, _f3, _f7) in INSTRUCTION_SPECS.items():
+    if _fmt in ("U", "J"):
+        _BY_OPCODE[_op] = _name
+    elif _fmt in ("I", "S", "B"):
+        _BY_F3[(_op, _f3)] = _name
+    elif _fmt == "R":
+        _BY_F3_F7[(_op, _f3, _f7)] = _name
+    elif _fmt == "SHIFT64":
+        _SHIFT64[(_op, _f3, _f7)] = _name
+    elif _fmt == "SHIFT32":
+        _SHIFT32[(_op, _f3, _f7)] = _name
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    Raises:
+        DecodingError: if the word is not a recognized RV64IM encoding —
+            the common case when the static attacker tries to disassemble
+            ciphertext.
+    """
+    if not 0 <= word < (1 << 32):
+        raise DecodingError(f"word {word:#x} is not a 32-bit value")
+    if word & 0b11 != 0b11:
+        raise DecodingError(
+            f"word {word:#010x} has compressed length bits; "
+            "use decode_compressed"
+        )
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == OPCODE_SYSTEM:
+        imm12 = (word >> 20) & 0xFFF
+        if word == 0x00000073:
+            return Instruction("ecall")
+        if word == 0x00100073:
+            return Instruction("ebreak")
+        raise DecodingError(f"unsupported SYSTEM encoding {word:#010x} "
+                            f"(imm={imm12:#x})")
+    if opcode == OPCODE_MISC_MEM:
+        if funct3 == 0:
+            return Instruction("fence")
+        raise DecodingError(f"unsupported MISC-MEM encoding {word:#010x}")
+
+    name = _BY_OPCODE.get(opcode)
+    if name is not None:
+        fmt = INSTRUCTION_SPECS[name][0]
+        if fmt == "U":
+            return Instruction(name, rd=rd, imm=(word >> 12) & 0xFFFFF)
+        # J-type (jal)
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return Instruction(name, rd=rd, imm=sign_extend(imm, 21))
+
+    name = _BY_F3.get((opcode, funct3))
+    if name is not None:
+        fmt = INSTRUCTION_SPECS[name][0]
+        if fmt == "I":
+            return Instruction(name, rd=rd, rs1=rs1,
+                               imm=sign_extend(word >> 20, 12))
+        if fmt == "S":
+            imm = (funct7 << 5) | rd
+            return Instruction(name, rs1=rs1, rs2=rs2,
+                               imm=sign_extend(imm, 12))
+        # B-type
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=sign_extend(imm, 13))
+
+    # Shifts come before plain R lookup because OP-IMM f3=1/5 land here.
+    funct6 = (word >> 26) & 0x3F
+    name = _SHIFT64.get((opcode, funct3, funct6))
+    if name is not None:
+        return Instruction(name, rd=rd, rs1=rs1, imm=(word >> 20) & 0x3F)
+    name = _SHIFT32.get((opcode, funct3, funct7))
+    if name is not None:
+        return Instruction(name, rd=rd, rs1=rs1, imm=rs2)
+
+    name = _BY_F3_F7.get((opcode, funct3, funct7))
+    if name is not None:
+        return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+
+    raise DecodingError(f"cannot decode word {word:#010x}")
+
+
+def decode_at(blob: bytes, offset: int) -> tuple[Instruction, int]:
+    """Decode the instruction starting at ``offset`` of ``blob``.
+
+    Returns ``(instruction, size)`` where size is 2 or 4 bytes.  The
+    compressed decoder expands RVC forms to their 32-bit semantic
+    equivalents, so callers can execute the result uniformly.
+    """
+    from repro.isa.compressed import decode_compressed  # avoid import cycle
+
+    if offset + 2 > len(blob):
+        raise DecodingError(f"truncated instruction at offset {offset}")
+    halfword = int.from_bytes(blob[offset:offset + 2], "little")
+    if halfword & 0b11 == 0b11:
+        if offset + 4 > len(blob):
+            raise DecodingError(f"truncated instruction at offset {offset}")
+        word = int.from_bytes(blob[offset:offset + 4], "little")
+        return decode(word), 4
+    _, expanded = decode_compressed(halfword)
+    return expanded, 2

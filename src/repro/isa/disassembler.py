@@ -1,0 +1,63 @@
+"""Disassembler — both a debugging aid and the static attacker's tool.
+
+:func:`disassemble_text` walks a text section the way a reverse engineer
+would, printing addresses, raw words and mnemonics; undecodable words are
+rendered as ``.word 0x...`` (which is what an attacker sees all over an
+ERIC-encrypted binary).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+from repro.isa.compressed import decode_compressed, is_compressed_halfword
+from repro.isa.decoding import decode
+from repro.isa.instruction import Instruction
+
+
+def disassemble(word: int) -> str:
+    """Disassemble one 32-bit word to text."""
+    return str(decode(word))
+
+
+def disassemble_text(blob: bytes, base_address: int = 0) -> list[str]:
+    """Disassemble a text section, one line per instruction slot.
+
+    Walks the blob with RISC-V length rules.  Undecodable 32-bit parcels
+    are printed as data words; undecodable 16-bit parcels as data
+    halfwords — the walk resynchronizes after them, as objdump does.
+    """
+    lines = []
+    offset = 0
+    while offset < len(blob):
+        address = base_address + offset
+        if offset + 2 > len(blob):
+            break
+        halfword = int.from_bytes(blob[offset:offset + 2], "little")
+        if is_compressed_halfword(halfword):
+            try:
+                name, expanded = decode_compressed(halfword)
+                lines.append(
+                    f"{address:#010x}: {halfword:04x}      "
+                    f"{name} ({_operands(expanded)})"
+                )
+            except DecodingError:
+                lines.append(f"{address:#010x}: {halfword:04x}      "
+                             f".half {halfword:#06x}")
+            offset += 2
+            continue
+        if offset + 4 > len(blob):
+            lines.append(f"{address:#010x}: {halfword:04x}      "
+                         f".half {halfword:#06x}")
+            break
+        word = int.from_bytes(blob[offset:offset + 4], "little")
+        try:
+            lines.append(f"{address:#010x}: {word:08x}  {decode(word)}")
+        except DecodingError:
+            lines.append(f"{address:#010x}: {word:08x}  .word {word:#010x}")
+        offset += 4
+    return lines
+
+
+def _operands(instr: Instruction) -> str:
+    text = str(instr)
+    return text.split(" ", 1)[1] if " " in text else ""

@@ -1,0 +1,122 @@
+"""Instruction encoding: :class:`Instruction` -> 32-bit word."""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.spec import (
+    INSTRUCTION_SPECS,
+    NUM_REGISTERS,
+    fits_signed,
+    fits_unsigned,
+)
+
+
+def _check_reg(value: int | None, role: str, name: str) -> int:
+    if value is None:
+        raise EncodingError(f"{name}: missing {role}")
+    if not 0 <= value < NUM_REGISTERS:
+        raise EncodingError(f"{name}: {role}={value} out of range")
+    return value
+
+
+def _check_imm_signed(value: int | None, bits: int, name: str) -> int:
+    if value is None:
+        raise EncodingError(f"{name}: missing immediate")
+    if not fits_signed(value, bits):
+        raise EncodingError(
+            f"{name}: immediate {value} does not fit in {bits} signed bits"
+        )
+    return value & ((1 << bits) - 1)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` as a 32-bit little-endian instruction word."""
+    name = instr.name
+    fmt, opcode, funct3, funct7 = INSTRUCTION_SPECS[name]
+
+    if fmt == "R":
+        rd = _check_reg(instr.rd, "rd", name)
+        rs1 = _check_reg(instr.rs1, "rs1", name)
+        rs2 = _check_reg(instr.rs2, "rs2", name)
+        return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (rd << 7) | opcode
+
+    if fmt == "I":
+        rd = _check_reg(instr.rd, "rd", name)
+        rs1 = _check_reg(instr.rs1, "rs1", name)
+        imm = _check_imm_signed(instr.imm, 12, name)
+        return (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+    if fmt == "SHIFT64":
+        rd = _check_reg(instr.rd, "rd", name)
+        rs1 = _check_reg(instr.rs1, "rs1", name)
+        if instr.imm is None or not fits_unsigned(instr.imm, 6):
+            raise EncodingError(f"{name}: shamt {instr.imm} not in [0, 63]")
+        return (funct7 << 26) | (instr.imm << 20) | (rs1 << 15) \
+            | (funct3 << 12) | (rd << 7) | opcode
+
+    if fmt == "SHIFT32":
+        rd = _check_reg(instr.rd, "rd", name)
+        rs1 = _check_reg(instr.rs1, "rs1", name)
+        if instr.imm is None or not fits_unsigned(instr.imm, 5):
+            raise EncodingError(f"{name}: shamt {instr.imm} not in [0, 31]")
+        return (funct7 << 25) | (instr.imm << 20) | (rs1 << 15) \
+            | (funct3 << 12) | (rd << 7) | opcode
+
+    if fmt == "S":
+        rs1 = _check_reg(instr.rs1, "rs1", name)
+        rs2 = _check_reg(instr.rs2, "rs2", name)
+        imm = _check_imm_signed(instr.imm, 12, name)
+        return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+
+    if fmt == "B":
+        rs1 = _check_reg(instr.rs1, "rs1", name)
+        rs2 = _check_reg(instr.rs2, "rs2", name)
+        if instr.imm is None or instr.imm % 2:
+            raise EncodingError(f"{name}: branch offset must be even")
+        if not fits_signed(instr.imm, 13):
+            raise EncodingError(
+                f"{name}: branch offset {instr.imm} out of +-4KiB range"
+            )
+        imm = instr.imm & 0x1FFF
+        return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) \
+            | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+            | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+
+    if fmt == "U":
+        rd = _check_reg(instr.rd, "rd", name)
+        if instr.imm is None or not fits_unsigned(instr.imm, 20):
+            raise EncodingError(
+                f"{name}: U-immediate {instr.imm} not a 20-bit value"
+            )
+        return (instr.imm << 12) | (rd << 7) | opcode
+
+    if fmt == "J":
+        rd = _check_reg(instr.rd, "rd", name)
+        if instr.imm is None or instr.imm % 2:
+            raise EncodingError(f"{name}: jump offset must be even")
+        if not fits_signed(instr.imm, 21):
+            raise EncodingError(
+                f"{name}: jump offset {instr.imm} out of +-1MiB range"
+            )
+        imm = instr.imm & 0x1FFFFF
+        return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) \
+            | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) \
+            | (rd << 7) | opcode
+
+    if fmt == "SYS":
+        # funct7 slot reused as the 12-bit SYSTEM immediate (0/1).
+        return (funct7 << 20) | opcode
+
+    if fmt == "FENCE":
+        # fence iorw, iorw — fixed encoding, executed as a no-op.
+        return (0b0011 << 24) | (0b0011 << 20) | opcode
+
+    raise EncodingError(f"unhandled format {fmt} for {name}")
+
+
+def encode_bytes(instr: Instruction) -> bytes:
+    """Encode ``instr`` as 4 little-endian bytes."""
+    return encode(instr).to_bytes(4, "little")

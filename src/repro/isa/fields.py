@@ -1,0 +1,107 @@
+"""Bit-field geometry for field-level partial encryption.
+
+The paper's interface lets the programmer encrypt "special parts within the
+target instructions ... for example, only the pointer values of the
+instructions that make memory accesses", and notes that leaving opcode bits
+plaintext "make[s] it difficult to understand that the program is
+encrypted" (§III.1).  This module computes, for any 32-bit instruction
+word, the bit mask covering a named *field class*:
+
+============  ============================================================
+``opcode``    bits [6:0] (never encrypted in field mode, by construction)
+``rd``        bits [11:7] where the format has an rd
+``rs1``       bits [19:15]
+``rs2``       bits [24:20]
+``funct``     funct3 (+ funct7/funct6 where present)
+``imm``       every immediate bit of the format (the "pointer values")
+============  ============================================================
+
+Masks are derived from the *decoded* format, so the HDE can recompute the
+same mask from the plaintext opcode/funct bits before decrypting the
+masked bits — which is exactly why field mode keeps those bits clear.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+from repro.isa.decoding import decode
+from repro.isa.spec import INSTRUCTION_SPECS
+
+#: Field classes selectable from the encryption interface.
+FIELD_CLASSES = ("opcode", "rd", "rs1", "rs2", "funct", "imm")
+
+_OPCODE_MASK = 0x0000007F
+_RD_MASK = 0x00000F80
+_FUNCT3_MASK = 0x00007000
+_RS1_MASK = 0x000F8000
+_RS2_MASK = 0x01F00000
+_FUNCT7_MASK = 0xFE000000
+_FUNCT6_MASK = 0xFC000000
+
+# Per-format presence of the classic fields and layout of the immediate.
+_FORMAT_MASKS: dict[str, dict[str, int]] = {
+    "R": {"rd": _RD_MASK, "rs1": _RS1_MASK, "rs2": _RS2_MASK,
+          "funct": _FUNCT3_MASK | _FUNCT7_MASK, "imm": 0},
+    "I": {"rd": _RD_MASK, "rs1": _RS1_MASK, "rs2": 0,
+          "funct": _FUNCT3_MASK, "imm": 0xFFF00000},
+    "SHIFT64": {"rd": _RD_MASK, "rs1": _RS1_MASK, "rs2": 0,
+                "funct": _FUNCT3_MASK | _FUNCT6_MASK, "imm": 0x03F00000},
+    "SHIFT32": {"rd": _RD_MASK, "rs1": _RS1_MASK, "rs2": 0,
+                "funct": _FUNCT3_MASK | _FUNCT7_MASK, "imm": 0x01F00000},
+    "S": {"rd": 0, "rs1": _RS1_MASK, "rs2": _RS2_MASK,
+          "funct": _FUNCT3_MASK, "imm": 0xFE000F80},
+    "B": {"rd": 0, "rs1": _RS1_MASK, "rs2": _RS2_MASK,
+          "funct": _FUNCT3_MASK, "imm": 0xFE000F80},
+    "U": {"rd": _RD_MASK, "rs1": 0, "rs2": 0,
+          "funct": 0, "imm": 0xFFFFF000},
+    "J": {"rd": _RD_MASK, "rs1": 0, "rs2": 0,
+          "funct": 0, "imm": 0xFFFFF000},
+    "SYS": {"rd": 0, "rs1": 0, "rs2": 0, "funct": _FUNCT3_MASK,
+            "imm": 0xFFF00000},
+    "FENCE": {"rd": 0, "rs1": 0, "rs2": 0, "funct": _FUNCT3_MASK,
+              "imm": 0xFFF00000},
+}
+
+
+def field_mask(word: int, classes: tuple[str, ...]) -> int:
+    """Bit mask of ``word`` covering the requested field classes.
+
+    Raises:
+        DecodingError: if ``word`` does not decode (masks are
+            format-dependent).
+        ValueError: for an unknown field class name.
+    """
+    for cls in classes:
+        if cls not in FIELD_CLASSES:
+            raise ValueError(
+                f"unknown field class {cls!r}; known: {FIELD_CLASSES}"
+            )
+    instr = decode(word)  # raises DecodingError on non-instructions
+    fmt = INSTRUCTION_SPECS[instr.name][0]
+    masks = _FORMAT_MASKS[fmt]
+    mask = 0
+    for cls in classes:
+        if cls == "opcode":
+            mask |= _OPCODE_MASK
+        else:
+            mask |= masks[cls]
+    return mask
+
+
+def encryptable_mask(word: int, classes: tuple[str, ...]) -> int:
+    """Like :func:`field_mask` but never covers the bits the HDE needs to
+    recompute the mask: opcode, funct3 and funct7/funct6.
+
+    SYSTEM and MISC-MEM instructions are excluded entirely (mask 0):
+    their "immediate" bits select the concrete instruction (ecall vs
+    ebreak), so garbling them would leave the HDE unable to re-derive
+    the mask — and they carry no program data worth hiding anyway.
+
+    This is the mask field-level encryption actually applies.
+    """
+    instr = decode(word)
+    fmt = INSTRUCTION_SPECS[instr.name][0]
+    if fmt in ("SYS", "FENCE"):
+        return 0
+    keep_clear = _OPCODE_MASK | _FORMAT_MASKS[fmt]["funct"]
+    return field_mask(word, classes) & ~keep_clear

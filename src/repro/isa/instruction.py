@@ -1,0 +1,59 @@
+"""The ``Instruction`` value type shared by every ISA layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.spec import INSTRUCTION_SPECS, register_name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded (or to-be-encoded) RISC-V instruction.
+
+    Operand fields that a format does not use stay ``None``; ``imm`` holds
+    the *sign-extended byte* immediate for branches/jumps (i.e. the actual
+    pc-relative offset, not the encoded half).
+    """
+
+    name: str
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in INSTRUCTION_SPECS:
+            raise ValueError(f"unknown instruction mnemonic {self.name!r}")
+
+    @property
+    def format(self) -> str:
+        return INSTRUCTION_SPECS[self.name][0]
+
+    def __str__(self) -> str:
+        from repro.isa.spec import LOADS, STORES  # local to avoid cycles
+
+        name = self.name
+        if name in ("ecall", "ebreak", "fence"):
+            return name
+        if name in LOADS:
+            return (f"{name} {register_name(self.rd)}, "
+                    f"{self.imm}({register_name(self.rs1)})")
+        if name in STORES:
+            return (f"{name} {register_name(self.rs2)}, "
+                    f"{self.imm}({register_name(self.rs1)})")
+        fmt = self.format
+        if fmt == "R":
+            return (f"{name} {register_name(self.rd)}, "
+                    f"{register_name(self.rs1)}, {register_name(self.rs2)}")
+        if fmt in ("I", "SHIFT64", "SHIFT32"):
+            return (f"{name} {register_name(self.rd)}, "
+                    f"{register_name(self.rs1)}, {self.imm}")
+        if fmt == "B":
+            return (f"{name} {register_name(self.rs1)}, "
+                    f"{register_name(self.rs2)}, {self.imm}")
+        if fmt == "U":
+            return f"{name} {register_name(self.rd)}, {self.imm:#x}"
+        if fmt == "J":
+            return f"{name} {register_name(self.rd)}, {self.imm}"
+        return name

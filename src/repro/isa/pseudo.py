@@ -1,0 +1,138 @@
+"""Pseudo-instruction expansion.
+
+The assembler accepts the standard RISC-V pseudo-instructions and expands
+them here into base RV64IM instructions.  Label-valued immediates are
+resolved by the assembler *before* expansion, so this module only deals in
+integers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.spec import fits_signed
+
+
+def li_sequence(rd: int, value: int) -> list[Instruction]:
+    """Materialize an arbitrary 64-bit constant into ``rd``.
+
+    Uses the standard recursive lui/addiw/slli/addi construction (as GNU
+    as does for RV64).  ``value`` may be given signed or unsigned; it is
+    interpreted modulo 2^64.
+    """
+    value &= (1 << 64) - 1
+    if value >= (1 << 63):
+        value -= 1 << 64  # canonical signed form
+
+    if fits_signed(value, 12):
+        return [Instruction("addi", rd=rd, rs1=0, imm=value)]
+
+    if fits_signed(value, 32):
+        hi = (value + 0x800) >> 12
+        lo = value - (hi << 12)
+        sequence = []
+        if hi == 0:
+            sequence.append(Instruction("addi", rd=rd, rs1=0, imm=lo))
+        else:
+            sequence.append(Instruction("lui", rd=rd, imm=hi & 0xFFFFF))
+            if lo:
+                sequence.append(Instruction("addiw", rd=rd, rs1=rd, imm=lo))
+        return sequence
+
+    # 64-bit path: peel 12 low bits, recurse on the rest, shift, add.
+    lo = value & 0xFFF
+    if lo >= 0x800:
+        lo -= 0x1000
+    rest = (value - lo) >> 12
+    sequence = li_sequence(rd, rest)
+    sequence.append(Instruction("slli", rd=rd, rs1=rd, imm=12))
+    if lo:
+        sequence.append(Instruction("addi", rd=rd, rs1=rd, imm=lo))
+    return sequence
+
+
+def la_sequence(rd: int, address: int) -> list[Instruction]:
+    """Materialize an absolute address (labels live below 2^31 here)."""
+    if not 0 <= address < (1 << 31):
+        raise EncodingError(f"address {address:#x} outside la range")
+    return li_sequence(rd, address)
+
+
+#: pseudo name -> expander(operands) -> list[Instruction].  Operands arrive
+#: pre-parsed: registers as ints, immediates/labels as resolved ints.
+def expand_pseudo(name: str, operands: list[int]) -> list[Instruction]:
+    """Expand pseudo ``name`` with resolved operands.
+
+    Returns the replacement instruction list, or raises
+    :class:`EncodingError` for an unknown pseudo / operand mismatch.
+    PC-relative pseudos (j, jal with one operand, beqz...) are handled by
+    the assembler itself because they need the current pc; this function
+    covers the pc-independent ones.
+    """
+    def regs(n: int) -> list[int]:
+        if len(operands) != n:
+            raise EncodingError(
+                f"pseudo {name!r} expects {n} operands, got {len(operands)}"
+            )
+        return operands
+
+    if name == "nop":
+        regs(0)
+        return [Instruction("addi", rd=0, rs1=0, imm=0)]
+    if name == "li":
+        rd, value = regs(2)
+        return li_sequence(rd, value)
+    if name == "la":
+        rd, address = regs(2)
+        return la_sequence(rd, address)
+    if name == "mv":
+        rd, rs = regs(2)
+        return [Instruction("addi", rd=rd, rs1=rs, imm=0)]
+    if name == "not":
+        rd, rs = regs(2)
+        return [Instruction("xori", rd=rd, rs1=rs, imm=-1)]
+    if name == "neg":
+        rd, rs = regs(2)
+        return [Instruction("sub", rd=rd, rs1=0, rs2=rs)]
+    if name == "negw":
+        rd, rs = regs(2)
+        return [Instruction("subw", rd=rd, rs1=0, rs2=rs)]
+    if name == "sext.w":
+        rd, rs = regs(2)
+        return [Instruction("addiw", rd=rd, rs1=rs, imm=0)]
+    if name == "seqz":
+        rd, rs = regs(2)
+        return [Instruction("sltiu", rd=rd, rs1=rs, imm=1)]
+    if name == "snez":
+        rd, rs = regs(2)
+        return [Instruction("sltu", rd=rd, rs1=0, rs2=rs)]
+    if name == "sltz":
+        rd, rs = regs(2)
+        return [Instruction("slt", rd=rd, rs1=rs, rs2=0)]
+    if name == "sgtz":
+        rd, rs = regs(2)
+        return [Instruction("slt", rd=rd, rs1=0, rs2=rs)]
+    if name == "jr":
+        (rs,) = regs(1)
+        return [Instruction("jalr", rd=0, rs1=rs, imm=0)]
+    if name == "jalr.ra":  # internal canonical form of 1-operand jalr
+        (rs,) = regs(1)
+        return [Instruction("jalr", rd=1, rs1=rs, imm=0)]
+    if name == "ret":
+        regs(0)
+        return [Instruction("jalr", rd=0, rs1=1, imm=0)]
+    raise EncodingError(f"unknown pseudo-instruction {name!r}")
+
+
+#: Pseudos the assembler resolves itself (pc-relative or label-shaped).
+PC_RELATIVE_PSEUDOS = frozenset({
+    "j", "jal", "call", "tail",
+    "beqz", "bnez", "blez", "bgez", "bltz", "bgtz",
+    "bgt", "ble", "bgtu", "bleu",
+})
+
+#: Pseudos expanded by :func:`expand_pseudo` (operand counts for parsing).
+SIMPLE_PSEUDOS = frozenset({
+    "nop", "li", "la", "mv", "not", "neg", "negw", "sext.w",
+    "seqz", "snez", "sltz", "sgtz", "jr", "ret",
+})

@@ -1,0 +1,168 @@
+"""Architectural constants: registers, ABI names, opcodes, funct codes.
+
+Single source of truth for the encoder, decoder, assembler and
+disassembler.  Everything follows the RISC-V unprivileged spec (v2.2
+numbering).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+XLEN = 64
+NUM_REGISTERS = 32
+
+#: ABI register names indexed by register number.
+REGISTER_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_NUMBER = {name: i for i, name in enumerate(REGISTER_NAMES)}
+_NAME_TO_NUMBER["fp"] = 8  # alias of s0
+_NAME_TO_NUMBER.update({f"x{i}": i for i in range(NUM_REGISTERS)})
+
+
+def parse_register(name: str) -> int:
+    """Map an ABI or ``x<n>`` register name to its number."""
+    try:
+        return _NAME_TO_NUMBER[name]
+    except KeyError:
+        raise EncodingError(f"unknown register {name!r}") from None
+
+
+def register_name(number: int) -> str:
+    """ABI name for a register number."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise EncodingError(f"register number {number} out of range")
+    return REGISTER_NAMES[number]
+
+
+# --- major opcodes (bits [6:0]) --------------------------------------------
+
+OPCODE_LOAD = 0x03
+OPCODE_MISC_MEM = 0x0F
+OPCODE_OP_IMM = 0x13
+OPCODE_AUIPC = 0x17
+OPCODE_OP_IMM_32 = 0x1B
+OPCODE_STORE = 0x23
+OPCODE_OP = 0x33
+OPCODE_LUI = 0x37
+OPCODE_OP_32 = 0x3B
+OPCODE_BRANCH = 0x63
+OPCODE_JALR = 0x67
+OPCODE_JAL = 0x6F
+OPCODE_SYSTEM = 0x73
+
+# --- instruction table ------------------------------------------------------
+# name -> (format, opcode, funct3, funct7)
+# formats: R, I, S, B, U, J, SHIFT64 (I with funct6), SHIFT32 (I with funct7),
+#          SYS (I with fixed imm), FENCE
+
+INSTRUCTION_SPECS: dict[str, tuple[str, int, int | None, int | None]] = {
+    # U / J
+    "lui":   ("U", OPCODE_LUI, None, None),
+    "auipc": ("U", OPCODE_AUIPC, None, None),
+    "jal":   ("J", OPCODE_JAL, None, None),
+    # jumps / branches
+    "jalr":  ("I", OPCODE_JALR, 0b000, None),
+    "beq":   ("B", OPCODE_BRANCH, 0b000, None),
+    "bne":   ("B", OPCODE_BRANCH, 0b001, None),
+    "blt":   ("B", OPCODE_BRANCH, 0b100, None),
+    "bge":   ("B", OPCODE_BRANCH, 0b101, None),
+    "bltu":  ("B", OPCODE_BRANCH, 0b110, None),
+    "bgeu":  ("B", OPCODE_BRANCH, 0b111, None),
+    # loads
+    "lb":  ("I", OPCODE_LOAD, 0b000, None),
+    "lh":  ("I", OPCODE_LOAD, 0b001, None),
+    "lw":  ("I", OPCODE_LOAD, 0b010, None),
+    "ld":  ("I", OPCODE_LOAD, 0b011, None),
+    "lbu": ("I", OPCODE_LOAD, 0b100, None),
+    "lhu": ("I", OPCODE_LOAD, 0b101, None),
+    "lwu": ("I", OPCODE_LOAD, 0b110, None),
+    # stores
+    "sb": ("S", OPCODE_STORE, 0b000, None),
+    "sh": ("S", OPCODE_STORE, 0b001, None),
+    "sw": ("S", OPCODE_STORE, 0b010, None),
+    "sd": ("S", OPCODE_STORE, 0b011, None),
+    # OP-IMM
+    "addi":  ("I", OPCODE_OP_IMM, 0b000, None),
+    "slti":  ("I", OPCODE_OP_IMM, 0b010, None),
+    "sltiu": ("I", OPCODE_OP_IMM, 0b011, None),
+    "xori":  ("I", OPCODE_OP_IMM, 0b100, None),
+    "ori":   ("I", OPCODE_OP_IMM, 0b110, None),
+    "andi":  ("I", OPCODE_OP_IMM, 0b111, None),
+    "slli":  ("SHIFT64", OPCODE_OP_IMM, 0b001, 0b000000),
+    "srli":  ("SHIFT64", OPCODE_OP_IMM, 0b101, 0b000000),
+    "srai":  ("SHIFT64", OPCODE_OP_IMM, 0b101, 0b010000),
+    # OP-IMM-32
+    "addiw": ("I", OPCODE_OP_IMM_32, 0b000, None),
+    "slliw": ("SHIFT32", OPCODE_OP_IMM_32, 0b001, 0b0000000),
+    "srliw": ("SHIFT32", OPCODE_OP_IMM_32, 0b101, 0b0000000),
+    "sraiw": ("SHIFT32", OPCODE_OP_IMM_32, 0b101, 0b0100000),
+    # OP
+    "add":  ("R", OPCODE_OP, 0b000, 0b0000000),
+    "sub":  ("R", OPCODE_OP, 0b000, 0b0100000),
+    "sll":  ("R", OPCODE_OP, 0b001, 0b0000000),
+    "slt":  ("R", OPCODE_OP, 0b010, 0b0000000),
+    "sltu": ("R", OPCODE_OP, 0b011, 0b0000000),
+    "xor":  ("R", OPCODE_OP, 0b100, 0b0000000),
+    "srl":  ("R", OPCODE_OP, 0b101, 0b0000000),
+    "sra":  ("R", OPCODE_OP, 0b101, 0b0100000),
+    "or":   ("R", OPCODE_OP, 0b110, 0b0000000),
+    "and":  ("R", OPCODE_OP, 0b111, 0b0000000),
+    # OP-32
+    "addw": ("R", OPCODE_OP_32, 0b000, 0b0000000),
+    "subw": ("R", OPCODE_OP_32, 0b000, 0b0100000),
+    "sllw": ("R", OPCODE_OP_32, 0b001, 0b0000000),
+    "srlw": ("R", OPCODE_OP_32, 0b101, 0b0000000),
+    "sraw": ("R", OPCODE_OP_32, 0b101, 0b0100000),
+    # M extension
+    "mul":    ("R", OPCODE_OP, 0b000, 0b0000001),
+    "mulh":   ("R", OPCODE_OP, 0b001, 0b0000001),
+    "mulhsu": ("R", OPCODE_OP, 0b010, 0b0000001),
+    "mulhu":  ("R", OPCODE_OP, 0b011, 0b0000001),
+    "div":    ("R", OPCODE_OP, 0b100, 0b0000001),
+    "divu":   ("R", OPCODE_OP, 0b101, 0b0000001),
+    "rem":    ("R", OPCODE_OP, 0b110, 0b0000001),
+    "remu":   ("R", OPCODE_OP, 0b111, 0b0000001),
+    "mulw":   ("R", OPCODE_OP_32, 0b000, 0b0000001),
+    "divw":   ("R", OPCODE_OP_32, 0b100, 0b0000001),
+    "divuw":  ("R", OPCODE_OP_32, 0b101, 0b0000001),
+    "remw":   ("R", OPCODE_OP_32, 0b110, 0b0000001),
+    "remuw":  ("R", OPCODE_OP_32, 0b111, 0b0000001),
+    # SYSTEM / MISC-MEM
+    "ecall":  ("SYS", OPCODE_SYSTEM, 0b000, 0),
+    "ebreak": ("SYS", OPCODE_SYSTEM, 0b000, 1),
+    "fence":  ("FENCE", OPCODE_MISC_MEM, 0b000, None),
+}
+
+#: Instruction classes used by the SoC timing model and the field-mask
+#: machinery.
+LOADS = frozenset({"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"})
+STORES = frozenset({"sb", "sh", "sw", "sd"})
+BRANCHES = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+JUMPS = frozenset({"jal", "jalr"})
+MULS = frozenset({"mul", "mulh", "mulhsu", "mulhu", "mulw"})
+DIVS = frozenset({"div", "divu", "rem", "remu",
+                  "divw", "divuw", "remw", "remuw"})
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """True if ``value`` is representable as a ``bits``-bit signed int."""
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    """True if ``value`` is representable as a ``bits``-bit unsigned int."""
+    return 0 <= value < (1 << bits)

@@ -1,0 +1,37 @@
+"""Untrusted-network substrate and attacker models.
+
+The threat model (paper §II.C) assumes program packages travel over an
+untrusted network where malicious parties can read, modify or replace
+them, and where soft errors can flip bits.  This package provides:
+
+* :mod:`repro.net.channel` — a transfer channel with pluggable
+  interceptors (eavesdropper, bit-flipper, patcher, replacer);
+* :mod:`repro.net.static_attacker` — the static-analysis attack:
+  windowed disassembly, opcode histograms, byte entropy, string
+  extraction, run on whatever bytes the channel leaks;
+* :mod:`repro.net.dynamic_attacker` — the dynamic-analysis attack: run
+  the captured package on attacker-controlled hardware and observe
+  performance counters / execution behaviour.
+"""
+
+from repro.net.channel import (
+    BitFlipper,
+    Eavesdropper,
+    Patcher,
+    Replacer,
+    UntrustedChannel,
+)
+from repro.net.static_attacker import StaticAnalysisReport, analyze_blob
+from repro.net.dynamic_attacker import DynamicAnalysisOutcome, attempt_execution
+
+__all__ = [
+    "UntrustedChannel",
+    "Eavesdropper",
+    "BitFlipper",
+    "Patcher",
+    "Replacer",
+    "StaticAnalysisReport",
+    "analyze_blob",
+    "DynamicAnalysisOutcome",
+    "attempt_execution",
+]

@@ -1,0 +1,112 @@
+"""Untrusted transfer channel with pluggable interceptors.
+
+``UntrustedChannel.transfer(payload)`` runs the payload through every
+interceptor in order and returns what arrives at the far end.  Interceptors
+model the §II.C threats: eavesdropping (IP theft), malicious modification,
+full replacement (running programs of unknown origin), and soft errors.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prng import Xoshiro256StarStar
+from repro.errors import ChannelError
+
+
+class Interceptor:
+    """Transforms a payload in flight."""
+
+    def intercept(self, payload: bytes) -> bytes:
+        raise NotImplementedError
+
+
+class Eavesdropper(Interceptor):
+    """Passive capture: records every payload it sees, forwards unchanged.
+
+    What it captured feeds the static-analysis attack.
+    """
+
+    def __init__(self) -> None:
+        self.captured: list[bytes] = []
+
+    def intercept(self, payload: bytes) -> bytes:
+        self.captured.append(payload)
+        return payload
+
+
+class BitFlipper(Interceptor):
+    """Random bit flips: soft errors in transfer/storage (§II.C threat iv).
+
+    Either a fixed number of flips (``flips``) or a bit-error rate
+    (``ber``) applied per transfer.
+    """
+
+    def __init__(self, flips: int = 0, ber: float = 0.0,
+                 seed: int = 0xBADBEEF) -> None:
+        if flips < 0 or ber < 0:
+            raise ChannelError("flips and ber must be non-negative")
+        if flips and ber:
+            raise ChannelError("give either flips or ber, not both")
+        self.flips = flips
+        self.ber = ber
+        self._rng = Xoshiro256StarStar(seed)
+
+    def intercept(self, payload: bytes) -> bytes:
+        if not payload:
+            return payload
+        mutated = bytearray(payload)
+        total_bits = len(payload) * 8
+        if self.flips:
+            positions = {self._rng.randint(0, total_bits - 1)
+                         for _ in range(self.flips)}
+        else:
+            positions = {i for i in range(total_bits)
+                         if self._rng.random() < self.ber}
+        for bit in positions:
+            mutated[bit // 8] ^= 1 << (bit % 8)
+        return bytes(mutated)
+
+
+class Patcher(Interceptor):
+    """Targeted modification: overwrite bytes at a fixed offset (a
+    malicious party inserting its own code, §II.C threat ii)."""
+
+    def __init__(self, offset: int, patch: bytes) -> None:
+        if offset < 0:
+            raise ChannelError("patch offset must be non-negative")
+        self.offset = offset
+        self.patch = patch
+
+    def intercept(self, payload: bytes) -> bytes:
+        if self.offset + len(self.patch) > len(payload):
+            raise ChannelError("patch outside payload bounds")
+        mutated = bytearray(payload)
+        mutated[self.offset:self.offset + len(self.patch)] = self.patch
+        return bytes(mutated)
+
+
+class Replacer(Interceptor):
+    """Full payload replacement (running programs of unknown origin)."""
+
+    def __init__(self, replacement: bytes) -> None:
+        self.replacement = replacement
+
+    def intercept(self, payload: bytes) -> bytes:
+        return self.replacement
+
+
+class UntrustedChannel:
+    """A network path from software source to target hardware."""
+
+    def __init__(self, interceptors: list[Interceptor] | None = None) -> None:
+        self.interceptors = list(interceptors or [])
+        self.transfers = 0
+
+    def add(self, interceptor: Interceptor) -> None:
+        self.interceptors.append(interceptor)
+
+    def transfer(self, payload: bytes) -> bytes:
+        """Send ``payload`` through the channel; returns what arrives."""
+        self.transfers += 1
+        for interceptor in self.interceptors:
+            payload = interceptor.intercept(payload)
+        return payload

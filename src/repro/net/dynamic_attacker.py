@@ -1,0 +1,85 @@
+"""Dynamic-analysis attack model.
+
+The paper's second threat: run the captured binary "on a computer that is
+controlled by malicious parties and the computer's state (e.g.,
+performance counters, register values) can be monitored" (§I).
+
+ERIC's defence is that a non-target device cannot decrypt the package, so
+there is nothing meaningful to execute.  :func:`attempt_execution` models
+the attacker faithfully: they load whatever bytes they have into their own
+machine and observe what happens; the outcome object records whether any
+execution (and how much of it) was observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    EricError,
+    ExecutionLimitExceeded,
+    IllegalInstruction,
+    SimulatorError,
+)
+
+
+@dataclass
+class DynamicAnalysisOutcome:
+    """What the attacker's instrumented machine observed."""
+
+    executed: bool
+    outcome: str                 # 'completed' | 'rejected' | 'crashed' | ...
+    instructions_observed: int = 0
+    counters: dict = field(default_factory=dict)
+    console: str = ""
+    detail: str = ""
+
+    @property
+    def leaked_behaviour(self) -> bool:
+        """Did the attacker watch meaningful execution (counter traces)?
+
+        A rejection before execution or a crash within a handful of
+        instructions leaks essentially nothing.
+        """
+        return self.executed and self.instructions_observed > 100
+
+
+def attempt_execution(device, package_bytes: bytes,
+                      max_instructions: int = 2_000_000,
+                      ) -> DynamicAnalysisOutcome:
+    """Try to run ``package_bytes`` on ``device`` and profile it.
+
+    ``device`` is a :class:`repro.core.device.Device` — normally one the
+    attacker controls (not the package's target).  Every failure mode is
+    captured rather than raised: the attacker observes outcomes.
+    """
+    try:
+        result = device.load_and_run(package_bytes,
+                                     max_instructions=max_instructions)
+    except EricError as exc:
+        return _failure_outcome(exc)
+    return DynamicAnalysisOutcome(
+        executed=True,
+        outcome="completed",
+        instructions_observed=result.run.counters.instret,
+        counters=result.run.counters.snapshot(),
+        console=result.run.stdout,
+    )
+
+
+def _failure_outcome(exc: EricError) -> DynamicAnalysisOutcome:
+    if isinstance(exc, IllegalInstruction):
+        return DynamicAnalysisOutcome(
+            executed=True, outcome="crashed",
+            instructions_observed=0,
+            detail=str(exc),
+        )
+    if isinstance(exc, ExecutionLimitExceeded):
+        return DynamicAnalysisOutcome(
+            executed=True, outcome="hung", detail=str(exc))
+    if isinstance(exc, SimulatorError):
+        return DynamicAnalysisOutcome(
+            executed=True, outcome="crashed", detail=str(exc))
+    # ValidationError, PackageFormatError, KeyMismatchError...
+    return DynamicAnalysisOutcome(
+        executed=False, outcome="rejected", detail=str(exc))

@@ -1,0 +1,55 @@
+"""Physical unclonable function (PUF) substrate.
+
+The paper's prototype uses 32 arbiter PUF instances, each taking an 8-bit
+challenge and producing a 1-bit response (Table I), to give every device a
+32-bit PUF key.  The real thing lives in FPGA fabric; here we implement the
+standard *additive linear delay model* of the arbiter PUF (Lim et al.,
+"Extracting secret keys from integrated circuits", 2005), which is the
+accepted behavioural model for this circuit:
+
+* each of the ``n`` stages contributes a delay difference that depends on
+  its challenge bit;
+* the final sign of the accumulated delay difference decides the response
+  bit at the arbiter latch;
+* per-device Gaussian process variation makes the delay vector unique;
+* per-evaluation Gaussian noise (scaled by environment: temperature,
+  voltage) makes responses *mostly* stable — which is why the PUF Key
+  Generator uses majority voting.
+
+Modules
+-------
+:mod:`repro.puf.arbiter`        the delay-model arbiter PUF
+:mod:`repro.puf.environment`    operating-condition model (noise scaling)
+:mod:`repro.puf.response`       challenge–response protocol helpers
+:mod:`repro.puf.key_generator`  the paper's PUF Key Generator (PKG)
+:mod:`repro.puf.metrics`        standard PUF quality metrics
+"""
+
+from repro.puf.arbiter import ArbiterPuf, PufArray
+from repro.puf.environment import Environment, NOMINAL
+from repro.puf.response import ChallengeResponsePair, collect_crps, verify_crps
+from repro.puf.key_generator import PufKeyGenerator, PufKeyReadout
+from repro.puf.metrics import (
+    bit_aliasing,
+    inter_chip_uniqueness,
+    intra_chip_reliability,
+    key_failure_probability,
+    uniformity,
+)
+
+__all__ = [
+    "ArbiterPuf",
+    "PufArray",
+    "Environment",
+    "NOMINAL",
+    "ChallengeResponsePair",
+    "collect_crps",
+    "verify_crps",
+    "PufKeyGenerator",
+    "PufKeyReadout",
+    "uniformity",
+    "inter_chip_uniqueness",
+    "intra_chip_reliability",
+    "bit_aliasing",
+    "key_failure_probability",
+]

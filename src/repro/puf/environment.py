@@ -1,0 +1,53 @@
+"""Operating-condition model for PUF evaluation.
+
+Arbiter PUF reliability depends on the operating point: higher temperature
+and lower supply voltage increase jitter at the arbiter latch, flipping
+marginal response bits.  The paper's Key Management Unit even floats the
+idea of keys that only reconstruct "at a specific temperature, frequency,
+or altitude" (§III.2) — this model is what such a policy would hook into.
+
+The model is deliberately simple: evaluation noise sigma is the nominal
+sigma multiplied by a factor derived from the distance to the nominal
+operating point.  The constants follow the commonly reported ~2-3x
+noise growth of delay PUFs across the commercial temperature range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Environment:
+    """An operating point for a device.
+
+    Attributes:
+        temperature_c: die temperature in Celsius.
+        voltage: core supply in volts.
+        frequency_mhz: clock of the PUF evaluation logic (the paper's
+            prototype runs everything at 25 MHz).
+    """
+
+    temperature_c: float = 25.0
+    voltage: float = 1.0
+    frequency_mhz: float = 25.0
+
+    #: per-degree noise growth away from 25 C (fraction of nominal sigma)
+    TEMPERATURE_COEFF = 0.02
+    #: per-volt noise growth away from 1.0 V
+    VOLTAGE_COEFF = 1.5
+
+    def noise_scale(self) -> float:
+        """Multiplier applied to the PUF's nominal evaluation-noise sigma.
+
+        1.0 at the nominal point (25 C, 1.0 V); grows linearly with
+        distance from it.  Always >= 0.25 so the model never becomes
+        noiseless at exotic corners.
+        """
+        temp_term = abs(self.temperature_c - 25.0) * self.TEMPERATURE_COEFF
+        volt_term = abs(self.voltage - 1.0) * self.VOLTAGE_COEFF
+        return max(0.25, 1.0 + temp_term + volt_term)
+
+
+#: The nominal operating point used throughout tests and benchmarks.
+NOMINAL = Environment()

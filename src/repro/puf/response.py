@@ -1,0 +1,80 @@
+"""Challenge–response protocol helpers.
+
+PUF-based systems authenticate by challenge–response (paper §II.B): the
+verifier keeps a table of challenge–response pairs (CRPs) recorded at
+enrollment and later checks that the device reproduces the enrolled
+responses.  These helpers generate deterministic challenge sets and collect
+CRPs from a :class:`repro.puf.arbiter.PufArray`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prng import Xoshiro256StarStar
+from repro.errors import ConfigError
+from repro.puf.arbiter import PufArray
+from repro.puf.environment import NOMINAL, Environment
+
+
+@dataclass(frozen=True)
+class ChallengeResponsePair:
+    """One enrolled CRP for a PUF array: per-instance challenges plus the
+    packed response word observed at enrollment."""
+
+    challenges: tuple[int, ...]
+    response: int
+
+
+def challenge_set(width: int, n_stages: int, count: int,
+                  seed: int = 0x4352) -> list[list[int]]:
+    """``count`` deterministic challenge vectors for a ``width``-instance
+    array of ``n_stages``-bit PUFs.
+
+    The same seed always yields the same challenge vectors, so the software
+    source and the hardware agree on which challenges form the PUF key
+    without communicating them (they are part of the enrollment record).
+    """
+    if count < 1:
+        raise ConfigError("count must be positive")
+    gen = Xoshiro256StarStar(seed)
+    limit = (1 << n_stages) - 1
+    return [
+        [gen.randint(0, limit) for _ in range(width)]
+        for _ in range(count)
+    ]
+
+
+def collect_crps(array: PufArray, count: int, seed: int = 0x4352,
+                 votes: int = 11,
+                 environment: Environment = NOMINAL,
+                 ) -> list[ChallengeResponsePair]:
+    """Enroll ``count`` CRPs from ``array`` using majority-voted reads."""
+    pairs = []
+    for challenges in challenge_set(array.width, array.n_stages, count, seed):
+        response = array.evaluate_majority(challenges, votes, environment)
+        pairs.append(
+            ChallengeResponsePair(tuple(challenges), response)
+        )
+    return pairs
+
+
+def verify_crps(array: PufArray, pairs: list[ChallengeResponsePair],
+                votes: int = 11,
+                environment: Environment = NOMINAL,
+                max_mismatch_bits: int = 0) -> bool:
+    """Check that ``array`` reproduces the enrolled responses.
+
+    ``max_mismatch_bits`` > 0 tolerates that many flipped bits across the
+    whole CRP set (useful at harsh operating points).
+    """
+    mismatches = 0
+    for pair in pairs:
+        observed = array.evaluate_majority(list(pair.challenges), votes,
+                                           environment)
+        mismatches += _popcount(observed ^ pair.response)
+    return mismatches <= max_mismatch_bits
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")

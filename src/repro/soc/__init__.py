@@ -1,0 +1,35 @@
+"""Rocket-like SoC simulator.
+
+The paper's target hardware is a Rocket Chip: in-order, 6-stage, RV64GC,
+16 KiB 4-way L1 instruction and data caches, running at 25 MHz on a
+Zedboard (Table I).  This package provides the reproduction's equivalent:
+
+* :mod:`repro.soc.memory`   — flat little-endian memory
+* :mod:`repro.soc.cache`    — set-associative L1 cache models with LRU
+* :mod:`repro.soc.counters` — performance counters (the values a
+  dynamic-analysis attacker would observe)
+* :mod:`repro.soc.pipeline` — the in-order timing model's cost table
+* :mod:`repro.soc.cpu`      — functional RV64IM(+RVC) execution
+* :mod:`repro.soc.soc`      — the SoC: fetch/decode cache, timing, syscalls
+
+Fidelity: functional execution is exact; timing is a cycle-*approximate*
+in-order model (base CPI 1 plus explicit stall/miss penalties).  The
+Fig. 7 experiment only needs the ratio between HDE cycles and program
+cycles, which this model carries faithfully.
+"""
+
+from repro.soc.counters import PerfCounters
+from repro.soc.cache import Cache, CacheConfig
+from repro.soc.memory import Memory
+from repro.soc.pipeline import PipelineModel
+from repro.soc.soc import RocketLikeSoC, RunResult
+
+__all__ = [
+    "PerfCounters",
+    "Cache",
+    "CacheConfig",
+    "Memory",
+    "PipelineModel",
+    "RocketLikeSoC",
+    "RunResult",
+]

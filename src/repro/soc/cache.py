@@ -1,0 +1,88 @@
+"""Set-associative L1 cache model with LRU replacement.
+
+Timing-only: the cache tracks which lines are resident to classify each
+access as hit or miss; data always comes from the flat memory (a valid
+simplification for a coherent single-core system with no DMA).
+
+Default geometry matches Table I: 16 KiB, 4-way, 64-byte lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    size_bytes: int = 16 * 1024
+    ways: int = 4
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for field_name in ("size_bytes", "ways", "line_bytes"):
+            value = getattr(self, field_name)
+            if value <= 0 or value & (value - 1):
+                raise ConfigError(f"{field_name} must be a power of two")
+        if self.size_bytes < self.ways * self.line_bytes:
+            raise ConfigError("cache smaller than one set")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+class Cache:
+    """LRU set-associative cache; ``access()`` returns True on hit."""
+
+    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.n_sets - 1
+        # Each set is a list of tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(config.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        # One-entry fast path: repeated access to the same line (very
+        # common for instruction fetch) skips the LRU bookkeeping.
+        self._last_line = -1
+
+    def access(self, address: int) -> bool:
+        line = address >> self._line_shift
+        if line == self._last_line:
+            self.hits += 1
+            return True
+        self._last_line = line
+        index = line & self._set_mask
+        tag = line >> (self._set_mask.bit_length())
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every line (used between benchmark runs)."""
+        for ways in self._sets:
+            ways.clear()
+        self._last_line = -1
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,66 @@
+"""Performance counters.
+
+These are the observables of the SoC: total cycles and the event counts
+the timing model charges for.  They are also, deliberately, the side
+channel the paper's *dynamic-analysis* attacker reads — the attack model
+in :mod:`repro.net.dynamic_attacker` profiles programs through exactly
+this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    cycles: int = 0
+    instret: int = 0
+
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    jumps: int = 0
+    muls: int = 0
+    divs: int = 0
+
+    icache_hits: int = 0
+    icache_misses: int = 0
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+
+    load_use_stalls: int = 0
+    flush_cycles: int = 0
+    muldiv_stall_cycles: int = 0
+    miss_stall_cycles: int = 0
+
+    #: per-mnemonic execution histogram (attacker-visible profile)
+    mix: dict = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instret if self.instret else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (stable keys; used by reports and attackers)."""
+        return {
+            "cycles": self.cycles,
+            "instret": self.instret,
+            "cpi": round(self.cpi, 4),
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "branches_taken": self.branches_taken,
+            "jumps": self.jumps,
+            "muls": self.muls,
+            "divs": self.divs,
+            "icache_hits": self.icache_hits,
+            "icache_misses": self.icache_misses,
+            "dcache_hits": self.dcache_hits,
+            "dcache_misses": self.dcache_misses,
+            "load_use_stalls": self.load_use_stalls,
+            "flush_cycles": self.flush_cycles,
+            "muldiv_stall_cycles": self.muldiv_stall_cycles,
+            "miss_stall_cycles": self.miss_stall_cycles,
+        }

@@ -1,0 +1,283 @@
+"""Functional RV64IM execution.
+
+Registers hold Python ints in unsigned 64-bit form ``[0, 2**64)``.
+``execute`` applies one decoded instruction and returns the next pc, or
+``ECALL_SENTINEL`` when the instruction was an ``ecall`` (the SoC layer
+owns the syscall ABI).
+
+Semantics follow the unprivileged spec exactly, including the M-extension
+corner cases (division by zero, signed-overflow division) — the MiniC
+workloads rely on C-style truncating division, which is what RISC-V
+defines.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulatorError
+from repro.isa.instruction import Instruction
+from repro.soc.memory import Memory
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+_MIN64 = -(1 << 63)
+
+#: Returned by ``execute`` for ecall; the SoC layer handles the syscall.
+ECALL_SENTINEL = -1
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _sext32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    if value & 0x80000000:
+        value |= 0xFFFFFFFF00000000
+    return value
+
+
+def _div_trunc(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+class Cpu:
+    """Architectural state + one-instruction executor."""
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self.regs = [0] * 32
+        self.pc = 0
+
+    def reset(self, entry: int, sp: int) -> None:
+        self.regs = [0] * 32
+        self.regs[2] = sp & _MASK64
+        self.pc = entry
+
+    # The handler table is built once per class; each handler mutates the
+    # register file and returns the next pc (or ECALL_SENTINEL).
+
+    def execute(self, instr: Instruction, pc: int, size: int) -> int:
+        handler = _HANDLERS.get(instr.name)
+        if handler is None:
+            raise SimulatorError(f"no handler for {instr.name}")
+        next_pc = handler(self, instr, pc, size)
+        self.regs[0] = 0
+        return next_pc
+
+
+# --- handler implementations -------------------------------------------
+
+
+def _h_lui(cpu, i, pc, size):
+    value = i.imm << 12
+    if value & 0x80000000:
+        value |= 0xFFFFFFFF00000000
+    cpu.regs[i.rd] = value
+    return pc + size
+
+
+def _h_auipc(cpu, i, pc, size):
+    value = i.imm << 12
+    if value & 0x80000000:
+        value |= 0xFFFFFFFF00000000
+    cpu.regs[i.rd] = (pc + value) & _MASK64
+    return pc + size
+
+
+def _h_jal(cpu, i, pc, size):
+    cpu.regs[i.rd] = (pc + size) & _MASK64
+    return (pc + i.imm) & _MASK64
+
+
+def _h_jalr(cpu, i, pc, size):
+    target = (cpu.regs[i.rs1] + i.imm) & _MASK64 & ~1
+    cpu.regs[i.rd] = (pc + size) & _MASK64
+    return target
+
+
+def _branch(cond):
+    def handler(cpu, i, pc, size):
+        if cond(cpu.regs[i.rs1], cpu.regs[i.rs2]):
+            return (pc + i.imm) & _MASK64
+        return pc + size
+    return handler
+
+
+def _load(width, signed):
+    def handler(cpu, i, pc, size):
+        address = (cpu.regs[i.rs1] + i.imm) & _MASK64
+        if signed:
+            value = cpu.memory.load_signed(address, width) & _MASK64
+        else:
+            value = cpu.memory.load(address, width)
+        cpu.regs[i.rd] = value
+        return pc + size
+    return handler
+
+
+def _store(width):
+    def handler(cpu, i, pc, size):
+        address = (cpu.regs[i.rs1] + i.imm) & _MASK64
+        cpu.memory.store(address, width, cpu.regs[i.rs2])
+        return pc + size
+    return handler
+
+
+def _op_imm(fn):
+    def handler(cpu, i, pc, size):
+        cpu.regs[i.rd] = fn(cpu.regs[i.rs1], i.imm) & _MASK64
+        return pc + size
+    return handler
+
+
+def _op(fn):
+    def handler(cpu, i, pc, size):
+        cpu.regs[i.rd] = fn(cpu.regs[i.rs1], cpu.regs[i.rs2]) & _MASK64
+        return pc + size
+    return handler
+
+
+def _h_ecall(cpu, i, pc, size):
+    return ECALL_SENTINEL
+
+
+def _h_ebreak(cpu, i, pc, size):
+    raise SimulatorError(f"ebreak at pc={pc:#x}")
+
+
+def _h_fence(cpu, i, pc, size):
+    return pc + size
+
+
+def _div(a, b):
+    if b == 0:
+        return _MASK64
+    sa, sb = _signed(a), _signed(b)
+    if sa == _MIN64 and sb == -1:
+        return a
+    return _div_trunc(sa, sb)
+
+
+def _divu(a, b):
+    return _MASK64 if b == 0 else a // b
+
+
+def _rem(a, b):
+    if b == 0:
+        return a
+    sa, sb = _signed(a), _signed(b)
+    if sa == _MIN64 and sb == -1:
+        return 0
+    return sa - _div_trunc(sa, sb) * sb
+
+
+def _remu(a, b):
+    return a if b == 0 else a % b
+
+
+def _divw(a, b):
+    sa, sb = _signed32(a), _signed32(b)
+    if sb == 0:
+        return _MASK64
+    if sa == -(1 << 31) and sb == -1:
+        return _sext32(sa)
+    return _sext32(_div_trunc(sa, sb))
+
+
+def _divuw(a, b):
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    return _MASK64 if ub == 0 else _sext32(ua // ub)
+
+
+def _remw(a, b):
+    sa, sb = _signed32(a), _signed32(b)
+    if sb == 0:
+        return _sext32(sa)
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    return _sext32(sa - _div_trunc(sa, sb) * sb)
+
+
+def _remuw(a, b):
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    return _sext32(ua) if ub == 0 else _sext32(ua % ub)
+
+
+_HANDLERS = {
+    "lui": _h_lui,
+    "auipc": _h_auipc,
+    "jal": _h_jal,
+    "jalr": _h_jalr,
+    "ecall": _h_ecall,
+    "ebreak": _h_ebreak,
+    "fence": _h_fence,
+
+    "beq": _branch(lambda a, b: a == b),
+    "bne": _branch(lambda a, b: a != b),
+    "blt": _branch(lambda a, b: _signed(a) < _signed(b)),
+    "bge": _branch(lambda a, b: _signed(a) >= _signed(b)),
+    "bltu": _branch(lambda a, b: a < b),
+    "bgeu": _branch(lambda a, b: a >= b),
+
+    "lb": _load(1, True),
+    "lh": _load(2, True),
+    "lw": _load(4, True),
+    "ld": _load(8, True),
+    "lbu": _load(1, False),
+    "lhu": _load(2, False),
+    "lwu": _load(4, False),
+    "sb": _store(1),
+    "sh": _store(2),
+    "sw": _store(4),
+    "sd": _store(8),
+
+    "addi": _op_imm(lambda a, imm: a + imm),
+    "slti": _op_imm(lambda a, imm: 1 if _signed(a) < imm else 0),
+    "sltiu": _op_imm(lambda a, imm: 1 if a < (imm & _MASK64) else 0),
+    "xori": _op_imm(lambda a, imm: a ^ (imm & _MASK64)),
+    "ori": _op_imm(lambda a, imm: a | (imm & _MASK64)),
+    "andi": _op_imm(lambda a, imm: a & (imm & _MASK64)),
+    "slli": _op_imm(lambda a, sh: a << sh),
+    "srli": _op_imm(lambda a, sh: a >> sh),
+    "srai": _op_imm(lambda a, sh: _signed(a) >> sh),
+    "addiw": _op_imm(lambda a, imm: _sext32(a + imm)),
+    "slliw": _op_imm(lambda a, sh: _sext32(a << sh)),
+    "srliw": _op_imm(lambda a, sh: _sext32((a & 0xFFFFFFFF) >> sh)),
+    "sraiw": _op_imm(lambda a, sh: _sext32(_signed32(a) >> sh)),
+
+    "add": _op(lambda a, b: a + b),
+    "sub": _op(lambda a, b: a - b),
+    "sll": _op(lambda a, b: a << (b & 63)),
+    "slt": _op(lambda a, b: 1 if _signed(a) < _signed(b) else 0),
+    "sltu": _op(lambda a, b: 1 if a < b else 0),
+    "xor": _op(lambda a, b: a ^ b),
+    "srl": _op(lambda a, b: a >> (b & 63)),
+    "sra": _op(lambda a, b: _signed(a) >> (b & 63)),
+    "or": _op(lambda a, b: a | b),
+    "and": _op(lambda a, b: a & b),
+    "addw": _op(lambda a, b: _sext32(a + b)),
+    "subw": _op(lambda a, b: _sext32(a - b)),
+    "sllw": _op(lambda a, b: _sext32(a << (b & 31))),
+    "srlw": _op(lambda a, b: _sext32((a & 0xFFFFFFFF) >> (b & 31))),
+    "sraw": _op(lambda a, b: _sext32(_signed32(a) >> (b & 31))),
+
+    "mul": _op(lambda a, b: a * b),
+    "mulh": _op(lambda a, b: (_signed(a) * _signed(b)) >> 64),
+    "mulhu": _op(lambda a, b: (a * b) >> 64),
+    "mulhsu": _op(lambda a, b: (_signed(a) * b) >> 64),
+    "div": _op(_div),
+    "divu": _op(_divu),
+    "rem": _op(_rem),
+    "remu": _op(_remu),
+    "mulw": _op(lambda a, b: _sext32(a * b)),
+    "divw": _op(_divw),
+    "divuw": _op(_divuw),
+    "remw": _op(_remw),
+    "remuw": _op(_remuw),
+}

@@ -1,0 +1,52 @@
+"""Flat little-endian memory with bounds checking."""
+
+from __future__ import annotations
+
+from repro.errors import MemoryFault
+
+_MASK64 = (1 << 64) - 1
+
+
+class Memory:
+    """Byte-addressable memory backed by a ``bytearray``.
+
+    The CPU's hot paths use :attr:`raw` directly after a single bounds
+    check; these helper methods are the safe API used by loaders, the HDE
+    and tests.
+    """
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        if size <= 0:
+            raise MemoryFault("memory size must be positive")
+        self.size = size
+        self.raw = bytearray(size)
+
+    def check_range(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size:
+            raise MemoryFault(
+                f"access [{address:#x}, {address + length:#x}) outside "
+                f"{self.size:#x}-byte memory"
+            )
+
+    def load(self, address: int, length: int) -> int:
+        """Unsigned little-endian load of ``length`` bytes."""
+        self.check_range(address, length)
+        return int.from_bytes(self.raw[address:address + length], "little")
+
+    def load_signed(self, address: int, length: int) -> int:
+        value = self.load(address, length)
+        sign_bit = 1 << (length * 8 - 1)
+        return value - (1 << (length * 8)) if value & sign_bit else value
+
+    def store(self, address: int, length: int, value: int) -> None:
+        self.check_range(address, length)
+        self.raw[address:address + length] = \
+            (value & ((1 << (length * 8)) - 1)).to_bytes(length, "little")
+
+    def load_bytes(self, address: int, length: int) -> bytes:
+        self.check_range(address, length)
+        return bytes(self.raw[address:address + length])
+
+    def store_bytes(self, address: int, blob: bytes) -> None:
+        self.check_range(address, len(blob))
+        self.raw[address:address + len(blob)] = blob

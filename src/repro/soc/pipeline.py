@@ -1,0 +1,48 @@
+"""In-order pipeline timing model (Rocket-like 6-stage).
+
+Rocket is a single-issue in-order pipeline; at a first order every
+instruction retires in one cycle, plus well-understood stall sources.
+This model charges:
+
+=====================  ====================================================
+base                   1 cycle per retired instruction
+load-use hazard        +1 cycle when an instruction consumes the register a
+                       load produced in the immediately preceding cycle
+taken control flow     +2 cycles (fetch redirect through the frontend)
+multiply               +3 extra cycles (iterative/pipelined mul unit)
+divide                 +32 extra cycles (64-bit), +16 for the W forms
+cache miss             +24 cycles per L1 miss (DRAM behind a thin L2-less
+                       AXI port, as on the Zedboard prototype)
+=====================  ====================================================
+
+The absolute constants are Rocket-plausible rather than RTL-exact; Fig. 7
+only depends on the *ratio* of HDE cycles to program cycles, and the
+ablation benches sweep these constants to show the conclusions are not
+sensitive to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    base_cpi: int = 1
+    load_use_stall: int = 1
+    flush_penalty: int = 2
+    mul_latency: int = 3
+    div_latency: int = 32
+    div32_latency: int = 16
+    miss_penalty: int = 24
+
+    def validate(self) -> None:
+        for name in ("base_cpi", "load_use_stall", "flush_penalty",
+                     "mul_latency", "div_latency", "div32_latency",
+                     "miss_penalty"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+#: The default model used by every experiment unless swept explicitly.
+DEFAULT_PIPELINE = PipelineModel()

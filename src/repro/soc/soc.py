@@ -1,0 +1,233 @@
+"""The Rocket-like SoC: fetch, decode cache, timing, syscalls.
+
+``RocketLikeSoC.run(program)`` is the reproduction's equivalent of "run a
+binary on the FPGA and read the cycle counter": it loads the image,
+executes to the exit syscall and returns console output plus the full
+performance-counter state.
+
+The syscall ABI (what the MiniC runtime targets) is intentionally tiny:
+
+=====  =====================================================
+a7     effect
+=====  =====================================================
+93     exit(a0) — ends the run, a0 is the exit code
+1      putchar(a0 & 0xFF)
+64     write(a0=fd ignored, a1=buffer, a2=length)
+=====  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.loader import load_program
+from repro.asm.program import Program
+from repro.errors import (
+    DecodingError,
+    ExecutionLimitExceeded,
+    IllegalInstruction,
+    SimulatorError,
+)
+from repro.isa.decoding import decode_at
+from repro.isa.spec import BRANCHES, DIVS, JUMPS, LOADS, MULS, STORES
+from repro.soc.cache import Cache, CacheConfig
+from repro.soc.counters import PerfCounters
+from repro.soc.cpu import ECALL_SENTINEL, Cpu
+from repro.soc.memory import Memory
+from repro.soc.pipeline import DEFAULT_PIPELINE, PipelineModel
+
+_MASK64 = (1 << 64) - 1
+
+SYS_EXIT = 93
+SYS_PUTCHAR = 1
+SYS_WRITE = 64
+
+#: Clock of the prototype (Table I); converts cycles to wall time.
+CLOCK_MHZ = 25.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    exit_code: int
+    console: bytes
+    counters: PerfCounters
+
+    @property
+    def stdout(self) -> str:
+        return self.console.decode("latin-1")
+
+    @property
+    def cycles(self) -> int:
+        return self.counters.cycles
+
+    def wall_time_at_clock(self, mhz: float = CLOCK_MHZ) -> float:
+        """Seconds this run would take at the prototype's clock."""
+        return self.counters.cycles / (mhz * 1e6)
+
+
+class RocketLikeSoC:
+    """In-order RV64IM(+RVC) SoC with L1 caches and a timing model."""
+
+    def __init__(self, memory_size: int = 1 << 20,
+                 icache: CacheConfig = CacheConfig(),
+                 dcache: CacheConfig = CacheConfig(),
+                 pipeline: PipelineModel = DEFAULT_PIPELINE) -> None:
+        self.memory = Memory(memory_size)
+        self.icache = Cache(icache)
+        self.dcache = Cache(dcache)
+        self.pipeline = pipeline
+        self.cpu = Cpu(self.memory)
+
+    def run(self, program: Program,
+            max_instructions: int = 20_000_000) -> RunResult:
+        """Load ``program`` and execute until exit.
+
+        Raises:
+            IllegalInstruction: on undecodable fetch (e.g. ciphertext).
+            ExecutionLimitExceeded: if the instruction budget runs out.
+        """
+        self.memory.raw[:] = bytes(len(self.memory.raw))
+        load_program(program, self.memory.raw)
+        self.icache.flush()
+        self.dcache.flush()
+        self.icache.reset_stats()
+        self.dcache.reset_stats()
+        stack_top = (self.memory.size - 16) & ~0xF
+        self.cpu.reset(program.entry, stack_top)
+        return self._run_loop(max_instructions)
+
+    def _run_loop(self, max_instructions: int) -> RunResult:
+        cpu = self.cpu
+        memory = self.memory
+        regs = cpu.regs
+        pipe = self.pipeline
+        counters = PerfCounters()
+        mix = counters.mix
+        icache = self.icache
+        dcache = self.dcache
+
+        decoded: dict[int, tuple] = {}
+        console = bytearray()
+        pc = cpu.pc
+        prev_load_rd = -1
+
+        cycles = 0
+        instret = 0
+        raw = memory.raw
+
+        while True:
+            if instret >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions"
+                )
+
+            entry = decoded.get(pc)
+            if entry is None:
+                try:
+                    instr, size = decode_at(raw, pc)
+                except (DecodingError, IndexError):
+                    word = int.from_bytes(raw[pc:pc + 4], "little")
+                    counters.cycles = cycles
+                    counters.instret = instret
+                    raise IllegalInstruction(pc, word) from None
+                name = instr.name
+                kind = (
+                    name in LOADS,
+                    name in STORES,
+                    name in BRANCHES,
+                    name in JUMPS,
+                    name in MULS,
+                    name in DIVS,
+                    name.endswith("w"),  # 32-bit divider is faster
+                )
+                entry = (instr, size, kind)
+                decoded[pc] = entry
+            instr, size, kind = entry
+            is_load, is_store, is_branch, is_jump, is_mul, is_div, is_w = kind
+
+            # --- timing: fetch -------------------------------------------
+            if icache.access(pc):
+                counters.icache_hits += 1
+            else:
+                counters.icache_misses += 1
+                cycles += pipe.miss_penalty
+                counters.miss_stall_cycles += pipe.miss_penalty
+            cycles += pipe.base_cpi
+
+            # --- timing: load-use hazard ---------------------------------
+            if prev_load_rd > 0 and (instr.rs1 == prev_load_rd
+                                     or instr.rs2 == prev_load_rd):
+                cycles += pipe.load_use_stall
+                counters.load_use_stalls += 1
+            prev_load_rd = -1
+
+            # Effective address must be sampled before execute: a load may
+            # clobber its own base register (ld a0, 0(a0)).
+            if is_load or is_store:
+                mem_address = (regs[instr.rs1] + instr.imm) & _MASK64
+            else:
+                mem_address = 0
+
+            # --- execute --------------------------------------------------
+            next_pc = cpu.execute(instr, pc, size)
+            instret += 1
+            name = instr.name
+            mix[name] = mix.get(name, 0) + 1
+
+            # --- timing: per-class costs ---------------------------------
+            if is_load or is_store:
+                if dcache.access(mem_address):
+                    counters.dcache_hits += 1
+                else:
+                    counters.dcache_misses += 1
+                    cycles += pipe.miss_penalty
+                    counters.miss_stall_cycles += pipe.miss_penalty
+                if is_load:
+                    counters.loads += 1
+                    prev_load_rd = instr.rd
+                else:
+                    counters.stores += 1
+            elif is_branch:
+                counters.branches += 1
+                if next_pc != pc + size:
+                    counters.branches_taken += 1
+                    cycles += pipe.flush_penalty
+                    counters.flush_cycles += pipe.flush_penalty
+            elif is_jump:
+                counters.jumps += 1
+                cycles += pipe.flush_penalty
+                counters.flush_cycles += pipe.flush_penalty
+            elif is_mul:
+                counters.muls += 1
+                cycles += pipe.mul_latency
+                counters.muldiv_stall_cycles += pipe.mul_latency
+            elif is_div:
+                counters.divs += 1
+                latency = pipe.div32_latency if is_w else pipe.div_latency
+                cycles += latency
+                counters.muldiv_stall_cycles += latency
+
+            # --- syscalls --------------------------------------------------
+            if next_pc == ECALL_SENTINEL:
+                a7 = regs[17]
+                if a7 == SYS_EXIT:
+                    counters.cycles = cycles
+                    counters.instret = instret
+                    cpu.pc = pc
+                    return RunResult(exit_code=regs[10] & 0xFF,
+                                     console=bytes(console),
+                                     counters=counters)
+                if a7 == SYS_PUTCHAR:
+                    console.append(regs[10] & 0xFF)
+                elif a7 == SYS_WRITE:
+                    buffer = regs[11]
+                    length = regs[12]
+                    console.extend(memory.load_bytes(buffer, length))
+                else:
+                    raise SimulatorError(f"unknown syscall a7={a7} "
+                                         f"at pc={pc:#x}")
+                next_pc = pc + size
+
+            pc = next_pc

@@ -1,0 +1,58 @@
+"""MiBench-counterpart workloads (paper §IV: "MiBench is used as a
+benchmark ... programs of MiBench which is capable with LLVM and RISC-V
+... programs of different sizes").
+
+Eight programs spanning the size/dynamic-length space the figures sweep:
+
+===============  ==============================  =========================
+name             MiBench counterpart             flavour
+===============  ==============================  =========================
+basicmath        automotive/basicmath_small      integer math kernels
+bitcount         automotive/bitcount             bit tricks, table lookup
+qsort            automotive/qsort_small          recursion, swaps
+crc32            telecomm/CRC32                  table-driven streaming
+dijkstra         network/dijkstra                O(N^2) graph relaxation
+fft              telecomm/FFT                    fixed-point butterflies
+sha              security/sha                    SHA-256 in MiniC
+stringsearch     office/stringsearch             Horspool text search
+===============  ==============================  =========================
+
+Every workload carries a pure-Python oracle for its exact stdout.
+"""
+
+from repro.workloads.base import MiniRng, Workload
+from repro.workloads import (
+    basicmath,
+    bitcount,
+    crc32,
+    dijkstra,
+    fft,
+    qsort,
+    sha,
+    stringsearch,
+)
+
+_MODULES = (basicmath, bitcount, qsort, crc32, dijkstra, fft, sha,
+            stringsearch)
+
+WORKLOADS: dict[str, Workload] = {
+    module.WORKLOAD.name: module.WORKLOAD for module in _MODULES
+}
+
+
+def all_workloads() -> dict[str, Workload]:
+    """Name -> workload, in suite order."""
+    return dict(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+__all__ = ["Workload", "MiniRng", "WORKLOADS", "all_workloads",
+           "get_workload"]

@@ -1,0 +1,58 @@
+"""Workload infrastructure.
+
+Every workload is a self-contained MiniC program plus a pure-Python
+reference implementation that computes the exact expected stdout.  The
+test suite runs each program on the SoC and compares against the oracle —
+that equivalence is what lets the figure benchmarks trust the simulator.
+
+Workloads that need input data generate it *inside the program* with the
+shared LCG below (embedded in the MiniC source and mirrored in Python),
+so programs stay single-file and deterministic with no loader support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: MiniC PRNG (embedded in workload sources).  The multiply wraps modulo
+#: 2^64 exactly like the mirrored Python version; masking with 2^63-1
+#: keeps values positive so `>>` and `%` agree between C and Python.
+MINIC_RNG = """
+int rng_state = 0;
+
+int rng_next() {
+    rng_state = (rng_state * 6364136223846793005 + 1442695040888963407)
+                & 0x7FFFFFFFFFFFFFFF;
+    return rng_state >> 16;
+}
+"""
+
+_MASK63 = (1 << 63) - 1
+_MASK64 = (1 << 64) - 1
+
+
+class MiniRng:
+    """Python mirror of the MiniC PRNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.state = seed
+
+    def next(self) -> int:
+        self.state = (self.state * 6364136223846793005
+                      + 1442695040888963407) & _MASK64 & _MASK63
+        return self.state >> 16
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program with its oracle."""
+
+    name: str
+    mibench_counterpart: str
+    description: str
+    source: str
+    expected_stdout: str
+
+    def __post_init__(self) -> None:
+        if not self.expected_stdout:
+            raise ValueError(f"workload {self.name} has an empty oracle")

@@ -1,0 +1,117 @@
+"""basicmath — MiBench `basicmath_small` counterpart.
+
+Integer square roots (bit-by-bit method), cube-root isolation by integer
+Newton iteration, and fixed-point degree->radian conversion: the same
+"simple math we take for granted" mix MiBench motivates, in 64-bit
+integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_N_SQRT = 30
+_CUBES = [7, 100, 2197, 40000, 777777, 12345678]
+_N_ANGLES = 60
+_SCALE = 10000
+_PI_FIXED = 31416  # pi * SCALE, truncated
+
+
+def _isqrt(value: int) -> int:
+    """Bit-by-bit integer square root (the MiBench `usqrt` method)."""
+    root = 0
+    bit = 1 << 62
+    while bit > value:
+        bit >>= 2
+    while bit != 0:
+        if value >= root + bit:
+            value -= root + bit
+            root = (root >> 1) + bit
+        else:
+            root >>= 1
+        bit >>= 2
+    return root
+
+
+def _icbrt(target: int) -> int:
+    """Integer cube root by Newton iteration (floor)."""
+    if target == 0:
+        return 0
+    x = target
+    y = (2 * x + target // (x * x)) // 3
+    while y < x:
+        x = y
+        y = (2 * x + target // (x * x)) // 3
+    return x
+
+
+def _reference() -> str:
+    sqrt_sum = sum(_isqrt(i * i * 7 + i) for i in range(1, _N_SQRT + 1))
+    cbrt_sum = sum(_icbrt(c) for c in _CUBES)
+    rad_sum = sum(deg * _PI_FIXED // 180 for deg in range(_N_ANGLES))
+    return f"{sqrt_sum}\n{cbrt_sum}\n{rad_sum}\n"
+
+
+_SOURCE = f"""
+int isqrt(int value) {{
+    int root = 0;
+    int bit = 1;
+    bit = bit << 62;
+    while (bit > value) {{ bit = bit >> 2; }}
+    while (bit != 0) {{
+        if (value >= root + bit) {{
+            value -= root + bit;
+            root = (root >> 1) + bit;
+        }} else {{
+            root = root >> 1;
+        }}
+        bit = bit >> 2;
+    }}
+    return root;
+}}
+
+int icbrt(int target) {{
+    if (target == 0) {{ return 0; }}
+    int x = target;
+    int y = (2 * x + target / (x * x)) / 3;
+    while (y < x) {{
+        x = y;
+        y = (2 * x + target / (x * x)) / 3;
+    }}
+    return x;
+}}
+
+int cubes[{len(_CUBES)}] = {{{", ".join(str(c) for c in _CUBES)}}};
+
+int main() {{
+    int sqrt_sum = 0;
+    for (int i = 1; i <= {_N_SQRT}; i++) {{
+        sqrt_sum += isqrt(i * i * 7 + i);
+    }}
+    print_int(sqrt_sum);
+    print_char('\\n');
+
+    int cbrt_sum = 0;
+    for (int i = 0; i < {len(_CUBES)}; i++) {{
+        cbrt_sum += icbrt(cubes[i]);
+    }}
+    print_int(cbrt_sum);
+    print_char('\\n');
+
+    int rad_sum = 0;
+    for (int deg = 0; deg < {_N_ANGLES}; deg++) {{
+        rad_sum += deg * {_PI_FIXED} / 180;
+    }}
+    print_int(rad_sum);
+    print_char('\\n');
+    return 0;
+}}
+"""
+
+WORKLOAD = Workload(
+    name="basicmath",
+    mibench_counterpart="automotive/basicmath_small",
+    description="integer sqrt, cube roots, fixed-point angle conversion",
+    source=_SOURCE,
+    expected_stdout=_reference(),
+)

@@ -1,0 +1,99 @@
+"""bitcount — MiBench `automotive/bitcount` counterpart.
+
+Counts bits with four of MiBench's methods (naive shift loop, Kernighan's
+clear-lowest-set, a 4-bit table, and the SWAR parallel reduction) over the
+same pseudorandom input stream, printing each method's total.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MINIC_RNG, MiniRng, Workload
+
+_SEED = 7321
+_VALUES = 50
+_NIBBLE_TABLE = [bin(i).count("1") for i in range(16)]
+
+
+def _reference() -> str:
+    totals = [0, 0, 0, 0]
+    rng = MiniRng(_SEED)
+    for _ in range(_VALUES):
+        value = rng.next()
+        totals[0] += bin(value).count("1")
+        totals[1] += bin(value).count("1")
+        totals[2] += sum(_NIBBLE_TABLE[(value >> s) & 0xF]
+                         for s in range(0, 48, 4))
+        totals[3] += bin(value).count("1")
+    return "".join(f"{t}\n" for t in totals)
+
+
+_SOURCE = f"""
+{MINIC_RNG}
+
+int nibble_table[16] = {{{", ".join(str(v) for v in _NIBBLE_TABLE)}}};
+
+int count_naive(int v) {{
+    int n = 0;
+    while (v) {{
+        n += v & 1;
+        v = v >> 1;
+    }}
+    return n;
+}}
+
+int count_kernighan(int v) {{
+    int n = 0;
+    while (v) {{
+        v &= v - 1;
+        n++;
+    }}
+    return n;
+}}
+
+int count_table(int v) {{
+    int n = 0;
+    for (int s = 0; s < 48; s += 4) {{
+        n += nibble_table[(v >> s) & 15];
+    }}
+    return n;
+}}
+
+int count_swar(int v) {{
+    v = v - ((v >> 1) & 0x5555555555555555);
+    v = (v & 0x3333333333333333) + ((v >> 2) & 0x3333333333333333);
+    v = (v + (v >> 4)) & 0x0F0F0F0F0F0F0F0F;
+    return (v * 0x0101010101010101 >> 56) & 0x7F;
+}}
+
+int main() {{
+    rng_state = {_SEED};
+    int t0 = 0;
+    int t1 = 0;
+    int t2 = 0;
+    int t3 = 0;
+    for (int i = 0; i < {_VALUES}; i++) {{
+        int v = rng_next();
+        t0 += count_naive(v);
+        t1 += count_kernighan(v);
+        t2 += count_table(v);
+        t3 += count_swar(v);
+    }}
+    print_int(t0);
+    print_char('\\n');
+    print_int(t1);
+    print_char('\\n');
+    print_int(t2);
+    print_char('\\n');
+    print_int(t3);
+    print_char('\\n');
+    return 0;
+}}
+"""
+
+WORKLOAD = Workload(
+    name="bitcount",
+    mibench_counterpart="automotive/bitcount",
+    description="four bit-counting methods over a PRNG stream",
+    source=_SOURCE,
+    expected_stdout=_reference(),
+)

@@ -1,0 +1,159 @@
+"""fft — MiBench `telecomm/FFT` counterpart.
+
+In-place radix-2 decimation-in-time FFT in Q14 fixed point over a
+pseudorandom signal.  Twiddle factors are compile-time constants
+(embedded tables), inputs come from the shared PRNG, and every butterfly
+uses the same integer arithmetic in MiniC and in the Python oracle
+(arithmetic right shifts agree between the two).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import MINIC_RNG, MiniRng, Workload
+
+_SEED = 5150
+_N = 64
+_Q = 14
+_ONE = 1 << _Q
+_ROUNDS = 1
+_PRIME = 1000003
+
+_COS = [int(round(math.cos(2.0 * math.pi * k / _N) * _ONE))
+        for k in range(_N // 2)]
+_SIN = [int(round(math.sin(2.0 * math.pi * k / _N) * _ONE))
+        for k in range(_N // 2)]
+
+
+def _bit_reverse(index: int, bits: int) -> int:
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (index & 1)
+        index >>= 1
+    return result
+
+
+def _fft_fixed(re: list[int], im: list[int]) -> None:
+    bits = _N.bit_length() - 1
+    for i in range(_N):
+        j = _bit_reverse(i, bits)
+        if j > i:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+    size = 2
+    while size <= _N:
+        half = size // 2
+        step = _N // size
+        for start in range(0, _N, size):
+            for k in range(half):
+                w_re = _COS[k * step]
+                w_im = -_SIN[k * step]
+                a = start + k
+                b = a + half
+                t_re = (re[b] * w_re - im[b] * w_im) >> _Q
+                t_im = (re[b] * w_im + im[b] * w_re) >> _Q
+                re[b] = (re[a] - t_re) >> 1
+                im[b] = (im[a] - t_im) >> 1
+                re[a] = (re[a] + t_re) >> 1
+                im[a] = (im[a] + t_im) >> 1
+        size *= 2
+
+
+def _reference() -> str:
+    rng = MiniRng(_SEED)
+    checksum = 0
+    for _ in range(_ROUNDS):
+        re = [rng.next() % (2 * _ONE) - _ONE for _ in range(_N)]
+        im = [0] * _N
+        _fft_fixed(re, im)
+        for i in range(_N):
+            magnitude = abs(re[i]) + abs(im[i])
+            checksum = (checksum * 31 + magnitude) % _PRIME
+    return f"{checksum}\n"
+
+
+def _table(values: list[int]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+_SOURCE = f"""
+{MINIC_RNG}
+
+int cos_table[{_N // 2}] = {{{_table(_COS)}}};
+int sin_table[{_N // 2}] = {{{_table(_SIN)}}};
+int re[{_N}];
+int im[{_N}];
+
+int bit_reverse(int index, int bits) {{
+    int result = 0;
+    for (int b = 0; b < bits; b++) {{
+        result = (result << 1) | (index & 1);
+        index = index >> 1;
+    }}
+    return result;
+}}
+
+void fft() {{
+    int bits = {_N.bit_length() - 1};
+    for (int i = 0; i < {_N}; i++) {{
+        int j = bit_reverse(i, bits);
+        if (j > i) {{
+            int t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }}
+    }}
+    int size = 2;
+    while (size <= {_N}) {{
+        int half = size / 2;
+        int step = {_N} / size;
+        for (int start = 0; start < {_N}; start += size) {{
+            for (int k = 0; k < half; k++) {{
+                int w_re = cos_table[k * step];
+                int w_im = -sin_table[k * step];
+                int a = start + k;
+                int b = a + half;
+                int t_re = (re[b] * w_re - im[b] * w_im) >> {_Q};
+                int t_im = (re[b] * w_im + im[b] * w_re) >> {_Q};
+                re[b] = (re[a] - t_re) >> 1;
+                im[b] = (im[a] - t_im) >> 1;
+                re[a] = (re[a] + t_re) >> 1;
+                im[a] = (im[a] + t_im) >> 1;
+            }}
+        }}
+        size *= 2;
+    }}
+}}
+
+int iabs(int x) {{
+    if (x < 0) {{ return -x; }}
+    return x;
+}}
+
+int main() {{
+    rng_state = {_SEED};
+    int checksum = 0;
+    for (int round = 0; round < {_ROUNDS}; round++) {{
+        for (int i = 0; i < {_N}; i++) {{
+            re[i] = rng_next() % {2 * _ONE} - {_ONE};
+            im[i] = 0;
+        }}
+        fft();
+        for (int i = 0; i < {_N}; i++) {{
+            int magnitude = iabs(re[i]) + iabs(im[i]);
+            checksum = (checksum * 31 + magnitude) % {_PRIME};
+        }}
+    }}
+    print_int(checksum);
+    print_char('\\n');
+    return 0;
+}}
+"""
+
+WORKLOAD = Workload(
+    name="fft",
+    mibench_counterpart="telecomm/FFT",
+    description="Q14 fixed-point radix-2 FFT, several rounds",
+    source=_SOURCE,
+    expected_stdout=_reference(),
+)

@@ -1,0 +1,81 @@
+"""qsort — MiBench `automotive/qsort_small` counterpart.
+
+Recursive quicksort (Lomuto partition) over a pseudorandom array,
+followed by a sortedness check and a position-weighted checksum.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MINIC_RNG, MiniRng, Workload
+
+_SEED = 424242
+_N = 110
+_PRIME = 1000003
+
+
+def _reference() -> str:
+    rng = MiniRng(_SEED)
+    data = [rng.next() % 100000 for _ in range(_N)]
+    data.sort()
+    sorted_ok = 1
+    checksum = 0
+    for i, value in enumerate(data):
+        checksum = (checksum + (i + 1) * value) % _PRIME
+    return f"{sorted_ok}\n{checksum}\n"
+
+
+_SOURCE = f"""
+{MINIC_RNG}
+
+int data[{_N}];
+
+void quicksort(int lo, int hi) {{
+    if (lo >= hi) {{ return; }}
+    int pivot = data[hi];
+    int i = lo - 1;
+    for (int j = lo; j < hi; j++) {{
+        if (data[j] <= pivot) {{
+            i++;
+            int t = data[i];
+            data[i] = data[j];
+            data[j] = t;
+        }}
+    }}
+    int t = data[i + 1];
+    data[i + 1] = data[hi];
+    data[hi] = t;
+    quicksort(lo, i);
+    quicksort(i + 2, hi);
+}}
+
+int main() {{
+    rng_state = {_SEED};
+    for (int i = 0; i < {_N}; i++) {{
+        data[i] = rng_next() % 100000;
+    }}
+    quicksort(0, {_N} - 1);
+
+    int sorted_ok = 1;
+    for (int i = 1; i < {_N}; i++) {{
+        if (data[i - 1] > data[i]) {{ sorted_ok = 0; }}
+    }}
+    print_int(sorted_ok);
+    print_char('\\n');
+
+    int checksum = 0;
+    for (int i = 0; i < {_N}; i++) {{
+        checksum = (checksum + (i + 1) * data[i]) % {_PRIME};
+    }}
+    print_int(checksum);
+    print_char('\\n');
+    return 0;
+}}
+"""
+
+WORKLOAD = Workload(
+    name="qsort",
+    mibench_counterpart="automotive/qsort_small",
+    description="recursive quicksort + checksum over a PRNG array",
+    source=_SOURCE,
+    expected_stdout=_reference(),
+)

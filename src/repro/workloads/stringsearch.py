@@ -1,0 +1,120 @@
+"""stringsearch — MiBench `office/stringsearch` counterpart.
+
+Boyer–Moore–Horspool search of several patterns over a synthetic corpus
+(words sampled by the shared PRNG), counting the occurrences of each
+pattern — the same structure as MiBench's pattern-set-over-text search.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MINIC_RNG, MiniRng, Workload
+
+_SEED = 2501
+_WORDS = ("secure", "engine", "rocket", "cipher", "packet", "kernel",
+          "branch", "memory")
+_CORPUS_WORDS = 60
+_PATTERNS = ("cipher", "rocket", "ene", "ketsec", "zzz")
+
+
+def _corpus() -> bytes:
+    rng = MiniRng(_SEED)
+    parts = []
+    for _ in range(_CORPUS_WORDS):
+        parts.append(_WORDS[rng.next() % len(_WORDS)])
+    return "".join(parts).encode()
+
+
+def _horspool_count(text: bytes, pattern: bytes) -> int:
+    m = len(pattern)
+    if m == 0 or m > len(text):
+        return 0
+    shift = {pattern[i]: m - 1 - i for i in range(m - 1)}
+    count = 0
+    pos = 0
+    while pos + m <= len(text):
+        if text[pos:pos + m] == pattern:
+            count += 1
+        last = text[pos + m - 1]
+        pos += shift.get(last, m)
+    return count
+
+
+def _reference() -> str:
+    text = _corpus()
+    return "".join(f"{_horspool_count(text, p.encode())}\n"
+                   for p in _PATTERNS)
+
+
+_WORD_TABLE = "".join(_WORDS)
+_WORD_LEN = len(_WORDS[0])
+assert all(len(w) == _WORD_LEN for w in _WORDS)
+_CORPUS_LEN = _CORPUS_WORDS * _WORD_LEN
+_PATTERN_BLOB = "".join(_PATTERNS)
+_PATTERN_OFFSETS = []
+_off = 0
+for _p in _PATTERNS:
+    _PATTERN_OFFSETS.append(_off)
+    _off += len(_p)
+_PATTERN_LENS = [len(p) for p in _PATTERNS]
+
+
+_SOURCE = f"""
+{MINIC_RNG}
+
+char words[] = "{_WORD_TABLE}";
+char corpus[{_CORPUS_LEN}];
+char patterns[] = "{_PATTERN_BLOB}";
+int pattern_offset[{len(_PATTERNS)}] = {{{", ".join(str(v) for v in _PATTERN_OFFSETS)}}};
+int pattern_len[{len(_PATTERNS)}] = {{{", ".join(str(v) for v in _PATTERN_LENS)}}};
+int shift[256];
+
+void build_corpus() {{
+    rng_state = {_SEED};
+    int pos = 0;
+    for (int w = 0; w < {_CORPUS_WORDS}; w++) {{
+        int word = rng_next() % {len(_WORDS)};
+        for (int c = 0; c < {_WORD_LEN}; c++) {{
+            corpus[pos] = words[word * {_WORD_LEN} + c];
+            pos++;
+        }}
+    }}
+}}
+
+int horspool(char *pattern, int m) {{
+    if (m == 0 || m > {_CORPUS_LEN}) {{ return 0; }}
+    for (int i = 0; i < 256; i++) {{ shift[i] = m; }}
+    for (int i = 0; i < m - 1; i++) {{ shift[pattern[i]] = m - 1 - i; }}
+    int count = 0;
+    int pos = 0;
+    while (pos + m <= {_CORPUS_LEN}) {{
+        int match = 1;
+        for (int i = 0; i < m; i++) {{
+            if (corpus[pos + i] != pattern[i]) {{
+                match = 0;
+                break;
+            }}
+        }}
+        count += match;
+        pos += shift[corpus[pos + m - 1]];
+    }}
+    return count;
+}}
+
+int main() {{
+    build_corpus();
+    for (int p = 0; p < {len(_PATTERNS)}; p++) {{
+        int count = horspool(&patterns[pattern_offset[p]], pattern_len[p]);
+        print_int(count);
+        print_char('\\n');
+    }}
+    return 0;
+}}
+"""
+
+WORKLOAD = Workload(
+    name="stringsearch",
+    mibench_counterpart="office/stringsearch",
+    description="Horspool multi-pattern search over a synthetic corpus",
+    source=_SOURCE,
+    expected_stdout=_reference(),
+)

@@ -1,0 +1,18 @@
+"""Shared helpers for MiniC compiler tests."""
+
+import pytest
+
+from repro.cc.driver import compile_source
+from repro.soc.soc import RocketLikeSoC
+
+
+@pytest.fixture
+def run_c():
+    """Compile and execute MiniC source; returns the RunResult."""
+
+    def runner(source, optimize=True, compress=False, **run_kwargs):
+        result = compile_source(source, optimize=optimize, compress=compress)
+        soc = RocketLikeSoC()
+        return soc.run(result.program, **run_kwargs)
+
+    return runner

@@ -1,0 +1,202 @@
+"""Lexer/parser/sema diagnostics and -O0 vs -O1 equivalence."""
+
+import pytest
+
+from repro.cc.driver import compile_source
+from repro.cc.lexer import tokenize
+from repro.cc.parser import parse
+from repro.cc.sema import analyze
+from repro.errors import CompileError, LexError, ParseError, SemanticError
+from repro.soc.soc import RocketLikeSoC
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize('int x = 0x1F; // c\n"s" \'a\'')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "=", "int", ";", "string",
+                         "int", "eof"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("int a;\nint b;\n")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+    def test_block_comment(self):
+        tokens = tokenize("int /* hi \n there */ x;")
+        assert [t.text for t in tokens[:2]] == ["int", "x"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError, match="unterminated block comment"):
+            tokenize("/* forever")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"no close')
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("int a @ b;")
+
+    def test_char_escapes(self):
+        tokens = tokenize(r"'\n' '\t' '\0' '\\'")
+        assert [t.value for t in tokens[:-1]] == [10, 9, 0, 92]
+
+    def test_maximal_munch(self):
+        tokens = tokenize("a <<= b >> c >= d")
+        kinds = [t.kind for t in tokens]
+        assert "<<=" in kinds and ">>" in kinds and ">=" in kinds
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("source", [
+        "int main( { return 0; }",
+        "int main() { return 0 }",
+        "int main() { if return; }",
+        "int main() { int x = ; }",
+        "int 3x;",
+        "int main() { x[; }",
+    ])
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_unsized_local_array(self):
+        with pytest.raises(ParseError, match="explicit size"):
+            parse("int main() { int a[]; return 0; }")
+
+
+class TestSemaErrors:
+    @pytest.mark.parametrize("source,match", [
+        ("int main() { return y; }", "undeclared"),
+        ("int main() { int x; int x; return 0; }", "redeclaration"),
+        ("int main() { break; }", "break outside"),
+        ("int main() { continue; }", "continue outside"),
+        ("void f() {} void f() {} int main() { return 0; }",
+         "redefinition"),
+        ("int main() { f(1); }", "undefined function"),
+        ("int f(int a) { return a; } int main() { return f(); }",
+         "expects 1 arguments"),
+        ("int main() { 5 = 6; return 0; }", "lvalue"),
+        ("int main() { int x; return *x; }", "dereferencing non-pointer"),
+        ("int main() { int a[3]; a = 0; return 0; }", "not .?assignable"),
+        ("void v; int main() { return 0; }", "type void"),
+        ("int main() { int *p; return p % 3; }", "invalid operands"),
+        ("int main() { return exit; }", "undeclared"),
+    ])
+    def test_semantic_errors(self, source, match):
+        with pytest.raises(SemanticError, match=match):
+            analyze(parse(source))
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError, match="no main"):
+            compile_source("int helper() { return 1; }")
+
+    def test_too_many_params(self):
+        params = ", ".join(f"int p{i}" for i in range(9))
+        with pytest.raises(SemanticError, match="more than 8"):
+            analyze(parse(f"int f({params}) {{ return 0; }}"))
+
+    def test_string_too_long_for_array(self):
+        with pytest.raises(SemanticError, match="too long"):
+            analyze(parse('char s[2] = "abc"; int main() { return 0; }'))
+
+
+PROGRAMS = [
+    """
+    int main() {
+        int sum = 0;
+        for (int i = 0; i < 50; i++) {
+            if (i % 3 == 0) { sum += i * 2; }
+            else { sum -= 1; }
+        }
+        print_int(sum);
+        return 0;
+    }
+    """,
+    """
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main() { print_int(fib(15)); return 0; }
+    """,
+    """
+    int main() {
+        char text[32];
+        char *src = "optimization";
+        int n = 0;
+        while (src[n]) { text[n] = src[n]; n++; }
+        text[n] = 0;
+        int vowels = 0;
+        for (int i = 0; i < n; i++) {
+            char c = text[i];
+            if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+                vowels++;
+            }
+        }
+        print_int(vowels);
+        print_str(text);
+        return 0;
+    }
+    """,
+    """
+    int data[16] = {5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 15, 11, 13, 10, 14, 12};
+    int main() {
+        // insertion sort then checksum
+        for (int i = 1; i < 16; i++) {
+            int key = data[i];
+            int j = i - 1;
+            while (j >= 0 && data[j] > key) {
+                data[j + 1] = data[j];
+                j--;
+            }
+            data[j + 1] = key;
+        }
+        int acc = 0;
+        for (int i = 0; i < 16; i++) { acc = acc * 3 + data[i]; }
+        print_int(acc);
+        return 0;
+    }
+    """,
+]
+
+
+class TestOptimizationEquivalence:
+    @pytest.mark.parametrize("source", PROGRAMS, ids=range(len(PROGRAMS)))
+    def test_o0_o1_same_output(self, source):
+        o0 = compile_source(source, optimize=False)
+        o1 = compile_source(source, optimize=True)
+        r0 = RocketLikeSoC().run(o0.program)
+        r1 = RocketLikeSoC().run(o1.program)
+        assert r0.stdout == r1.stdout
+        assert r0.exit_code == r1.exit_code
+
+    @pytest.mark.parametrize("source", PROGRAMS, ids=range(len(PROGRAMS)))
+    def test_optimizer_not_slower(self, source):
+        o0 = compile_source(source, optimize=False)
+        o1 = compile_source(source, optimize=True)
+        r0 = RocketLikeSoC().run(o0.program)
+        r1 = RocketLikeSoC().run(o1.program)
+        assert r1.counters.instret <= r0.counters.instret
+
+    @pytest.mark.parametrize("source", PROGRAMS, ids=range(len(PROGRAMS)))
+    def test_compressed_same_output(self, source):
+        plain = compile_source(source, compress=False)
+        rvc = compile_source(source, compress=True)
+        r0 = RocketLikeSoC().run(plain.program)
+        r1 = RocketLikeSoC().run(rvc.program)
+        assert r0.stdout == r1.stdout
+        assert len(rvc.program.text) < len(plain.program.text)
+
+
+class TestCompileResult:
+    def test_asm_text_present(self):
+        result = compile_source("int main() { return 0; }")
+        assert "main:" in result.asm_text
+        assert "_start:" in result.asm_text
+
+    def test_program_layout_nonempty(self):
+        result = compile_source("int main() { return 0; }")
+        assert result.program.instruction_count > 10
+        assert result.program.entry == result.program.symbols["_start"]

@@ -1,0 +1,37 @@
+"""Shared fixtures for ERIC core tests."""
+
+import pytest
+
+from repro.cc.driver import compile_source
+from repro.core.device import Device
+
+HELLO_SOURCE = """
+int main() {
+    print_str("secret payload\\n");
+    int acc = 0;
+    for (int i = 0; i < 20; i++) { acc += i * i; }
+    print_int(acc);
+    return acc % 256;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def hello_program():
+    return compile_source(HELLO_SOURCE, name="hello").program
+
+
+@pytest.fixture(scope="module")
+def hello_program_rvc():
+    return compile_source(HELLO_SOURCE, name="hello-rvc",
+                          compress=True).program
+
+
+@pytest.fixture
+def device():
+    return Device(device_seed=0xD0)
+
+
+@pytest.fixture
+def other_device():
+    return Device(device_seed=0xD1)

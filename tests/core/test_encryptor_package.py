@@ -1,0 +1,216 @@
+"""Encryption Unit and package format units."""
+
+import pytest
+
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.encryptor import (
+    EncryptionMap,
+    build_map,
+    encrypt_text,
+    select_field_slots,
+    select_partial_slots,
+)
+from repro.core.keys import KeyManagementUnit, puf_based_key
+from repro.core.package import ProgramPackage
+from repro.errors import ConfigError, PackageFormatError
+
+
+def kmu():
+    return KeyManagementUnit(puf_based_key(b"unit-test-device"))
+
+
+class TestEncryptionMap:
+    def test_full(self):
+        m = EncryptionMap.full(10)
+        assert len(m) == 10
+        assert all(m[i] for i in range(10))
+        assert m.encrypted_count == 10
+
+    def test_from_indices(self):
+        m = EncryptionMap.from_indices(8, [0, 3, 7])
+        assert [m[i] for i in range(8)] == [True, False, False, True,
+                                            False, False, False, True]
+
+    def test_index_bounds(self):
+        m = EncryptionMap.full(4)
+        with pytest.raises(IndexError):
+            m[4]
+        with pytest.raises(ConfigError):
+            EncryptionMap.from_indices(4, [4])
+
+    def test_bit_length_validation(self):
+        with pytest.raises(PackageFormatError):
+            EncryptionMap(b"\x00\x00", 4)  # needs exactly 1 byte
+
+
+class TestSlotSelection:
+    def test_fraction_zero_and_one(self):
+        assert select_partial_slots(100, 0.0, seed=1) == []
+        assert select_partial_slots(100, 1.0, seed=1) == list(range(100))
+
+    def test_deterministic_per_seed(self):
+        a = select_partial_slots(100, 0.3, seed=7)
+        b = select_partial_slots(100, 0.3, seed=7)
+        c = select_partial_slots(100, 0.3, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_count_matches_fraction(self):
+        chosen = select_partial_slots(200, 0.25, seed=3)
+        assert len(chosen) == 50
+
+    def test_field_selection_skips_compressed(self, hello_program_rvc):
+        layout = hello_program_rvc.layout
+        indices = select_field_slots(layout, 1.0, seed=1)
+        assert indices  # some 32-bit slots exist
+        assert all(layout[i].size == 4 for i in indices)
+        assert hello_program_rvc.compressed_count > 0
+
+
+class TestEncryptText:
+    def test_full_roundtrip(self, hello_program):
+        cipher = kmu().text_cipher("xor-repeating")
+        program = hello_program
+        enc_map = EncryptionMap.full(program.instruction_count)
+        ciphertext = encrypt_text(program.text, program.layout, enc_map,
+                                  cipher)
+        assert ciphertext != program.text
+        plaintext = encrypt_text(ciphertext, program.layout, enc_map,
+                                 cipher)
+        assert plaintext == program.text
+
+    def test_partial_only_touches_flagged_slots(self, hello_program):
+        cipher = kmu().text_cipher("xor-repeating")
+        program = hello_program
+        indices = [0, 2, 4]
+        enc_map = EncryptionMap.from_indices(program.instruction_count,
+                                             indices)
+        ciphertext = encrypt_text(program.text, program.layout, enc_map,
+                                  cipher)
+        for i, slot in enumerate(program.layout):
+            original = program.text[slot.offset:slot.offset + slot.size]
+            result = ciphertext[slot.offset:slot.offset + slot.size]
+            if i in indices:
+                assert result != original
+            else:
+                assert result == original
+
+    def test_field_mode_preserves_opcode_bits(self, hello_program):
+        config = EricConfig(mode=EncryptionMode.FIELD)
+        cipher = kmu().text_cipher("xor-repeating")
+        program = hello_program
+        enc_map = build_map(program, config)
+        ciphertext = encrypt_text(program.text, program.layout, enc_map,
+                                  cipher, EncryptionMode.FIELD,
+                                  config.field_classes)
+        for slot in program.layout:
+            original = program.text[slot.offset:slot.offset + slot.size]
+            result = ciphertext[slot.offset:slot.offset + slot.size]
+            # low 7 bits (opcode) never change in field mode
+            assert original[0] & 0x7F == result[0] & 0x7F
+
+    def test_map_layout_mismatch_rejected(self, hello_program):
+        cipher = kmu().text_cipher("xor-repeating")
+        bad_map = EncryptionMap.full(hello_program.instruction_count + 1)
+        with pytest.raises(PackageFormatError):
+            encrypt_text(hello_program.text, hello_program.layout, bad_map,
+                         cipher)
+
+
+class TestBuildMap:
+    def test_full_flags_everything(self, hello_program):
+        config = EricConfig(mode=EncryptionMode.FULL)
+        m = build_map(hello_program, config)
+        assert m.encrypted_count == hello_program.instruction_count
+
+    def test_partial_respects_fraction(self, hello_program):
+        config = EricConfig(mode=EncryptionMode.PARTIAL,
+                            partial_fraction=0.5)
+        m = build_map(hello_program, config)
+        expected = round(hello_program.instruction_count * 0.5)
+        assert m.encrypted_count == expected
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        EricConfig().validate()
+
+    def test_opcode_class_rejected(self):
+        with pytest.raises(ConfigError, match="opcode"):
+            EricConfig(mode=EncryptionMode.FIELD,
+                       field_classes=("opcode", "imm")).validate()
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            EricConfig(partial_fraction=1.5).validate()
+
+    def test_unknown_cipher_rejected(self):
+        with pytest.raises(ConfigError):
+            EricConfig(cipher="rot13").validate()
+
+    def test_unknown_field_class_rejected(self):
+        with pytest.raises(ConfigError):
+            EricConfig(field_classes=("immediate",)).validate()
+
+
+class TestPackageFormat:
+    def make_package(self, program, mode=EncryptionMode.FULL):
+        enc_map = (EncryptionMap.full(program.instruction_count)
+                   if mode is EncryptionMode.FULL else
+                   EncryptionMap.from_indices(program.instruction_count,
+                                              [0, 1]))
+        return ProgramPackage(
+            mode=mode, cipher="xor-repeating", field_classes=(),
+            entry=program.entry, text_base=program.text_base,
+            data_base=program.data_base, enc_text=program.text,
+            data=program.data, enc_map=enc_map,
+            enc_signature=bytes(32),
+        )
+
+    def test_roundtrip(self, hello_program):
+        package = self.make_package(hello_program)
+        blob = package.serialize()
+        back = ProgramPackage.deserialize(blob)
+        assert back == package
+
+    def test_roundtrip_field_classes(self, hello_program):
+        package = ProgramPackage(
+            mode=EncryptionMode.FIELD, cipher="xor-sha256ctr",
+            field_classes=("imm", "rs1"), entry=hello_program.entry,
+            text_base=hello_program.text_base,
+            data_base=hello_program.data_base,
+            enc_text=hello_program.text, data=hello_program.data,
+            enc_map=EncryptionMap.full(hello_program.instruction_count),
+            enc_signature=bytes(32),
+        )
+        back = ProgramPackage.deserialize(package.serialize())
+        assert back.field_classes == ("imm", "rs1")
+        assert back.cipher == "xor-sha256ctr"
+
+    def test_bad_magic(self, hello_program):
+        blob = bytearray(self.make_package(hello_program).serialize())
+        blob[0] ^= 0xFF
+        with pytest.raises(PackageFormatError, match="magic"):
+            ProgramPackage.deserialize(bytes(blob))
+
+    def test_truncation_everywhere(self, hello_program):
+        blob = self.make_package(hello_program).serialize()
+        for cut in (3, 10, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(PackageFormatError):
+                ProgramPackage.deserialize(blob[:cut])
+
+    def test_trailing_garbage_rejected(self, hello_program):
+        blob = self.make_package(hello_program).serialize()
+        with pytest.raises(PackageFormatError, match="trailing"):
+            ProgramPackage.deserialize(blob + b"\x00")
+
+    def test_size_accounting_full_vs_partial(self, hello_program):
+        # paper §IV.A: full encryption carries no map (all-ones implied),
+        # partial pays 1 bit per instruction; both carry the signature.
+        full = self.make_package(hello_program).serialize()
+        partial = self.make_package(hello_program,
+                                    EncryptionMode.PARTIAL).serialize()
+        plain = hello_program.serialize_plain()
+        map_bytes = (hello_program.instruction_count + 7) // 8
+        assert len(partial) == len(full) + map_bytes
+        assert len(full) > len(plain)

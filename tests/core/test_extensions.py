@@ -1,0 +1,133 @@
+"""Paper §VI future-work extensions: data encryption, RSA handshake,
+overlapped HDE."""
+
+import pytest
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EricConfig
+from repro.core.device import Device
+from repro.core.provisioning import DeviceRegistry
+from repro.crypto import rsa
+from repro.errors import ValidationError
+
+SOURCE = """
+char secret_table[] = "CONFIDENTIAL-COEFFS";
+int main() {
+    print_str(secret_table);
+    return 0;
+}
+"""
+
+
+class TestDataEncryption:
+    def test_data_section_hidden_on_wire(self, device):
+        config = EricConfig(encrypt_data=True, sign_data=True)
+        result = EricCompiler(config).compile_and_package(
+            SOURCE, device.enrollment_key())
+        assert b"CONFIDENTIAL" not in result.package_bytes
+        assert result.package.data_encrypted
+
+    def test_plain_config_leaks_data(self, device):
+        result = EricCompiler().compile_and_package(
+            SOURCE, device.enrollment_key())
+        assert b"CONFIDENTIAL" in result.package_bytes
+
+    def test_device_still_runs_correctly(self, device):
+        config = EricConfig(encrypt_data=True, sign_data=True)
+        result = EricCompiler(config).compile_and_package(
+            SOURCE, device.enrollment_key())
+        outcome = device.load_and_run(result.package_bytes)
+        assert outcome.run.stdout == "CONFIDENTIAL-COEFFS"
+
+    def test_wrong_device_cannot_recover_data(self, device, other_device):
+        config = EricConfig(encrypt_data=True, sign_data=True)
+        result = EricCompiler(config).compile_and_package(
+            SOURCE, device.enrollment_key())
+        with pytest.raises(ValidationError):
+            other_device.load_and_run(result.package_bytes)
+
+    def test_sign_data_detects_data_tampering(self, device):
+        config = EricConfig(encrypt_data=True, sign_data=True)
+        result = EricCompiler(config).compile_and_package(
+            SOURCE, device.enrollment_key())
+        blob = bytearray(result.package_bytes)
+        # flip a byte in the encrypted data section (just before the
+        # 32-byte signature at the tail)
+        blob[-40] ^= 0xFF
+        with pytest.raises(ValidationError):
+            device.load_and_run(bytes(blob))
+
+    def test_unsigned_data_tampering_is_not_detected(self, device):
+        # The paper-faithful default signs instructions only; this test
+        # documents the consequence (and why sign_data exists).
+        config = EricConfig(encrypt_data=False, sign_data=False)
+        result = EricCompiler(config).compile_and_package(
+            SOURCE, device.enrollment_key())
+        blob = bytearray(result.package_bytes)
+        blob[-40] ^= 0xFF  # inside plaintext data
+        outcome = device.load_and_run(bytes(blob))
+        assert outcome.run.stdout != "CONFIDENTIAL-COEFFS"
+
+
+class TestRsaHandshake:
+    KEYPAIR = rsa.generate_keypair(bits=1024, seed=0x50F7)
+
+    def test_wrapped_handshake_roundtrip(self, device):
+        registry = DeviceRegistry()
+        registry.enroll(device)
+        wrapped = registry.handshake_wrapped(device.device_id,
+                                             self.KEYPAIR.public())
+        pbk = rsa.decrypt(self.KEYPAIR, wrapped)
+        assert pbk == device.enrollment_key()
+
+    def test_wrapped_key_usable_for_packaging(self, device):
+        registry = DeviceRegistry()
+        registry.enroll(device)
+        wrapped = registry.handshake_wrapped(device.device_id,
+                                             self.KEYPAIR.public())
+        pbk = rsa.decrypt(self.KEYPAIR, wrapped)
+        result = EricCompiler().compile_and_package(SOURCE, pbk)
+        outcome = device.load_and_run(result.package_bytes)
+        assert outcome.run.stdout == "CONFIDENTIAL-COEFFS"
+
+    def test_eavesdropper_cannot_unwrap(self, device):
+        registry = DeviceRegistry()
+        registry.enroll(device)
+        wrapped = registry.handshake_wrapped(device.device_id,
+                                             self.KEYPAIR.public())
+        eavesdropper_keys = rsa.generate_keypair(bits=1024, seed=0xBAD)
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            rsa.decrypt(eavesdropper_keys, wrapped)
+
+    def test_raw_key_never_in_wrapped_blob(self, device):
+        registry = DeviceRegistry()
+        registry.enroll(device)
+        wrapped = registry.handshake_wrapped(device.device_id,
+                                             self.KEYPAIR.public())
+        assert device.enrollment_key() not in wrapped
+
+
+class TestOverlappedHde:
+    def test_overlap_reduces_cycles(self):
+        serial = Device(device_seed=0x0E0, overlapped_hde=False)
+        parallel = Device(device_seed=0x0E0, overlapped_hde=True)
+        result = EricCompiler().compile_and_package(
+            SOURCE, serial.enrollment_key())
+        serial_outcome = serial.load_and_run(result.package_bytes)
+        parallel_outcome = parallel.load_and_run(result.package_bytes)
+        assert parallel_outcome.hde.total_cycles \
+            < serial_outcome.hde.total_cycles
+        # functionally identical
+        assert parallel_outcome.run.stdout == serial_outcome.run.stdout
+
+    def test_overlap_saves_exactly_the_hidden_stage(self):
+        device = Device(device_seed=0x0E1, overlapped_hde=True)
+        result = EricCompiler().compile_and_package(
+            SOURCE, device.enrollment_key())
+        _, report = device.hde.process(result.package_bytes)
+        assert report.overlapped
+        expected = (report.puf_keygen_cycles + report.kmu_cycles
+                    + max(report.decrypt_cycles, report.signature_cycles)
+                    + report.validation_cycles)
+        assert report.total_cycles == expected

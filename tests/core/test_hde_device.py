@@ -1,0 +1,224 @@
+"""HDE + Device integration: the paper's §III.2 hardware flow."""
+
+import pytest
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.device import Device
+from repro.errors import PackageFormatError, ValidationError
+
+SOURCE = """
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 30; i++) {
+        if (i % 3 == 0) { total += i; }
+    }
+    print_int(total);
+    return 0;
+}
+"""
+EXPECTED_STDOUT = str(sum(i for i in range(1, 31) if i % 3 == 0))
+
+
+def package_for(device, config=None, source=SOURCE):
+    compiler = EricCompiler(config)
+    return compiler.compile_and_package(source, device.enrollment_key())
+
+
+@pytest.mark.parametrize("mode", list(EncryptionMode))
+class TestDecryptExecuteAllModes:
+    def test_runs_correctly(self, device, mode):
+        config = EricConfig(mode=mode)
+        result = package_for(device, config)
+        outcome = device.load_and_run(result.package_bytes)
+        assert outcome.run.stdout == EXPECTED_STDOUT
+        assert outcome.hde.signature_ok
+
+    def test_recovered_program_identical(self, device, mode):
+        config = EricConfig(mode=mode)
+        result = package_for(device, config)
+        program, report = device.hde.process(result.package_bytes)
+        assert program.text == result.program.text
+        assert program.data == result.program.data
+        assert program.entry == result.program.entry
+        assert tuple(program.layout) == tuple(result.program.layout)
+
+    def test_ciphertext_differs_from_plaintext(self, device, mode):
+        config = EricConfig(mode=mode)
+        result = package_for(device, config)
+        assert result.package.enc_text != result.program.text
+
+
+class TestWrongDevice:
+    def test_other_device_rejects(self, device, other_device):
+        result = package_for(device)
+        with pytest.raises(ValidationError):
+            other_device.load_and_run(result.package_bytes)
+
+    def test_other_device_rejects_partial(self, device, other_device):
+        config = EricConfig(mode=EncryptionMode.PARTIAL,
+                            partial_fraction=0.3)
+        result = package_for(device, config)
+        with pytest.raises(ValidationError):
+            other_device.load_and_run(result.package_bytes)
+
+    def test_wrong_epoch_rejects(self, device):
+        result = package_for(device)  # epoch-0
+        rekeyed = Device(device_seed=device.device_seed, epoch=b"epoch-1")
+        with pytest.raises(ValidationError):
+            rekeyed.load_and_run(result.package_bytes)
+
+    def test_same_device_same_seed_accepts(self, device):
+        result = package_for(device)
+        twin = Device(device_seed=device.device_seed)
+        outcome = twin.load_and_run(result.package_bytes)
+        assert outcome.run.stdout == EXPECTED_STDOUT
+
+
+class TestTamperDetection:
+    def test_text_bitflip_detected(self, device):
+        result = package_for(device)
+        blob = bytearray(result.package_bytes)
+        blob[len(blob) // 2] ^= 0x40  # inside enc_text
+        with pytest.raises(ValidationError):
+            device.load_and_run(bytes(blob))
+
+    def test_signature_bitflip_detected(self, device):
+        result = package_for(device)
+        blob = bytearray(result.package_bytes)
+        blob[-1] ^= 0x01  # inside enc_signature
+        with pytest.raises(ValidationError):
+            device.load_and_run(bytes(blob))
+
+    def test_entry_redirect_detected(self, device):
+        import struct
+        result = package_for(device)
+        blob = bytearray(result.package_bytes)
+        # entry lives right after fixed header (9B) + cipher name +
+        # field-class count byte
+        offset = 9 + len("xor-repeating") + 1
+        entry = struct.unpack_from("<Q", blob, offset)[0]
+        assert entry == result.program.entry  # located correctly
+        struct.pack_into("<Q", blob, offset, entry + 4)
+        with pytest.raises(ValidationError):
+            device.load_and_run(bytes(blob))
+
+    def test_structural_corruption_is_format_error(self, device):
+        result = package_for(device)
+        with pytest.raises(PackageFormatError):
+            device.load_and_run(result.package_bytes[:40])
+
+
+class TestHdeCycleModel:
+    def test_cycle_breakdown_populated(self, device):
+        result = package_for(device)
+        _, report = device.hde.process(result.package_bytes)
+        assert report.puf_keygen_cycles > 0
+        assert report.kmu_cycles > 0
+        assert report.decrypt_cycles > 0
+        assert report.signature_cycles > 0
+        assert report.validation_cycles > 0
+        assert report.total_cycles == (
+            report.puf_keygen_cycles + report.kmu_cycles
+            + report.decrypt_cycles + report.signature_cycles
+            + report.validation_cycles)
+
+    def test_partial_decrypts_fewer_slots(self, device):
+        full = package_for(device, EricConfig(mode=EncryptionMode.FULL))
+        partial = package_for(
+            device, EricConfig(mode=EncryptionMode.PARTIAL,
+                               partial_fraction=0.25))
+        _, full_report = device.hde.process(full.package_bytes)
+        _, partial_report = device.hde.process(partial.package_bytes)
+        assert partial_report.decrypted_slots \
+            < full_report.decrypted_slots
+        assert partial_report.decrypt_cycles < full_report.decrypt_cycles
+
+    def test_signature_cost_dominates_decrypt(self, device):
+        # 64 SHA rounds per 64 bytes vs 1 cycle per 8 bytes
+        result = package_for(device)
+        _, report = device.hde.process(result.package_bytes)
+        assert report.signature_cycles > report.decrypt_cycles
+
+    def test_hde_cycles_much_smaller_than_run(self, device):
+        result = package_for(device)
+        outcome = device.load_and_run(result.package_bytes)
+        assert outcome.hde.total_cycles < outcome.run.counters.cycles
+
+    def test_total_cycles_sum(self, device):
+        result = package_for(device)
+        outcome = device.load_and_run(result.package_bytes)
+        assert outcome.total_cycles == (outcome.hde.total_cycles
+                                        + outcome.run.counters.cycles)
+
+
+class TestRvcPackages:
+    def test_compressed_package_roundtrip(self, device):
+        config = EricConfig(compress=True)
+        result = package_for(device, config)
+        assert result.program.compressed_count > 0
+        outcome = device.load_and_run(result.package_bytes)
+        assert outcome.run.stdout == EXPECTED_STDOUT
+
+    def test_compressed_partial_roundtrip(self, device):
+        config = EricConfig(mode=EncryptionMode.PARTIAL,
+                            partial_fraction=0.5, compress=True)
+        result = package_for(device, config)
+        outcome = device.load_and_run(result.package_bytes)
+        assert outcome.run.stdout == EXPECTED_STDOUT
+
+    def test_map_bits_equal_slot_count(self, device):
+        config = EricConfig(compress=True)
+        result = package_for(device, config)
+        assert result.package.enc_map.count \
+            == result.program.instruction_count
+
+
+class TestBaselineVsEric:
+    def test_run_plain_matches(self, device):
+        compiler = EricCompiler()
+        compile_result, _ = compiler.compile_baseline(SOURCE)
+        plain = device.run_plain(compile_result.program)
+        eric = device.load_and_run(
+            package_for(device).package_bytes)
+        assert plain.stdout == eric.run.stdout
+        assert plain.counters.instret == eric.run.counters.instret
+
+    LONG_SOURCE = """
+    int main() {
+        int acc = 0;
+        for (int i = 0; i < 4000; i++) { acc = acc * 31 + i; }
+        print_int(acc % 1000000);
+        return 0;
+    }
+    """
+
+    def test_eric_overhead_is_small_for_long_runs(self, device):
+        # Fig. 7's effect: overhead is proportional to static size /
+        # dynamic length, so a long-running program sees a few percent.
+        compiler = EricCompiler()
+        compile_result, _ = compiler.compile_baseline(self.LONG_SOURCE)
+        plain = device.run_plain(compile_result.program)
+        package = compiler.compile_and_package(
+            self.LONG_SOURCE, device.enrollment_key())
+        eric = device.load_and_run(package.package_bytes)
+        overhead = eric.total_cycles / plain.counters.cycles - 1.0
+        assert 0.0 < overhead < 0.10
+
+    def test_short_programs_see_larger_relative_overhead(self, device):
+        compiler = EricCompiler()
+        short_plain, _ = compiler.compile_baseline(SOURCE)
+        long_plain, _ = compiler.compile_baseline(self.LONG_SOURCE)
+        key = device.enrollment_key()
+        short = device.load_and_run(
+            compiler.compile_and_package(SOURCE, key).package_bytes)
+        long_run = device.load_and_run(
+            compiler.compile_and_package(self.LONG_SOURCE,
+                                         key).package_bytes)
+        short_overhead = (short.total_cycles
+                          / device.run_plain(short_plain.program)
+                          .counters.cycles)
+        long_overhead = (long_run.total_cycles
+                         / device.run_plain(long_plain.program)
+                         .counters.cycles)
+        assert short_overhead > long_overhead

@@ -1,0 +1,153 @@
+"""Two-way authentication workflow, provisioning, config interface."""
+
+import pytest
+
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.device import Device
+from repro.core.interface import config_from_dict, config_to_dict, describe
+from repro.core.provisioning import DeviceRegistry
+from repro.core.workflow import deploy
+from repro.errors import ConfigError, ProvisioningError, ValidationError
+from repro.net.channel import BitFlipper, Eavesdropper, Patcher, \
+    UntrustedChannel
+
+SOURCE = """
+int main() {
+    print_str("deployed\\n");
+    return 5;
+}
+"""
+
+
+class TestDeployWorkflow:
+    def test_clean_deployment(self, device):
+        result = deploy(SOURCE, device)
+        assert result.stdout == "deployed\n"
+        assert result.exit_code == 5
+        assert result.total_cycles > 0
+
+    def test_deployment_with_eavesdropper(self, device):
+        spy = Eavesdropper()
+        channel = UntrustedChannel([spy])
+        result = deploy(SOURCE, device, channel=channel)
+        assert result.stdout == "deployed\n"
+        # the spy captured the package: the *code* is ciphertext (the
+        # data section travels plaintext by design — ERIC encrypts
+        # instructions, §III.1)
+        assert len(spy.captured) == 1
+        program_text = result.compile_result.program.text
+        assert program_text not in spy.captured[0]
+
+    def test_tampering_blocks_execution(self, device):
+        channel = UntrustedChannel([BitFlipper(flips=3, seed=9)])
+        with pytest.raises(ValidationError):
+            deploy(SOURCE, device, channel=channel)
+
+    def test_patching_blocks_execution(self, device):
+        channel = UntrustedChannel([Patcher(offset=120,
+                                            patch=b"\xDE\xAD")])
+        with pytest.raises(ValidationError):
+            deploy(SOURCE, device, channel=channel)
+
+    def test_registry_reuse(self, device):
+        registry = DeviceRegistry()
+        deploy(SOURCE, device, registry=registry)
+        # second deployment: device already enrolled, handshake only
+        result = deploy(SOURCE, device, registry=registry)
+        assert result.exit_code == 5
+
+
+class TestRegistry:
+    def test_enroll_and_handshake(self, device):
+        registry = DeviceRegistry()
+        device_id = registry.enroll(device)
+        key = registry.handshake(device_id)
+        assert key == device.enrollment_key()
+
+    def test_double_enroll_rejected(self, device):
+        registry = DeviceRegistry()
+        registry.enroll(device)
+        with pytest.raises(ProvisioningError):
+            registry.enroll(device)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ProvisioningError, match="not enrolled"):
+            DeviceRegistry().handshake("dev-ffff")
+
+    def test_enrolled_listing(self, device, other_device):
+        registry = DeviceRegistry()
+        registry.enroll(device)
+        registry.enroll(other_device)
+        assert set(registry.enrolled) == {device.device_id,
+                                          other_device.device_id}
+
+
+class TestFleetDeployment:
+    def test_one_compile_many_devices(self):
+        devices = [Device(device_seed=s) for s in (11, 12, 13)]
+        registry = DeviceRegistry()
+        for dev in devices:
+            registry.enroll(dev)
+        group = registry.provision_group([d.device_id for d in devices])
+
+        compiler = EricCompiler()
+        result = compiler.compile_and_package(SOURCE, group.group_key)
+        for dev in devices:
+            outcome = dev.load_and_run(result.package_bytes,
+                                       key_mask=group.masks[dev.device_id])
+            assert outcome.run.stdout == "deployed\n"
+
+    def test_outsider_cannot_use_group_package(self, device):
+        registry = DeviceRegistry()
+        registry.enroll(device)
+        group = registry.provision_group([device.device_id])
+        compiler = EricCompiler()
+        result = compiler.compile_and_package(SOURCE, group.group_key)
+        outsider = Device(device_seed=999)
+        # without helper data
+        with pytest.raises(ValidationError):
+            outsider.load_and_run(result.package_bytes)
+        # even with the enrolled device's helper data
+        with pytest.raises(ValidationError):
+            outsider.load_and_run(result.package_bytes,
+                                  key_mask=group.masks[device.device_id])
+
+    def test_group_needs_enrolled_devices(self, device):
+        registry = DeviceRegistry()
+        with pytest.raises(ProvisioningError):
+            registry.provision_group(["dev-nope"])
+        with pytest.raises(ProvisioningError):
+            registry.provision_group([])
+
+
+class TestConfigInterface:
+    def test_roundtrip(self):
+        config = EricConfig(mode=EncryptionMode.PARTIAL,
+                            partial_fraction=0.3, compress=True,
+                            epoch=b"epoch-7")
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_from_dict_defaults(self):
+        assert config_from_dict({}) == EricConfig()
+
+    def test_mode_strings(self):
+        for mode in ("full", "partial", "field"):
+            config = config_from_dict({"mode": mode})
+            assert config.mode.value == mode
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown options"):
+            config_from_dict({"modee": "full"})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="unknown mode"):
+            config_from_dict({"mode": "everything"})
+
+    def test_describe_mentions_mode_specifics(self):
+        partial = EricConfig(mode=EncryptionMode.PARTIAL,
+                             partial_fraction=0.25)
+        text = describe(partial)
+        assert "25%" in text
+        field = EricConfig(mode=EncryptionMode.FIELD)
+        assert "opcode always stays plaintext" in describe(field)

@@ -1,0 +1,65 @@
+"""AES-128 known-answer tests (FIPS 197) and CTR keystream behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, aes128_ctr_keystream
+from repro.errors import ConfigError
+
+
+class TestFips197:
+    KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+    CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_encrypt_appendix_c1(self):
+        assert AES128(self.KEY).encrypt_block(self.PLAIN) == self.CIPHER
+
+    def test_decrypt_appendix_c1(self):
+        assert AES128(self.KEY).decrypt_block(self.CIPHER) == self.PLAIN
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plain = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plain) == expected
+
+
+class TestRoundTrip:
+    @given(key=st.binary(min_size=16, max_size=16),
+           block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_decrypt_inverts_encrypt(self, key, block):
+        aes = AES128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_block_size_enforced(self):
+        aes = AES128(bytes(16))
+        with pytest.raises(ConfigError):
+            aes.encrypt_block(b"short")
+        with pytest.raises(ConfigError):
+            aes.decrypt_block(b"x" * 17)
+
+    def test_key_size_enforced(self):
+        with pytest.raises(ConfigError):
+            AES128(bytes(15))
+
+
+class TestCtrKeystream:
+    def test_deterministic(self):
+        a = aes128_ctr_keystream(bytes(16), nonce=7, length=100)
+        assert a == aes128_ctr_keystream(bytes(16), nonce=7, length=100)
+
+    def test_nonce_separates(self):
+        a = aes128_ctr_keystream(bytes(16), nonce=1, length=64)
+        b = aes128_ctr_keystream(bytes(16), nonce=2, length=64)
+        assert a != b
+
+    def test_prefix_property(self):
+        long = aes128_ctr_keystream(bytes(16), nonce=3, length=80)
+        short = aes128_ctr_keystream(bytes(16), nonce=3, length=48)
+        assert long[:48] == short
+
+    def test_length_exact(self):
+        assert len(aes128_ctr_keystream(bytes(16), 0, 33)) == 33

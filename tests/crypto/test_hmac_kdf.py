@@ -1,0 +1,93 @@
+"""HMAC-SHA256 (RFC 4231 vectors) and the counter-mode KDF."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.kdf import derive_key, expand_keystream
+
+
+class TestHmacVectors:
+    def test_rfc4231_case_1(self):
+        key = b"\x0b" * 20
+        data = b"Hi There"
+        assert hmac_sha256(key, data).hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_rfc4231_case_2(self):
+        assert hmac_sha256(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_rfc4231_case_6_long_key(self):
+        key = b"\xaa" * 131
+        data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        assert hmac_sha256(key, data).hex() == (
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        )
+
+    @given(st.binary(max_size=200), st.binary(max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_stdlib(self, key, msg):
+        expected = std_hmac.new(key, msg, hashlib.sha256).digest()
+        assert hmac_sha256(key, msg) == expected
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        assert derive_key(b"secret", "enc") == derive_key(b"secret", "enc")
+
+    def test_label_separates(self):
+        assert derive_key(b"secret", "enc") != derive_key(b"secret", "sig")
+
+    def test_context_separates(self):
+        base = derive_key(b"secret", "enc", context=b"device-1")
+        other = derive_key(b"secret", "enc", context=b"device-2")
+        assert base != other
+
+    def test_secret_separates(self):
+        assert derive_key(b"a", "enc") != derive_key(b"b", "enc")
+
+    @pytest.mark.parametrize("length", [1, 16, 32, 33, 64, 100])
+    def test_lengths(self, length):
+        key = derive_key(b"secret", "enc", length=length)
+        assert len(key) == length
+
+    def test_long_output_prefix_property(self):
+        # Counter-mode KDFs with length in the PRF input do NOT promise
+        # prefix consistency; ours binds length, so 32- and 64-byte outputs
+        # must differ even in their first 32 bytes.
+        short = derive_key(b"secret", "enc", length=32)
+        long = derive_key(b"secret", "enc", length=64)
+        assert long[:32] != short
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            derive_key(b"secret", "enc", length=0)
+
+
+class TestExpandKeystream:
+    def test_deterministic_and_nonce_bound(self):
+        a = expand_keystream(b"k", b"n1", 100)
+        assert a == expand_keystream(b"k", b"n1", 100)
+        assert a != expand_keystream(b"k", b"n2", 100)
+
+    @given(st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_property(self, short, extra):
+        # Same key/nonce: a longer expansion extends the shorter one.
+        stream = expand_keystream(b"key", b"nonce", short + extra)
+        assert stream[:short] == expand_keystream(b"key", b"nonce", short)
+
+    def test_zero_length(self):
+        assert expand_keystream(b"k", b"n", 0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            expand_keystream(b"k", b"n", -1)

@@ -1,0 +1,76 @@
+"""RSA keygen / OAEP wrap-unwrap (the §VI future-work extension)."""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.errors import ConfigError
+
+# One shared keypair per module: keygen is the slow part.
+KEY = rsa.generate_keypair(bits=1024, seed=7)
+PUB = KEY.public()
+
+
+class TestKeygen:
+    def test_deterministic(self):
+        again = rsa.generate_keypair(bits=1024, seed=7)
+        assert again.n == KEY.n
+        assert again.d == KEY.d
+
+    def test_different_seeds_differ(self):
+        other = rsa.generate_keypair(bits=1024, seed=8)
+        assert other.n != KEY.n
+
+    def test_modulus_width(self):
+        assert 1023 <= KEY.n.bit_length() <= 1024
+
+    def test_keypair_consistency(self):
+        message = 0x1234567890ABCDEF
+        assert pow(pow(message, PUB.e, PUB.n), KEY.d, KEY.n) == message
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            rsa.generate_keypair(bits=256)
+        with pytest.raises(ConfigError):
+            rsa.generate_keypair(bits=1023)
+
+
+class TestOaepRoundTrip:
+    @pytest.mark.parametrize("message", [
+        b"", b"x", b"\x00" * 32, bytes(range(32)),
+        b"a 32-byte PUF-based key....!!..."
+    ])
+    def test_roundtrip(self, message):
+        wrapped = rsa.encrypt(PUB, message, entropy=b"test")
+        assert rsa.decrypt(KEY, wrapped) == message
+
+    def test_ciphertext_not_plaintext(self):
+        message = bytes(range(32))
+        wrapped = rsa.encrypt(PUB, message, entropy=b"e")
+        assert message not in wrapped
+
+    def test_entropy_randomizes(self):
+        message = bytes(32)
+        a = rsa.encrypt(PUB, message, entropy=b"one")
+        b = rsa.encrypt(PUB, message, entropy=b"two")
+        assert a != b
+        assert rsa.decrypt(KEY, a) == rsa.decrypt(KEY, b) == message
+
+    def test_tampered_ciphertext_rejected(self):
+        wrapped = bytearray(rsa.encrypt(PUB, b"secret", entropy=b"t"))
+        wrapped[10] ^= 0x01
+        with pytest.raises(ConfigError):
+            rsa.decrypt(KEY, bytes(wrapped))
+
+    def test_wrong_key_rejected(self):
+        other = rsa.generate_keypair(bits=1024, seed=99)
+        wrapped = rsa.encrypt(PUB, b"secret", entropy=b"t")
+        with pytest.raises(ConfigError):
+            rsa.decrypt(other, wrapped)
+
+    def test_oversize_message_rejected(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            rsa.encrypt(PUB, bytes(200))
+
+    def test_wrong_length_ciphertext_rejected(self):
+        with pytest.raises(ConfigError):
+            rsa.decrypt(KEY, b"short")

@@ -1,0 +1,131 @@
+"""XOR cipher properties: involution, offset addressing, registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.xor_cipher import (
+    Cipher,
+    RepeatingKeyXor,
+    Sha256CtrCipher,
+    make_cipher,
+    register_cipher,
+    registered_ciphers,
+)
+from repro.errors import ConfigError
+
+CIPHER_CLASSES = [RepeatingKeyXor, Sha256CtrCipher]
+
+
+@pytest.fixture(params=CIPHER_CLASSES, ids=lambda c: c.name)
+def cipher(request):
+    return request.param(b"\x13\x37\xC0\xDE" * 8)
+
+
+class TestInvolution:
+    @given(data=st.binary(max_size=2048), offset=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_repeating(self, data, offset):
+        c = RepeatingKeyXor(b"0123456789abcdef")
+        assert c.transform(c.transform(data, offset), offset) == data
+
+    @given(data=st.binary(max_size=2048), offset=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_ctr(self, data, offset):
+        c = Sha256CtrCipher(b"0123456789abcdef")
+        assert c.transform(c.transform(data, offset), offset) == data
+
+    def test_encrypt_changes_data(self, cipher):
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert cipher.transform(data) != data
+
+
+class TestOffsetAddressing:
+    @given(data=st.binary(min_size=2, max_size=1024),
+           split=st.integers(min_value=1, max_value=1023))
+    @settings(max_examples=40, deadline=None)
+    def test_fragment_equals_whole_repeating(self, data, split):
+        split = min(split, len(data) - 1)
+        c = RepeatingKeyXor(b"secret-key")
+        whole = c.transform(data, 0)
+        assert c.transform(data[:split], 0) == whole[:split]
+        assert c.transform(data[split:], split) == whole[split:]
+
+    @given(data=st.binary(min_size=2, max_size=1024),
+           split=st.integers(min_value=1, max_value=1023))
+    @settings(max_examples=40, deadline=None)
+    def test_fragment_equals_whole_ctr(self, data, split):
+        split = min(split, len(data) - 1)
+        c = Sha256CtrCipher(b"secret-key")
+        whole = c.transform(data, 0)
+        assert c.transform(data[:split], 0) == whole[:split]
+        assert c.transform(data[split:], split) == whole[split:]
+
+    def test_keystream_window(self, cipher):
+        # keystream(offset, n) must be the [offset, offset+n) window of
+        # keystream(0, offset+n).
+        base = cipher.keystream(0, 300)
+        assert cipher.keystream(100, 50) == base[100:150]
+        assert cipher.keystream(0, 0) == b""
+
+    def test_repeating_key_periodicity(self):
+        key = b"ABCD"
+        c = RepeatingKeyXor(key)
+        assert c.keystream(0, 12) == key * 3
+        assert c.keystream(2, 6) == b"CDABCD"
+
+
+class TestKeySeparation:
+    def test_different_keys_differ(self):
+        data = bytes(64)
+        for cls in CIPHER_CLASSES:
+            a = cls(b"key-a-key-a-key-").transform(data)
+            b = cls(b"key-b-key-b-key-").transform(data)
+            assert a != b
+
+    def test_ctr_nonce_separates(self):
+        data = bytes(64)
+        a = Sha256CtrCipher(b"k" * 16, nonce=b"text").transform(data)
+        b = Sha256CtrCipher(b"k" * 16, nonce=b"sig").transform(data)
+        assert a != b
+
+
+class TestRegistry:
+    def test_make_cipher_known(self):
+        c = make_cipher("xor-repeating", b"key")
+        assert isinstance(c, RepeatingKeyXor)
+        c = make_cipher("xor-sha256ctr", b"key")
+        assert isinstance(c, Sha256CtrCipher)
+
+    def test_make_cipher_unknown(self):
+        with pytest.raises(ConfigError):
+            make_cipher("rot13", b"key")
+
+    def test_register_custom_cipher(self):
+        @register_cipher
+        class NullCipher(Cipher):
+            name = "null-test-cipher"
+
+            def __init__(self, key):
+                pass
+
+            def keystream(self, offset, length):
+                return bytes(length)
+
+            def transform(self, data, offset=0):
+                return data
+
+        assert "null-test-cipher" in registered_ciphers()
+        assert make_cipher("null-test-cipher", b"").transform(b"abc") == b"abc"
+
+    def test_register_rejects_anonymous(self):
+        class Bad(Cipher):
+            name = ""
+
+        with pytest.raises(ConfigError):
+            register_cipher(Bad)
+
+    def test_empty_key_rejected(self):
+        for cls in CIPHER_CLASSES:
+            with pytest.raises(ConfigError):
+                cls(b"")

@@ -1,0 +1,122 @@
+"""Unit tests for the structural area model and the AES-memory model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.aes_memory import AesMemoryModel
+from repro.hw.area import (
+    PAPER_HDE_FFS,
+    PAPER_HDE_LUTS,
+    ROCKET_BASELINE_FFS,
+    ROCKET_BASELINE_LUTS,
+    HdeAreaModel,
+    area_table,
+)
+from repro.hw.primitives import AreaEstimate, Primitives
+from repro.soc.counters import PerfCounters
+
+
+class TestPrimitives:
+    def test_register_is_ffs_only(self):
+        est = Primitives().register(64)
+        assert est.ffs == 64
+        assert est.luts == 0
+
+    def test_xor_array_scales_with_width(self):
+        p = Primitives()
+        assert p.xor_array(128).luts > p.xor_array(32).luts
+
+    def test_srl_and_lutram_use_no_ffs(self):
+        p = Primitives()
+        assert p.shift_register_srl(512).ffs == 0
+        assert p.lutram(256).ffs == 0
+        assert p.shift_register_srl(512).luts == 16
+        assert p.lutram(256).luts == 4
+
+    def test_packing_efficiency_bounds(self):
+        with pytest.raises(ConfigError):
+            Primitives(packing_efficiency=0.05)
+        with pytest.raises(ConfigError):
+            Primitives(packing_efficiency=1.5)
+
+    def test_packing_efficiency_scales_luts(self):
+        loose = Primitives(packing_efficiency=1.0).adder(64)
+        tight = Primitives(packing_efficiency=0.5).adder(64)
+        assert tight.luts < loose.luts
+
+    def test_area_estimate_addition_and_scaling(self):
+        total = AreaEstimate(10, 20) + AreaEstimate(1, 2)
+        assert (total.luts, total.ffs) == (11, 22)
+        scaled = AreaEstimate(10, 20).scaled(2.5)
+        assert (scaled.luts, scaled.ffs) == (25, 50)
+
+
+class TestHdeAreaModel:
+    def test_paper_baseline_constants(self):
+        assert ROCKET_BASELINE_LUTS == 33894
+        assert ROCKET_BASELINE_FFS == 19093
+        assert PAPER_HDE_LUTS == 34811 - 33894
+        assert PAPER_HDE_FFS == 19854 - 19093
+
+    def test_total_is_sum_of_units(self):
+        model = HdeAreaModel()
+        total = model.total()
+        unit_sum_luts = sum(e.luts for e in model.units().values())
+        unit_sum_ffs = sum(e.ffs for e in model.units().values())
+        assert total.luts == unit_sum_luts
+        assert total.ffs == unit_sum_ffs
+
+    def test_area_table_consistency(self):
+        table = area_table()
+        assert table["with_hde_luts"] == (table["rocket_luts"]
+                                          + table["hde_luts"])
+        assert table["with_hde_ffs"] == (table["rocket_ffs"]
+                                         + table["hde_ffs"])
+        assert table["lut_increase_pct"] == pytest.approx(
+            100 * table["hde_luts"] / table["rocket_luts"])
+
+    def test_wider_datapath_costs_more(self):
+        narrow = HdeAreaModel(datapath_bits=32).decryption_unit()
+        wide = HdeAreaModel(datapath_bits=128).decryption_unit()
+        assert wide.luts > narrow.luts
+        assert wide.ffs > narrow.ffs
+
+    def test_more_puf_instances_cost_more(self):
+        small = HdeAreaModel(puf_width=16).puf_key_generator()
+        large = HdeAreaModel(puf_width=64).puf_key_generator()
+        assert large.luts > small.luts
+        assert large.ffs > small.ffs
+
+
+class TestAesMemoryModel:
+    def _counters(self, cycles=100_000, imiss=50, dmiss=50):
+        counters = PerfCounters()
+        counters.cycles = cycles
+        counters.icache_misses = imiss
+        counters.dcache_misses = dmiss
+        return counters
+
+    def test_cycles_per_line(self):
+        model = AesMemoryModel(line_bytes=64)
+        assert model.cycles_per_line == 4 * 11  # 4 AES blocks per line
+
+    def test_extra_cycles_scale_with_misses(self):
+        model = AesMemoryModel()
+        light = model.extra_cycles(self._counters(imiss=10, dmiss=10))
+        heavy = model.extra_cycles(self._counters(imiss=100, dmiss=100))
+        assert heavy == 10 * light
+
+    def test_slowdown_pct(self):
+        model = AesMemoryModel(writeback_fraction=0.0)
+        counters = self._counters(cycles=44_000, imiss=100, dmiss=0)
+        assert model.slowdown_pct(counters) == pytest.approx(10.0)
+
+    def test_zero_cycles_guard(self):
+        assert AesMemoryModel().slowdown_pct(PerfCounters()) == 0.0
+
+    def test_writeback_fraction_adds_cost(self):
+        counters = self._counters()
+        base = AesMemoryModel(writeback_fraction=0.0).extra_cycles(counters)
+        with_wb = AesMemoryModel(writeback_fraction=0.5).extra_cycles(
+            counters)
+        assert with_wb > base

@@ -1,0 +1,135 @@
+"""Property-based end-to-end invariants (hypothesis).
+
+Random synthetic programs (arbitrary valid instruction streams + random
+data) must round-trip through encrypt -> package -> HDE decrypt for every
+mode, and must *never* survive a wrong-key decryption.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.program import InstructionSlot, Program
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.encryptor import encrypt_program
+from repro.core.keys import KeyManagementUnit, puf_based_key
+from repro.core.package import ProgramPackage
+from repro.core.signature import compute_signature
+from repro.errors import ValidationError
+from repro.isa.compressed import compress
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+
+# -- synthetic program strategy ----------------------------------------------
+
+_R_NAMES = ("add", "sub", "xor", "and", "or", "mul", "sltu")
+_I_NAMES = ("addi", "andi", "ori", "xori", "addiw")
+_LOADS = ("lw", "ld", "lbu")
+_STORES = ("sw", "sd", "sb")
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(("r", "i", "load", "store")))
+    if kind == "r":
+        return Instruction(draw(st.sampled_from(_R_NAMES)),
+                           rd=draw(regs), rs1=draw(regs), rs2=draw(regs))
+    if kind == "i":
+        return Instruction(draw(st.sampled_from(_I_NAMES)),
+                           rd=draw(regs), rs1=draw(regs), imm=draw(imm12))
+    if kind == "load":
+        return Instruction(draw(st.sampled_from(_LOADS)),
+                           rd=draw(regs), rs1=draw(regs), imm=draw(imm12))
+    return Instruction(draw(st.sampled_from(_STORES)),
+                       rs2=draw(regs), rs1=draw(regs), imm=draw(imm12))
+
+
+@st.composite
+def synthetic_programs(draw):
+    instrs = draw(st.lists(instructions(), min_size=1, max_size=60))
+    use_rvc = draw(st.booleans())
+    text = bytearray()
+    layout = []
+    for instr in instrs:
+        halfword = compress(instr) if use_rvc else None
+        if halfword is not None:
+            layout.append(InstructionSlot(offset=len(text), size=2))
+            text.extend(halfword.to_bytes(2, "little"))
+        else:
+            layout.append(InstructionSlot(offset=len(text), size=4))
+            text.extend(encode(instr).to_bytes(4, "little"))
+    data = draw(st.binary(max_size=128))
+    return Program(text=bytes(text), data=data, text_base=0x10000,
+                   data_base=0x20000, entry=0x10000,
+                   layout=tuple(layout))
+
+
+def _package(program, config, pbk):
+    kmu = KeyManagementUnit(pbk)
+    signature = compute_signature(program, include_data=config.sign_data)
+    encrypted = encrypt_program(program, config,
+                                kmu.text_cipher(config.cipher),
+                                kmu.signature_cipher(config.cipher),
+                                signature)
+    return ProgramPackage(
+        mode=config.mode, cipher=config.cipher,
+        field_classes=(config.field_classes
+                       if config.mode is EncryptionMode.FIELD else ()),
+        entry=program.entry, text_base=program.text_base,
+        data_base=program.data_base, enc_text=encrypted.ciphertext,
+        data=program.data, enc_map=encrypted.enc_map,
+        enc_signature=encrypted.enc_signature,
+        data_signed=config.sign_data,
+    ).serialize()
+
+
+MODES = [EncryptionMode.FULL, EncryptionMode.PARTIAL, EncryptionMode.FIELD]
+
+
+@pytest.fixture(scope="module")
+def hde_pair():
+    """A real device HDE plus its enrollment key (shared per module)."""
+    from repro.core.device import Device
+    device = Device(device_seed=0x9999)
+    return device.hde, device.enrollment_key()
+
+
+@given(program=synthetic_programs(),
+       mode=st.sampled_from(MODES),
+       seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(program, mode, seed, hde_pair):
+    hde, pbk = hde_pair
+    config = EricConfig(mode=mode, partial_fraction=0.5,
+                        selection_seed=seed).validate()
+    blob = _package(program, config, pbk)
+    recovered, report = hde.process(blob)
+    assert recovered.text == program.text
+    assert recovered.data == program.data
+    assert tuple(recovered.layout) == tuple(program.layout)
+    assert report.signature_ok
+
+
+@given(program=synthetic_programs(),
+       mode=st.sampled_from([EncryptionMode.FULL, EncryptionMode.PARTIAL]))
+@settings(max_examples=25, deadline=None)
+def test_wrong_key_always_fails(program, mode, hde_pair):
+    hde, _ = hde_pair
+    config = EricConfig(mode=mode).validate()
+    wrong_pbk = puf_based_key(b"not-the-device")
+    blob = _package(program, config, wrong_pbk)
+    with pytest.raises(ValidationError):
+        hde.process(blob)
+
+
+@given(program=synthetic_programs())
+@settings(max_examples=25, deadline=None)
+def test_package_serialization_roundtrip(program, hde_pair):
+    _, pbk = hde_pair
+    config = EricConfig(mode=EncryptionMode.PARTIAL).validate()
+    blob = _package(program, config, pbk)
+    package = ProgramPackage.deserialize(blob)
+    assert package.serialize() == blob

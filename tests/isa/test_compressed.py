@@ -1,0 +1,161 @@
+"""RVC subset: compress/expand round-trips and range gating."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError
+from repro.isa.compressed import (
+    compress,
+    decode_compressed,
+    encode_compressed,
+    expand_compressed,
+    is_compressed_halfword,
+)
+from repro.isa.instruction import Instruction
+
+cregs = st.integers(min_value=8, max_value=15)
+anyreg = st.integers(min_value=1, max_value=31)
+imm6 = st.integers(min_value=-32, max_value=31)
+
+
+def assert_roundtrip(instr: Instruction):
+    halfword = compress(instr)
+    assert halfword is not None, f"{instr} should compress"
+    assert is_compressed_halfword(halfword)
+    assert expand_compressed(halfword) == instr
+
+
+class TestCompressibleForms:
+    @given(rd=anyreg, imm=imm6)
+    @settings(max_examples=40, deadline=None)
+    def test_c_addi(self, rd, imm):
+        if imm == 0:
+            return
+        assert_roundtrip(Instruction("addi", rd=rd, rs1=rd, imm=imm))
+
+    @given(rd=anyreg, imm=imm6)
+    @settings(max_examples=40, deadline=None)
+    def test_c_li(self, rd, imm):
+        assert_roundtrip(Instruction("addi", rd=rd, rs1=0, imm=imm))
+
+    @given(rd=anyreg, imm=imm6)
+    @settings(max_examples=40, deadline=None)
+    def test_c_addiw(self, rd, imm):
+        assert_roundtrip(Instruction("addiw", rd=rd, rs1=rd, imm=imm))
+
+    @given(rd=anyreg, sh=st.integers(min_value=1, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_c_slli(self, rd, sh):
+        assert_roundtrip(Instruction("slli", rd=rd, rs1=rd, imm=sh))
+
+    @given(rd=cregs, sh=st.integers(min_value=1, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_c_srli_srai(self, rd, sh):
+        assert_roundtrip(Instruction("srli", rd=rd, rs1=rd, imm=sh))
+        assert_roundtrip(Instruction("srai", rd=rd, rs1=rd, imm=sh))
+
+    @given(rd=cregs, imm=imm6)
+    @settings(max_examples=40, deadline=None)
+    def test_c_andi(self, rd, imm):
+        assert_roundtrip(Instruction("andi", rd=rd, rs1=rd, imm=imm))
+
+    @given(rd=cregs, rs2=cregs)
+    @settings(max_examples=40, deadline=None)
+    def test_ca_arith(self, rd, rs2):
+        for name in ("sub", "xor", "or", "and", "subw", "addw"):
+            assert_roundtrip(Instruction(name, rd=rd, rs1=rd, rs2=rs2))
+
+    @given(rd=anyreg, rs2=anyreg)
+    @settings(max_examples=40, deadline=None)
+    def test_c_add_mv(self, rd, rs2):
+        assert_roundtrip(Instruction("add", rd=rd, rs1=rd, rs2=rs2))
+        assert_roundtrip(Instruction("add", rd=rd, rs1=0, rs2=rs2))
+
+    @given(rd=anyreg, off=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_sp_loads_stores(self, rd, off):
+        assert_roundtrip(Instruction("ld", rd=rd, rs1=2, imm=off * 8))
+        assert_roundtrip(Instruction("sd", rs1=2, rs2=rd, imm=off * 8))
+        if off * 4 <= 252:
+            assert_roundtrip(Instruction("lw", rd=rd, rs1=2, imm=off * 4))
+            assert_roundtrip(Instruction("sw", rs1=2, rs2=rd, imm=off * 4))
+
+    @given(rd=cregs, rs1=cregs, off=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_creg_loads_stores(self, rd, rs1, off):
+        assert_roundtrip(Instruction("ld", rd=rd, rs1=rs1, imm=off * 8))
+        assert_roundtrip(Instruction("sd", rs1=rs1, rs2=rd, imm=off * 8))
+        assert_roundtrip(Instruction("lw", rd=rd, rs1=rs1, imm=off * 4))
+        assert_roundtrip(Instruction("sw", rs1=rs1, rs2=rd, imm=off * 4))
+
+    def test_c_addi16sp(self):
+        for imm in (-512, -16, 16, 32, 496):
+            assert_roundtrip(Instruction("addi", rd=2, rs1=2, imm=imm))
+
+    def test_c_addi4spn(self):
+        for imm in (4, 8, 128, 1020):
+            for rd in (8, 15):
+                assert_roundtrip(Instruction("addi", rd=rd, rs1=2, imm=imm))
+
+    def test_c_lui(self):
+        assert_roundtrip(Instruction("lui", rd=5, imm=1))
+        assert_roundtrip(Instruction("lui", rd=5, imm=0xFFFFF))  # -1 << 12
+
+    def test_c_jr_jalr(self):
+        assert_roundtrip(Instruction("jalr", rd=0, rs1=1, imm=0))   # ret
+        assert_roundtrip(Instruction("jalr", rd=1, rs1=5, imm=0))
+
+    def test_c_nop_and_ebreak(self):
+        assert compress(Instruction("addi", rd=0, rs1=0, imm=0)) == 0x0001
+        assert_roundtrip(Instruction("ebreak"))
+
+
+class TestNotCompressible:
+    @pytest.mark.parametrize("instr", [
+        Instruction("addi", rd=1, rs1=2, imm=5),        # rd != rs1
+        Instruction("addi", rd=1, rs1=1, imm=100),      # imm too wide
+        Instruction("add", rd=1, rs1=2, rs2=3),         # rd != rs1, rs1 != 0
+        Instruction("sub", rd=1, rs1=1, rs2=2),         # regs outside x8-15
+        Instruction("lw", rd=1, rs1=3, imm=4),          # base not sp/creg
+        Instruction("ld", rd=8, rs1=9, imm=4),          # misaligned offset
+        Instruction("ld", rd=8, rs1=9, imm=256),        # offset too big
+        Instruction("lw", rd=0, rs1=2, imm=4),          # rd=0 reserved
+        Instruction("jalr", rd=0, rs1=1, imm=4),        # non-zero offset
+        Instruction("jalr", rd=5, rs1=1, imm=0),        # link reg not ra
+        Instruction("lui", rd=2, imm=1),                # rd=sp excluded
+        Instruction("lui", rd=5, imm=0x12345),          # imm too wide
+        Instruction("beq", rs1=1, rs2=2, imm=8),        # branches stay 32-bit
+        Instruction("jal", rd=0, imm=8),                # jumps stay 32-bit
+        Instruction("slli", rd=5, rs1=5, imm=0),        # zero shamt
+        Instruction("ecall"),
+    ])
+    def test_returns_none(self, instr):
+        assert compress(instr) is None
+
+    def test_encode_compressed_raises(self):
+        from repro.errors import EncodingError
+        with pytest.raises(EncodingError):
+            encode_compressed(Instruction("ecall"))
+
+
+class TestDecodeErrors:
+    def test_zero_parcel_illegal(self):
+        with pytest.raises(DecodingError):
+            decode_compressed(0x0000)
+
+    def test_32bit_head_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_compressed(0x0003)
+
+    def test_cj_not_supported(self):
+        # c.j lives at C1/funct3=101 which this toolchain never emits.
+        with pytest.raises(DecodingError):
+            decode_compressed((0b101 << 13) | 0b01)
+
+    def test_rvc_names_reported(self):
+        name, _ = decode_compressed(0x0001)
+        assert name == "c.nop"
+        halfword = compress(Instruction("addi", rd=5, rs1=5, imm=1))
+        name, _ = decode_compressed(halfword)
+        assert name == "c.addi"

@@ -1,0 +1,185 @@
+"""encode/decode round-trip across all formats (unit + property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa.decoding import decode
+from repro.isa.encoding import encode, encode_bytes
+from repro.isa.instruction import Instruction
+from repro.isa.spec import BRANCHES, INSTRUCTION_SPECS, LOADS, STORES
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr))
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against the RISC-V spec examples."""
+
+    @pytest.mark.parametrize("instr,word", [
+        (Instruction("addi", rd=1, rs1=2, imm=3), 0x00310093),
+        (Instruction("add", rd=10, rs1=11, rs2=12), 0x00C58533),
+        (Instruction("sub", rd=10, rs1=11, rs2=12), 0x40C58533),
+        (Instruction("lui", rd=5, imm=0x12345), 0x123452B7),
+        (Instruction("jal", rd=1, imm=2048), 0x001000EF),
+        (Instruction("ld", rd=6, rs1=2, imm=16), 0x01013303),
+        (Instruction("sd", rs1=2, rs2=7, imm=24), 0x00713C23),
+        (Instruction("beq", rs1=1, rs2=2, imm=-4), 0xFE208EE3),
+        (Instruction("ecall"), 0x00000073),
+        (Instruction("ebreak"), 0x00100073),
+        (Instruction("mul", rd=3, rs1=4, rs2=5), 0x025201B3),
+        (Instruction("srai", rd=8, rs1=9, imm=34), 0x4224D413),
+        (Instruction("sraiw", rd=8, rs1=9, imm=7), 0x4074D41B),
+    ])
+    def test_golden(self, instr, word):
+        assert encode(instr) == word
+        assert decode(word) == instr
+
+    def test_encode_bytes_little_endian(self):
+        raw = encode_bytes(Instruction("addi", rd=1, rs1=2, imm=3))
+        assert raw == (0x00310093).to_bytes(4, "little")
+
+
+class TestRoundTripProperties:
+    @given(rd=regs, rs1=regs, rs2=regs)
+    @settings(max_examples=50, deadline=None)
+    def test_r_type(self, rd, rs1, rs2):
+        for name in ("add", "sub", "xor", "mul", "divu", "sraw", "remw"):
+            instr = Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+            assert roundtrip(instr) == instr
+
+    @given(rd=regs, rs1=regs, imm=imm12)
+    @settings(max_examples=50, deadline=None)
+    def test_i_type(self, rd, rs1, imm):
+        for name in ("addi", "andi", "ori", "xori", "lw", "ld", "lbu",
+                     "jalr", "addiw"):
+            instr = Instruction(name, rd=rd, rs1=rs1, imm=imm)
+            assert roundtrip(instr) == instr
+
+    @given(rs1=regs, rs2=regs, imm=imm12)
+    @settings(max_examples=50, deadline=None)
+    def test_s_type(self, rs1, rs2, imm):
+        for name in ("sb", "sh", "sw", "sd"):
+            instr = Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+            assert roundtrip(instr) == instr
+
+    @given(rs1=regs, rs2=regs,
+           imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=50, deadline=None)
+    def test_b_type(self, rs1, rs2, imm):
+        offset = imm * 2  # branches take even offsets in +-4KiB
+        for name in sorted(BRANCHES):
+            instr = Instruction(name, rs1=rs1, rs2=rs2, imm=offset)
+            assert roundtrip(instr) == instr
+
+    @given(rd=regs, imm=st.integers(min_value=0, max_value=(1 << 20) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_u_type(self, rd, imm):
+        for name in ("lui", "auipc"):
+            instr = Instruction(name, rd=rd, imm=imm)
+            assert roundtrip(instr) == instr
+
+    @given(rd=regs,
+           imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_j_type(self, rd, imm):
+        instr = Instruction("jal", rd=rd, imm=imm * 2)
+        assert roundtrip(instr) == instr
+
+    @given(rd=regs, rs1=regs, sh=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=50, deadline=None)
+    def test_shift64(self, rd, rs1, sh):
+        for name in ("slli", "srli", "srai"):
+            instr = Instruction(name, rd=rd, rs1=rs1, imm=sh)
+            assert roundtrip(instr) == instr
+
+    @given(rd=regs, rs1=regs, sh=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=50, deadline=None)
+    def test_shift32(self, rd, rs1, sh):
+        for name in ("slliw", "srliw", "sraiw"):
+            instr = Instruction(name, rd=rd, rs1=rs1, imm=sh)
+            assert roundtrip(instr) == instr
+
+
+class TestEncodingErrors:
+    def test_missing_operand(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=1, rs1=2))
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=2, imm=2048))
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=2, imm=-2049))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=1, rs2=2, imm=3))
+
+    def test_branch_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=1, rs2=2, imm=4096))
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("slli", rd=1, rs1=1, imm=64))
+        with pytest.raises(EncodingError):
+            encode(Instruction("slliw", rd=1, rs1=1, imm=32))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=32, rs1=0, rs2=0))
+
+    def test_unknown_mnemonic_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Instruction("bogus")
+
+
+class TestDecodingErrors:
+    def test_compressed_bits_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(0x00000001)
+
+    def test_garbage_word(self):
+        with pytest.raises(DecodingError):
+            decode(0xFFFFFFFF)
+
+    def test_reserved_opcode(self):
+        with pytest.raises(DecodingError):
+            decode(0x0000007F | 0b11)
+
+    def test_bad_system_imm(self):
+        with pytest.raises(DecodingError):
+            decode((5 << 20) | 0x73)
+
+    def test_all_mnemonics_have_specs(self):
+        # every spec entry must encode at least one instance
+        for name, (fmt, *_rest) in INSTRUCTION_SPECS.items():
+            if fmt == "R":
+                instr = Instruction(name, rd=1, rs1=2, rs2=3)
+            elif fmt in ("I",):
+                instr = Instruction(name, rd=1, rs1=2, imm=4)
+            elif fmt in ("SHIFT64", "SHIFT32"):
+                instr = Instruction(name, rd=1, rs1=2, imm=3)
+            elif fmt == "S":
+                instr = Instruction(name, rs1=1, rs2=2, imm=8)
+            elif fmt == "B":
+                instr = Instruction(name, rs1=1, rs2=2, imm=8)
+            elif fmt == "U":
+                instr = Instruction(name, rd=1, imm=5)
+            elif fmt == "J":
+                instr = Instruction(name, rd=1, imm=8)
+            else:
+                instr = Instruction(name)
+            assert decode(encode(instr)) == instr
+
+
+class TestLoadStoreSets:
+    def test_class_sets_cover_specs(self):
+        for name in LOADS | STORES | BRANCHES:
+            assert name in INSTRUCTION_SPECS

@@ -1,0 +1,197 @@
+"""Field masks, pseudo expansion and the disassembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa.disassembler import disassemble, disassemble_text
+from repro.isa.encoding import encode, encode_bytes
+from repro.isa.fields import FIELD_CLASSES, encryptable_mask, field_mask
+from repro.isa.instruction import Instruction
+from repro.isa.pseudo import expand_pseudo, li_sequence
+from repro.isa.spec import parse_register, register_name
+
+
+class TestFieldMasks:
+    def test_opcode_mask(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        assert field_mask(word, ("opcode",)) == 0x7F
+
+    def test_imm_mask_i_type(self):
+        word = encode(Instruction("ld", rd=1, rs1=2, imm=100))
+        assert field_mask(word, ("imm",)) == 0xFFF00000
+
+    def test_imm_mask_s_type(self):
+        word = encode(Instruction("sd", rs1=1, rs2=2, imm=100))
+        assert field_mask(word, ("imm",)) == 0xFE000F80
+
+    def test_imm_mask_u_type(self):
+        word = encode(Instruction("lui", rd=1, imm=5))
+        assert field_mask(word, ("imm",)) == 0xFFFFF000
+
+    def test_register_masks(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        assert field_mask(word, ("rd",)) == 0x00000F80
+        assert field_mask(word, ("rs1",)) == 0x000F8000
+        assert field_mask(word, ("rs2",)) == 0x01F00000
+
+    def test_classes_or_together(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        combined = field_mask(word, ("rd", "rs1"))
+        assert combined == field_mask(word, ("rd",)) | field_mask(word, ("rs1",))
+
+    def test_unknown_class_rejected(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        with pytest.raises(ValueError):
+            field_mask(word, ("immediate",))
+
+    def test_garbage_word_rejected(self):
+        with pytest.raises(DecodingError):
+            field_mask(0xFFFFFFFF, ("imm",))
+
+    def test_encryptable_mask_never_covers_opcode_or_funct(self):
+        cases = [
+            Instruction("add", rd=1, rs1=2, rs2=3),
+            Instruction("ld", rd=1, rs1=2, imm=8),
+            Instruction("sd", rs1=1, rs2=2, imm=8),
+            Instruction("beq", rs1=1, rs2=2, imm=8),
+            Instruction("lui", rd=1, imm=1),
+            Instruction("srai", rd=3, rs1=3, imm=5),
+        ]
+        for instr in cases:
+            word = encode(instr)
+            mask = encryptable_mask(word, FIELD_CLASSES)
+            assert mask & 0x7F == 0
+            assert mask & field_mask(word, ("funct",)) == 0
+
+    def test_masked_word_still_reveals_format(self):
+        # The HDE must be able to recompute the mask from the masked word.
+        from repro.isa.decoding import decode
+        instr = Instruction("ld", rd=9, rs1=10, imm=520)
+        word = encode(instr)
+        mask = encryptable_mask(word, ("imm", "rs1", "rd"))
+        garbled = word ^ (0xDEADBEEF & mask)
+        assert decode(garbled).name == "ld"
+        assert encryptable_mask(garbled, ("imm", "rs1", "rd")) == mask
+
+
+class TestLiSequence:
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_li_materializes_value(self, value):
+        # Execute the sequence with a two-register model.
+        regs = {i: 0 for i in range(32)}
+        for instr in li_sequence(5, value):
+            rd, rs1, imm = instr.rd, instr.rs1, instr.imm
+            if instr.name == "addi":
+                regs[rd] = _wrap(regs[rs1] + imm)
+            elif instr.name == "lui":
+                regs[rd] = _wrap(_sext(imm << 12, 32))
+            elif instr.name == "addiw":
+                regs[rd] = _wrap(_sext((regs[rs1] + imm) & 0xFFFFFFFF, 32))
+            elif instr.name == "slli":
+                regs[rd] = _wrap(regs[rs1] << imm)
+            else:
+                pytest.fail(f"unexpected instr {instr.name} in li")
+            regs[0] = 0
+        assert regs[5] == _wrap(value)
+
+    def test_small_constants_single_instruction(self):
+        assert len(li_sequence(1, 0)) == 1
+        assert len(li_sequence(1, 2047)) == 1
+        assert len(li_sequence(1, -2048)) == 1
+
+    def test_32bit_constants_two_instructions(self):
+        assert len(li_sequence(1, 0x12345678)) == 2
+        assert len(li_sequence(1, -0x12345678)) == 2
+
+
+def _wrap(x):
+    x &= (1 << 64) - 1
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+def _sext(x, bits):
+    x &= (1 << bits) - 1
+    return x - (1 << bits) if x >= (1 << (bits - 1)) else x
+
+
+class TestPseudoExpansion:
+    @pytest.mark.parametrize("name,operands,expected", [
+        ("nop", [], [Instruction("addi", rd=0, rs1=0, imm=0)]),
+        ("mv", [1, 2], [Instruction("addi", rd=1, rs1=2, imm=0)]),
+        ("not", [1, 2], [Instruction("xori", rd=1, rs1=2, imm=-1)]),
+        ("neg", [1, 2], [Instruction("sub", rd=1, rs1=0, rs2=2)]),
+        ("seqz", [1, 2], [Instruction("sltiu", rd=1, rs1=2, imm=1)]),
+        ("snez", [1, 2], [Instruction("sltu", rd=1, rs1=0, rs2=2)]),
+        ("ret", [], [Instruction("jalr", rd=0, rs1=1, imm=0)]),
+        ("jr", [5], [Instruction("jalr", rd=0, rs1=5, imm=0)]),
+    ])
+    def test_expansions(self, name, operands, expected):
+        assert expand_pseudo(name, operands) == expected
+
+    def test_unknown_pseudo(self):
+        with pytest.raises(EncodingError):
+            expand_pseudo("frobnicate", [])
+
+    def test_operand_count_checked(self):
+        with pytest.raises(EncodingError):
+            expand_pseudo("mv", [1])
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("sp") == 2
+        assert parse_register("fp") == 8
+        assert parse_register("s0") == 8
+        assert parse_register("a0") == 10
+        assert parse_register("t6") == 31
+
+    def test_x_names(self):
+        for i in range(32):
+            assert parse_register(f"x{i}") == i
+
+    def test_register_name_inverse(self):
+        for i in range(32):
+            assert parse_register(register_name(i)) == i
+
+    def test_unknown_register(self):
+        with pytest.raises(EncodingError):
+            parse_register("y1")
+
+
+class TestDisassembler:
+    def test_single_word(self):
+        word = encode(Instruction("add", rd=10, rs1=11, rs2=12))
+        assert disassemble(word) == "add a0, a1, a2"
+
+    def test_text_walk(self):
+        blob = (encode_bytes(Instruction("addi", rd=10, rs1=0, imm=1))
+                + encode_bytes(Instruction("ecall")))
+        lines = disassemble_text(blob, base_address=0x1000)
+        assert len(lines) == 2
+        assert "addi a0, zero, 1" in lines[0]
+        assert "ecall" in lines[1]
+        assert lines[0].startswith("0x00001000")
+
+    def test_garbage_rendered_as_words(self):
+        blob = (0xFFFFFFFF).to_bytes(4, "little")
+        lines = disassemble_text(blob)
+        assert ".word" in lines[0]
+
+    def test_compressed_rendering(self):
+        from repro.isa.compressed import compress
+        halfword = compress(Instruction("addi", rd=5, rs1=5, imm=1))
+        blob = halfword.to_bytes(2, "little")
+        lines = disassemble_text(blob)
+        assert "c.addi" in lines[0]
+
+    def test_mixed_stream_resyncs(self):
+        blob = ((0x0000).to_bytes(2, "little")
+                + encode_bytes(Instruction("ecall")))
+        lines = disassemble_text(blob)
+        assert ".half" in lines[0]
+        assert "ecall" in lines[1]

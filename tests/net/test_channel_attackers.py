@@ -1,0 +1,162 @@
+"""Untrusted channel, static analysis, dynamic analysis."""
+
+import pytest
+
+from repro.cc.driver import compile_source
+from repro.core.compiler_driver import EricCompiler
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.device import Device
+from repro.errors import ChannelError
+from repro.net.channel import (
+    BitFlipper,
+    Eavesdropper,
+    Patcher,
+    Replacer,
+    UntrustedChannel,
+)
+from repro.net.dynamic_attacker import attempt_execution
+from repro.net.static_attacker import analyze_blob, byte_entropy, \
+    extract_strings
+
+SOURCE = """
+char secret_banner[] = "TOP-SECRET-ALGORITHM-v2";
+int main() {
+    int acc = 1;
+    for (int i = 0; i < 50; i++) { acc = acc * 7 % 1000003; }
+    print_int(acc);
+    print_str(secret_banner);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def plain_program():
+    return compile_source(SOURCE, name="victim").program
+
+
+@pytest.fixture(scope="module")
+def target_device():
+    return Device(device_seed=0x7A67)
+
+
+@pytest.fixture(scope="module")
+def eric_package(target_device):
+    compiler = EricCompiler(EricConfig(mode=EncryptionMode.FULL))
+    return compiler.compile_and_package(
+        SOURCE, target_device.enrollment_key())
+
+
+class TestChannel:
+    def test_clean_channel_is_identity(self):
+        channel = UntrustedChannel()
+        assert channel.transfer(b"payload") == b"payload"
+        assert channel.transfers == 1
+
+    def test_eavesdropper_records(self):
+        spy = Eavesdropper()
+        channel = UntrustedChannel([spy])
+        channel.transfer(b"one")
+        channel.transfer(b"two")
+        assert spy.captured == [b"one", b"two"]
+
+    def test_bitflipper_flips_exactly(self):
+        flipper = BitFlipper(flips=5, seed=1)
+        payload = bytes(100)
+        flipped = flipper.intercept(payload)
+        differing = sum(bin(a ^ b).count("1")
+                        for a, b in zip(payload, flipped))
+        assert 1 <= differing <= 5  # set-based: duplicates collapse
+
+    def test_bitflipper_ber(self):
+        flipper = BitFlipper(ber=0.01, seed=2)
+        payload = bytes(10_000)
+        flipped = flipper.intercept(payload)
+        differing = sum(bin(a ^ b).count("1")
+                        for a, b in zip(payload, flipped))
+        assert 400 < differing < 1200  # ~800 expected
+
+    def test_bitflipper_args_validated(self):
+        with pytest.raises(ChannelError):
+            BitFlipper(flips=2, ber=0.5)
+        with pytest.raises(ChannelError):
+            BitFlipper(flips=-1)
+
+    def test_patcher_bounds(self):
+        with pytest.raises(ChannelError):
+            Patcher(offset=10, patch=b"xx").intercept(b"short")
+
+    def test_patcher_patches(self):
+        patched = Patcher(offset=1, patch=b"XY").intercept(b"abcd")
+        assert patched == b"aXYd"
+
+    def test_replacer(self):
+        channel = UntrustedChannel([Replacer(b"evil")])
+        assert channel.transfer(b"good") == b"evil"
+
+
+class TestStaticAnalysis:
+    def test_plaintext_text_looks_like_code(self, plain_program):
+        report = analyze_blob(plain_program.text)
+        assert report.looks_like_code
+        assert report.valid_decode_fraction > 0.9
+
+    def test_encrypted_text_does_not_look_like_code(self, eric_package):
+        report = analyze_blob(eric_package.package.enc_text)
+        assert not report.looks_like_code
+
+    def test_encryption_raises_entropy(self, plain_program, eric_package):
+        plain_entropy = byte_entropy(plain_program.text)
+        cipher_entropy = byte_entropy(eric_package.package.enc_text)
+        assert cipher_entropy > plain_entropy
+
+    def test_strings_leak_from_plain_image_only(self, plain_program,
+                                                eric_package):
+        plain_blob = plain_program.serialize_plain()
+        assert any("TOP-SECRET" in s for s in extract_strings(plain_blob))
+        # data section is plaintext in the package; the *code* is not.
+        # Full-image secrecy for data constants would need data
+        # encryption, which the paper scopes to instructions.
+        report = analyze_blob(eric_package.package.enc_text)
+        assert not any("TOP-SECRET" in s for s in report.strings)
+
+    def test_opcode_histogram_flattens(self, plain_program, eric_package):
+        from repro.net.static_attacker import mnemonic_entropy
+        plain_hist = analyze_blob(plain_program.text).opcode_histogram
+        cipher_hist = analyze_blob(
+            eric_package.package.enc_text).opcode_histogram
+        # compiler output concentrates on few mnemonics; ciphertext
+        # decodes scatter across the ISA
+        assert mnemonic_entropy(plain_hist) < mnemonic_entropy(cipher_hist)
+
+    def test_empty_blob(self):
+        report = analyze_blob(b"")
+        assert report.size == 0
+        assert not report.looks_like_code
+
+
+class TestDynamicAnalysis:
+    def test_attacker_device_learns_nothing(self, eric_package):
+        attacker = Device(device_seed=0xE71)
+        outcome = attempt_execution(attacker, eric_package.package_bytes)
+        assert not outcome.executed
+        assert outcome.outcome == "rejected"
+        assert not outcome.leaked_behaviour
+        assert outcome.console == ""
+
+    def test_target_device_runs(self, target_device, eric_package):
+        outcome = attempt_execution(target_device,
+                                    eric_package.package_bytes)
+        assert outcome.executed
+        assert outcome.outcome == "completed"
+        assert "TOP-SECRET" in outcome.console
+        assert outcome.leaked_behaviour  # the *owner* sees behaviour
+
+    def test_counters_only_for_authorized_run(self, target_device,
+                                              eric_package):
+        attacker = Device(device_seed=0xBAD)
+        stolen = attempt_execution(attacker, eric_package.package_bytes)
+        owned = attempt_execution(target_device,
+                                  eric_package.package_bytes)
+        assert stolen.counters == {}
+        assert owned.counters["instret"] > 0

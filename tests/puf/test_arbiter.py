@@ -1,0 +1,169 @@
+"""Arbiter PUF delay-model behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.puf.arbiter import ArbiterPuf, PufArray
+from repro.puf.environment import Environment
+
+
+class TestSingleInstance:
+    def test_response_is_bit(self):
+        puf = ArbiterPuf(n_stages=8, seed=1)
+        for challenge in range(256):
+            assert puf.evaluate(challenge) in (0, 1)
+
+    def test_noiseless_sign_decides_ideal_response(self):
+        puf = ArbiterPuf(n_stages=8, seed=2, noise_sigma=0.0)
+        for challenge in (0, 1, 17, 200, 255):
+            expected = 1 if puf.delay_difference(challenge) > 0 else 0
+            assert puf.evaluate(challenge) == expected
+
+    def test_same_seed_same_circuit(self):
+        a = ArbiterPuf(n_stages=8, seed=77, noise_sigma=0.0)
+        b = ArbiterPuf(n_stages=8, seed=77, noise_sigma=0.0)
+        assert all(a.evaluate(c) == b.evaluate(c) for c in range(256))
+
+    def test_different_seeds_differ_somewhere(self):
+        a = ArbiterPuf(n_stages=8, seed=1, noise_sigma=0.0)
+        b = ArbiterPuf(n_stages=8, seed=2, noise_sigma=0.0)
+        responses_a = [a.evaluate(c) for c in range(256)]
+        responses_b = [b.evaluate(c) for c in range(256)]
+        assert responses_a != responses_b
+
+    def test_challenge_range_enforced(self):
+        puf = ArbiterPuf(n_stages=8, seed=1)
+        with pytest.raises(ConfigError):
+            puf.evaluate(256)
+        with pytest.raises(ConfigError):
+            puf.evaluate(-1)
+
+    def test_stage_count_enforced(self):
+        with pytest.raises(ConfigError):
+            ArbiterPuf(n_stages=0)
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_phi_transform_values(self, challenge):
+        puf = ArbiterPuf(n_stages=8, seed=5)
+        phi = puf._phi(challenge)
+        assert len(phi) == 9
+        assert phi[8] == 1
+        assert all(p in (-1, 1) for p in phi)
+
+    def test_phi_linearity_of_delay(self):
+        # delta must be linear in the weights: scaling all weights scales
+        # delta for every challenge.
+        puf = ArbiterPuf(n_stages=8, seed=9)
+        reference = [puf.delay_difference(c) for c in range(64)]
+        puf._weights = [w * 3.0 for w in puf._weights]
+        scaled = [puf.delay_difference(c) for c in range(64)]
+        for r, s in zip(reference, scaled):
+            assert s == pytest.approx(3.0 * r)
+
+
+class TestNoiseAndVoting:
+    def test_noise_flips_marginal_bits(self):
+        # With huge noise, repeated evaluations of some challenge disagree.
+        puf = ArbiterPuf(n_stages=8, seed=3, noise_sigma=5.0)
+        for challenge in range(40):
+            outcomes = {puf.evaluate(challenge) for _ in range(60)}
+            if len(outcomes) == 2:
+                break
+        else:
+            pytest.fail("huge noise never flipped any response")
+
+    def test_majority_vote_stabilizes(self):
+        puf = ArbiterPuf(n_stages=8, seed=4, noise_sigma=0.04)
+        for challenge in range(32):
+            first = puf.evaluate_majority(challenge, votes=15)
+            assert all(puf.evaluate_majority(challenge, votes=15) == first
+                       for _ in range(5))
+
+    def test_votes_must_be_odd(self):
+        puf = ArbiterPuf(n_stages=8, seed=1)
+        with pytest.raises(ConfigError):
+            puf.evaluate_majority(0, votes=4)
+        with pytest.raises(ConfigError):
+            puf.evaluate_majority(0, votes=0)
+
+    def test_environment_scales_noise(self):
+        harsh = Environment(temperature_c=105.0, voltage=0.85)
+        assert harsh.noise_scale() > Environment().noise_scale()
+        # Error rate at the harsh corner must be >= nominal error rate.
+        puf = ArbiterPuf(n_stages=8, seed=6, noise_sigma=0.08)
+        challenges = list(range(64))
+        ideal = {c: 1 if puf.delay_difference(c) > 0 else 0
+                 for c in challenges}
+
+        def error_rate(env):
+            errors = 0
+            for c in challenges:
+                errors += sum(puf.evaluate(c, env) != ideal[c]
+                              for _ in range(30))
+            return errors
+
+        assert error_rate(harsh) >= error_rate(Environment())
+
+    def test_noise_scale_floor(self):
+        assert Environment(temperature_c=25.0, voltage=1.0).noise_scale() == 1.0
+        # noise_scale never returns < 0.25 even for nonsense input
+        assert Environment(temperature_c=25.0, voltage=1.0,
+                           frequency_mhz=1.0).noise_scale() >= 0.25
+
+
+class TestPufArray:
+    def test_paper_configuration(self):
+        # Table I: 32 instances, 8-bit challenge, 1-bit response each.
+        array = PufArray(width=32, n_stages=8, device_seed=42)
+        challenges = [c % 256 for c in range(32)]
+        word = array.evaluate(challenges)
+        assert 0 <= word < (1 << 32)
+
+    def test_bit_packing_order(self):
+        array = PufArray(width=4, n_stages=8, device_seed=1,
+                         noise_sigma=0.0)
+        challenges = [10, 20, 30, 40]
+        word = array.evaluate(challenges)
+        for i in range(4):
+            assert (word >> i) & 1 == array.instances[i].evaluate(challenges[i])
+
+    def test_devices_unique(self):
+        challenges = [c * 7 % 256 for c in range(32)]
+        words = {
+            PufArray(32, 8, device_seed=s, noise_sigma=0.0)
+            .evaluate(challenges)
+            for s in range(12)
+        }
+        assert len(words) >= 11  # 32-bit words from 12 devices: collisions rare
+
+    def test_challenge_count_enforced(self):
+        array = PufArray(width=8, n_stages=8, device_seed=1)
+        with pytest.raises(ConfigError):
+            array.evaluate([0] * 7)
+
+    def test_width_enforced(self):
+        with pytest.raises(ConfigError):
+            PufArray(width=0)
+
+    def test_majority_word_stable_when_noiseless(self):
+        # Unscreened challenges can sit on a near-zero delay margin, where
+        # no amount of voting stabilizes them (that is why the PKG screens
+        # at enrollment) — so exact stability is only guaranteed noiseless.
+        array = PufArray(width=16, n_stages=8, device_seed=5,
+                         noise_sigma=0.0)
+        challenges = [c % 256 for c in range(16)]
+        first = array.evaluate_majority(challenges, votes=15)
+        assert all(array.evaluate_majority(challenges, votes=15) == first
+                   for _ in range(5))
+
+    def test_majority_word_mostly_stable_with_noise(self):
+        array = PufArray(width=16, n_stages=8, device_seed=5,
+                         noise_sigma=0.04)
+        challenges = [c % 256 for c in range(16)]
+        reads = [array.evaluate_majority(challenges, votes=15)
+                 for _ in range(6)]
+        worst = max(bin(reads[0] ^ r).count("1") for r in reads)
+        assert worst <= 3  # only marginal bits may flip

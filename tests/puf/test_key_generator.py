@@ -1,0 +1,90 @@
+"""PUF Key Generator (PKG) behaviour and cycle model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.puf.arbiter import PufArray
+from repro.puf.environment import Environment
+from repro.puf.key_generator import ARBITER_LATCH_CYCLES, PufKeyGenerator
+from repro.puf.metrics import key_failure_probability
+from repro.puf.response import collect_crps, verify_crps
+
+
+def make_array(seed=42, noise=0.04):
+    return PufArray(width=32, n_stages=8, device_seed=seed, noise_sigma=noise)
+
+
+class TestKeyGeneration:
+    def test_paper_key_is_32_bits(self):
+        pkg = PufKeyGenerator(make_array(), key_bits=32)
+        readout = pkg.generate()
+        assert len(readout.key) == 4
+
+    def test_key_stable_across_reads(self):
+        pkg = PufKeyGenerator(make_array(), key_bits=32, votes=15)
+        first = pkg.generate().key
+        assert all(pkg.generate().key == first for _ in range(10))
+
+    def test_key_unique_per_device(self):
+        keys = {
+            PufKeyGenerator(make_array(seed=s), key_bits=32).generate().key
+            for s in range(10)
+        }
+        assert len(keys) >= 9
+
+    def test_wider_keys(self):
+        pkg = PufKeyGenerator(make_array(), key_bits=128)
+        assert len(pkg.generate().key) == 16
+
+    def test_key_bits_multiple_of_width(self):
+        with pytest.raises(ConfigError):
+            PufKeyGenerator(make_array(), key_bits=48)
+
+    def test_votes_must_be_odd(self):
+        with pytest.raises(ConfigError):
+            PufKeyGenerator(make_array(), votes=2)
+
+    def test_challenge_seed_changes_key(self):
+        array = make_array()
+        a = PufKeyGenerator(array, challenge_seed=1).generate().key
+        b = PufKeyGenerator(array, challenge_seed=2).generate().key
+        assert a != b
+
+    def test_raw_readout_noisier_than_voted(self):
+        array = make_array(noise=0.25)
+        pkg = PufKeyGenerator(array, key_bits=32, votes=21)
+        raw = [pkg.generate_raw() for _ in range(40)]
+        voted = [pkg.generate().key for _ in range(40)]
+        assert key_failure_probability(raw) >= key_failure_probability(voted)
+
+
+class TestCycleModel:
+    def test_cycle_cost_formula(self):
+        pkg = PufKeyGenerator(make_array(), key_bits=64, votes=11)
+        per_vote = 8 + ARBITER_LATCH_CYCLES
+        assert pkg.cycle_cost() == 2 * 11 * per_vote
+
+    def test_readout_carries_cycles(self):
+        pkg = PufKeyGenerator(make_array(), key_bits=32, votes=11)
+        readout = pkg.generate()
+        assert readout.cycles == pkg.cycle_cost()
+        assert readout.votes == 11
+
+
+class TestCrpProtocol:
+    def test_enrolled_device_verifies(self):
+        array = make_array(seed=7)
+        pairs = collect_crps(array, count=6, votes=15)
+        assert verify_crps(array, pairs, votes=15)
+
+    def test_impostor_device_fails(self):
+        genuine = make_array(seed=7)
+        impostor = make_array(seed=8)
+        pairs = collect_crps(genuine, count=6, votes=15)
+        assert not verify_crps(impostor, pairs, votes=15)
+
+    def test_mismatch_tolerance(self):
+        genuine = make_array(seed=7)
+        pairs = collect_crps(genuine, count=6, votes=15)
+        # The genuine device trivially satisfies a loose threshold too.
+        assert verify_crps(genuine, pairs, votes=15, max_mismatch_bits=8)

@@ -1,0 +1,90 @@
+"""Standard PUF quality metrics on the delay model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.puf.arbiter import ArbiterPuf
+from repro.puf.metrics import (
+    bit_aliasing,
+    inter_chip_uniqueness,
+    intra_chip_reliability,
+    key_failure_probability,
+    uniformity,
+)
+
+CHALLENGES = list(range(256))
+
+
+def make_population(count=10, noise=0.04):
+    return [ArbiterPuf(n_stages=8, seed=1000 + s, noise_sigma=noise)
+            for s in range(count)]
+
+
+class TestUniformity:
+    def test_near_half(self):
+        # Averaged over devices, uniformity of the delay model is ~0.5.
+        values = [uniformity(p, CHALLENGES) for p in make_population(12)]
+        assert 0.35 < sum(values) / len(values) < 0.65
+
+    def test_empty_challenges_rejected(self):
+        with pytest.raises(ConfigError):
+            uniformity(make_population(1)[0], [])
+
+
+class TestUniqueness:
+    def test_near_half(self):
+        value = inter_chip_uniqueness(make_population(8), CHALLENGES)
+        assert 0.35 < value < 0.65
+
+    def test_identical_devices_have_zero_distance(self):
+        twin_a = ArbiterPuf(n_stages=8, seed=5, noise_sigma=0.0)
+        twin_b = ArbiterPuf(n_stages=8, seed=5, noise_sigma=0.0)
+        assert inter_chip_uniqueness([twin_a, twin_b], CHALLENGES) == 0.0
+
+    def test_needs_two_devices(self):
+        with pytest.raises(ConfigError):
+            inter_chip_uniqueness(make_population(1), CHALLENGES)
+
+
+class TestReliability:
+    def test_noiseless_is_perfect(self):
+        puf = ArbiterPuf(n_stages=8, seed=3, noise_sigma=0.0)
+        assert intra_chip_reliability(puf, CHALLENGES) == 1.0
+
+    def test_nominal_noise_high_reliability(self):
+        puf = ArbiterPuf(n_stages=8, seed=3, noise_sigma=0.04)
+        assert intra_chip_reliability(puf, CHALLENGES) > 0.93
+
+    def test_more_noise_less_reliable(self):
+        quiet = ArbiterPuf(n_stages=8, seed=3, noise_sigma=0.02)
+        loud = ArbiterPuf(n_stages=8, seed=3, noise_sigma=0.5)
+        assert (intra_chip_reliability(loud, CHALLENGES, repeats=8)
+                <= intra_chip_reliability(quiet, CHALLENGES, repeats=8))
+
+    def test_needs_two_repeats(self):
+        with pytest.raises(ConfigError):
+            intra_chip_reliability(make_population(1)[0], CHALLENGES,
+                                   repeats=1)
+
+
+class TestBitAliasing:
+    def test_shape_and_range(self):
+        values = bit_aliasing(make_population(8), CHALLENGES[:32])
+        assert len(values) == 32
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_mean_near_half(self):
+        values = bit_aliasing(make_population(16), CHALLENGES)
+        assert 0.35 < sum(values) / len(values) < 0.65
+
+
+class TestKeyFailureProbability:
+    def test_all_same_is_zero(self):
+        assert key_failure_probability([b"k"] * 10 ) == 0.0
+
+    def test_half_split(self):
+        assert key_failure_probability([b"a"] * 5 + [b"b"] * 5) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            key_failure_probability([])

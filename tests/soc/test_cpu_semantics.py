@@ -1,0 +1,384 @@
+"""Functional CPU semantics via small assembly programs."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.errors import (
+    ExecutionLimitExceeded,
+    IllegalInstruction,
+    SimulatorError,
+)
+from repro.soc.soc import RocketLikeSoC
+
+
+def run_asm(body, **kwargs):
+    """Assemble `body` (with an exit epilogue available as `exit_a0`) and run."""
+    source = f"""
+    _start:
+    {body}
+    exit_a0:
+      li a7, 93
+      ecall
+    """
+    soc = RocketLikeSoC()
+    return soc.run(assemble(source), **kwargs)
+
+
+class TestArithmetic:
+    def test_addi_add_sub(self):
+        result = run_asm(
+            """
+            li a0, 10
+            addi a0, a0, 5
+            li t0, 3
+            sub a0, a0, t0
+            """
+        )
+        assert result.exit_code == 12
+
+    def test_64bit_wraparound(self):
+        result = run_asm(
+            """
+            li t0, -1
+            addi t0, t0, 1
+            seqz a0, t0
+            """
+        )
+        assert result.exit_code == 1
+
+    def test_w_arithmetic_sign_extends(self):
+        # 0x7FFFFFFF + 1 overflows 32-bit: addw gives negative, add doesn't.
+        result = run_asm(
+            """
+            li t0, 0x7FFFFFFF
+            addiw t1, t0, 1
+            sltz a0, t1
+            """
+        )
+        assert result.exit_code == 1
+
+    def test_slt_family(self):
+        result = run_asm(
+            """
+            li t0, -5
+            li t1, 3
+            slt t2, t0, t1        # signed: -5 < 3 -> 1
+            sltu t3, t0, t1       # unsigned: huge < 3 -> 0
+            slli t2, t2, 1
+            or a0, t2, t3
+            """
+        )
+        assert result.exit_code == 2
+
+    def test_logic_ops(self):
+        result = run_asm(
+            """
+            li t0, 0b1100
+            li t1, 0b1010
+            and t2, t0, t1
+            or t3, t0, t1
+            xor t4, t0, t1
+            add a0, t2, t3
+            add a0, a0, t4
+            """
+        )
+        assert result.exit_code == (0b1000 + 0b1110 + 0b0110)
+
+    def test_shifts(self):
+        result = run_asm(
+            """
+            li t0, 1
+            slli t0, t0, 10       # 1024
+            srli t1, t0, 3        # 128
+            li t2, -16
+            srai t2, t2, 2        # -4
+            add a0, t1, t2        # 124
+            """
+        )
+        assert result.exit_code == 124
+
+    def test_sraw_vs_srlw(self):
+        result = run_asm(
+            """
+            li t0, 0x80000000
+            sraiw t1, t0, 31      # -1
+            srliw t2, t0, 31      # 1
+            add a0, t1, t2        # 0
+            addi a0, a0, 7
+            """
+        )
+        assert result.exit_code == 7
+
+
+class TestMulDiv:
+    def test_mul(self):
+        assert run_asm("li t0, 7\nli t1, 6\nmul a0, t0, t1\n").exit_code == 42
+
+    def test_mulh_signed(self):
+        result = run_asm(
+            """
+            li t0, -1
+            li t1, 2
+            mulh a0, t0, t1       # high word of -2 is -1
+            addi a0, a0, 2        # 1
+            """
+        )
+        assert result.exit_code == 1
+
+    def test_div_truncates_toward_zero(self):
+        result = run_asm(
+            """
+            li t0, -7
+            li t1, 2
+            div t2, t0, t1        # -3 (C-style), not -4 (floor)
+            addi a0, t2, 10
+            """
+        )
+        assert result.exit_code == 7
+
+    def test_rem_sign_follows_dividend(self):
+        result = run_asm(
+            """
+            li t0, -7
+            li t1, 2
+            rem t2, t0, t1        # -1
+            addi a0, t2, 4
+            """
+        )
+        assert result.exit_code == 3
+
+    def test_div_by_zero_is_all_ones(self):
+        result = run_asm(
+            """
+            li t0, 5
+            div t1, t0, zero
+            li t2, -1
+            sub t3, t1, t2
+            seqz a0, t3
+            """
+        )
+        assert result.exit_code == 1
+
+    def test_rem_by_zero_is_dividend(self):
+        result = run_asm(
+            """
+            li t0, 5
+            rem a0, t0, zero
+            """
+        )
+        assert result.exit_code == 5
+
+    def test_divw(self):
+        assert run_asm(
+            "li t0, 100\nli t1, 7\ndivw a0, t0, t1\n").exit_code == 14
+
+    def test_remu(self):
+        assert run_asm(
+            "li t0, 100\nli t1, 7\nremu a0, t0, t1\n").exit_code == 2
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        result = run_asm(
+            """
+            li t0, 0xAB
+            addi sp, sp, -16
+            sd t0, 0(sp)
+            ld a0, 0(sp)
+            addi sp, sp, 16
+            """
+        )
+        assert result.exit_code == 0xAB
+
+    def test_byte_halfword_word_access(self):
+        result = run_asm(
+            """
+            addi sp, sp, -16
+            li t0, 0x1234
+            sh t0, 0(sp)
+            lbu t1, 0(sp)         # 0x34
+            lbu t2, 1(sp)         # 0x12
+            add a0, t1, t2        # 0x46
+            addi sp, sp, 16
+            """
+        )
+        assert result.exit_code == 0x46
+
+    def test_signed_byte_load(self):
+        result = run_asm(
+            """
+            addi sp, sp, -16
+            li t0, 0xFF
+            sb t0, 0(sp)
+            lb t1, 0(sp)          # -1
+            lbu t2, 0(sp)         # 255
+            add t3, t1, t2        # 254
+            addi a0, t3, -200     # 54
+            addi sp, sp, 16
+            """
+        )
+        assert result.exit_code == 54
+
+    def test_data_section_access(self):
+        source = """
+        _start:
+          la t0, values
+          ld a0, 8(t0)
+          li a7, 93
+          ecall
+        .data
+        values: .dword 11, 22, 33
+        """
+        soc = RocketLikeSoC()
+        assert soc.run(assemble(source)).exit_code == 22
+
+    def test_memory_fault_on_wild_store(self):
+        from repro.errors import MemoryFault
+        with pytest.raises(MemoryFault):
+            run_asm("li t0, 0x7FFFFFFF\nsd zero, 0(t0)\n")
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        # sum 1..10 = 55
+        result = run_asm(
+            """
+            li t0, 0
+            li t1, 1
+            li t2, 11
+            loop:
+              add t0, t0, t1
+              addi t1, t1, 1
+              bne t1, t2, loop
+            mv a0, t0
+            """
+        )
+        assert result.exit_code == 55
+
+    def test_function_call_and_return(self):
+        result = run_asm(
+            """
+            li a0, 5
+            call double
+            call double
+            j exit_a0
+            double:
+              add a0, a0, a0
+              ret
+            """
+        )
+        assert result.exit_code == 20
+
+    def test_branch_variants(self):
+        result = run_asm(
+            """
+            li a0, 0
+            li t0, -1
+            li t1, 1
+            bltu t1, t0, u_ok      # unsigned: 1 < huge
+            j exit_a0
+            u_ok:
+              blt t0, t1, s_ok     # signed: -1 < 1
+              j exit_a0
+            s_ok:
+              li a0, 9
+            """
+        )
+        assert result.exit_code == 9
+
+    def test_jalr_link(self):
+        result = run_asm(
+            """
+            la t0, target
+            jalr ra, t0, 0
+            after:
+              j exit_a0
+            target:
+              li a0, 33
+              ret
+            """
+        )
+        assert result.exit_code == 33
+
+
+class TestSyscallsAndTraps:
+    def test_console_putchar(self):
+        result = run_asm(
+            """
+            li a0, 'H'
+            li a7, 1
+            ecall
+            li a0, 'i'
+            li a7, 1
+            ecall
+            li a0, 0
+            """
+        )
+        assert result.stdout == "Hi"
+        assert result.exit_code == 0
+
+    def test_console_write_buffer(self):
+        source = """
+        _start:
+          la a1, msg
+          li a2, 5
+          li a7, 64
+          ecall
+          li a0, 0
+          li a7, 93
+          ecall
+        .data
+        msg: .asciz "hello"
+        """
+        soc = RocketLikeSoC()
+        assert soc.run(assemble(source)).stdout == "hello"
+
+    def test_unknown_syscall(self):
+        with pytest.raises(SimulatorError, match="unknown syscall"):
+            run_asm("li a7, 999\necall\nli a0, 0\n")
+
+    def test_ebreak_raises(self):
+        with pytest.raises(SimulatorError, match="ebreak"):
+            run_asm("ebreak\n")
+
+    def test_instruction_budget(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run_asm("spin: j spin\n", max_instructions=1000)
+
+    def test_illegal_instruction_on_data_execution(self):
+        source = """
+        _start:
+          la t0, junk
+          jr t0
+        .data
+        junk: .word 0xFFFFFFFF
+        """
+        soc = RocketLikeSoC()
+        with pytest.raises(IllegalInstruction):
+            soc.run(assemble(source))
+
+
+class TestCompressedExecution:
+    SOURCE = """
+    _start:
+      li a0, 0
+      li t0, 10
+      loop:
+        addi a0, a0, 3
+        addi t0, t0, -1
+        bnez t0, loop
+      li a7, 93
+      ecall
+    """
+
+    def test_same_result_compressed(self):
+        soc = RocketLikeSoC()
+        plain = soc.run(assemble(self.SOURCE, compress=False))
+        compressed = RocketLikeSoC().run(assemble(self.SOURCE, compress=True))
+        assert plain.exit_code == compressed.exit_code == 30
+        assert plain.counters.instret == compressed.counters.instret
+
+    def test_compressed_text_is_smaller(self):
+        plain = assemble(self.SOURCE, compress=False)
+        compressed = assemble(self.SOURCE, compress=True)
+        assert len(compressed.text) < len(plain.text)

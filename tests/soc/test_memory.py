@@ -1,0 +1,66 @@
+"""Memory unit: bounds, endianness, signed loads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryFault
+from repro.soc.memory import Memory
+
+
+class TestBounds:
+    def test_size_positive(self):
+        with pytest.raises(MemoryFault):
+            Memory(0)
+
+    def test_in_range_access(self):
+        mem = Memory(64)
+        mem.store(0, 8, 0x1122334455667788)
+        assert mem.load(0, 8) == 0x1122334455667788
+
+    @pytest.mark.parametrize("address,length", [
+        (-1, 1), (64, 1), (60, 8), (2**40, 4),
+    ])
+    def test_out_of_range_rejected(self, address, length):
+        mem = Memory(64)
+        with pytest.raises(MemoryFault):
+            mem.load(address, length)
+        with pytest.raises(MemoryFault):
+            mem.store(address, length, 0)
+
+
+class TestEndianness:
+    def test_little_endian_layout(self):
+        mem = Memory(16)
+        mem.store(0, 4, 0x11223344)
+        assert mem.raw[0] == 0x44
+        assert mem.raw[3] == 0x11
+
+    def test_store_truncates_to_width(self):
+        mem = Memory(16)
+        mem.store(0, 1, 0x1FF)
+        assert mem.load(0, 1) == 0xFF
+
+    def test_bytes_roundtrip(self):
+        mem = Memory(16)
+        mem.store_bytes(4, b"\x01\x02\x03")
+        assert mem.load_bytes(4, 3) == b"\x01\x02\x03"
+
+
+class TestSignedLoads:
+    @pytest.mark.parametrize("width,raw,expected", [
+        (1, 0x7F, 127), (1, 0x80, -128), (1, 0xFF, -1),
+        (2, 0x8000, -32768), (4, 0xFFFFFFFF, -1),
+        (8, (1 << 63), -(1 << 63)),
+    ])
+    def test_sign_extension(self, width, raw, expected):
+        mem = Memory(16)
+        mem.store(0, width, raw)
+        assert mem.load_signed(0, width) == expected
+
+    @given(value=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_signed_roundtrip_property(self, value):
+        mem = Memory(16)
+        mem.store(0, 4, value)
+        assert mem.load_signed(0, 4) == value

@@ -1,0 +1,159 @@
+"""Timing model and cache behaviour."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.errors import ConfigError
+from repro.soc.cache import Cache, CacheConfig
+from repro.soc.pipeline import PipelineModel
+from repro.soc.soc import RocketLikeSoC
+
+
+def run(source, **soc_kwargs):
+    soc = RocketLikeSoC(**soc_kwargs)
+    return soc.run(assemble(source))
+
+
+EXIT = "\nli a7, 93\necall\n"
+
+
+class TestCacheModel:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(CacheConfig())
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x1008) is True  # same 64B line
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_lru_eviction(self):
+        # 4 ways: fill a set with 4 lines, touch line 0, add a 5th ->
+        # line 1 (the LRU) must be evicted.
+        config = CacheConfig(size_bytes=16 * 1024, ways=4, line_bytes=64)
+        cache = Cache(config)
+        set_stride = config.n_sets * config.line_bytes
+        lines = [i * set_stride for i in range(5)]  # all map to set 0
+        for line in lines[:4]:
+            cache.access(line)
+        assert cache.access(lines[0]) is True   # refresh LRU order
+        cache.access(lines[4])                  # evicts lines[1]
+        assert cache.access(lines[0]) is True
+        assert cache.access(lines[1]) is False  # was evicted
+
+    def test_flush(self):
+        cache = Cache()
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) is False
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000)  # not a power of two
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=64, ways=4, line_bytes=64)
+
+    def test_paper_geometry(self):
+        config = CacheConfig()
+        assert config.size_bytes == 16 * 1024
+        assert config.ways == 4
+        assert config.n_sets == 64
+
+    def test_hit_rate(self):
+        cache = Cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestTimingModel:
+    def test_cycles_at_least_instructions(self):
+        result = run("li a0, 0" + EXIT)
+        assert result.counters.cycles >= result.counters.instret
+
+    def test_div_much_slower_than_add(self):
+        adds = run("li t0, 9\nli t1, 4\n" + "add t2, t0, t1\n" * 20 + EXIT)
+        divs = run("li t0, 9\nli t1, 4\n" + "div t2, t0, t1\n" * 20 + EXIT)
+        assert divs.counters.cycles > adds.counters.cycles + 20 * 20
+
+    def test_taken_branch_costs_flush(self):
+        taken = run(
+            "li t0, 0\nli t1, 64\nloop: addi t0, t0, 1\nbne t0, t1, loop\n"
+            "li a0, 0" + EXIT)
+        assert taken.counters.branches_taken == 63
+        assert taken.counters.flush_cycles >= 63 * 2
+
+    def test_load_use_stall_counted(self):
+        stalled = run(
+            """
+            addi sp, sp, -16
+            sd zero, 0(sp)
+            ld t0, 0(sp)
+            addi t1, t0, 1     # consumes t0 right after the load
+            li a0, 0
+            """ + EXIT)
+        assert stalled.counters.load_use_stalls >= 1
+
+    def test_no_load_use_stall_with_gap(self):
+        free = run(
+            """
+            addi sp, sp, -16
+            sd zero, 0(sp)
+            ld t0, 0(sp)
+            addi t2, zero, 5   # unrelated instruction in between
+            addi t1, t0, 1
+            li a0, 0
+            """ + EXIT)
+        stalled = run(
+            """
+            addi sp, sp, -16
+            sd zero, 0(sp)
+            ld t0, 0(sp)
+            addi t1, t0, 1
+            addi t2, zero, 5
+            li a0, 0
+            """ + EXIT)
+        assert stalled.counters.load_use_stalls \
+            == free.counters.load_use_stalls + 1
+
+    def test_custom_pipeline_model(self):
+        slow_div = PipelineModel(div_latency=100)
+        source = "li t0, 9\nli t1, 4\ndiv t2, t0, t1\nli a0, 0" + EXIT
+        fast = run(source)
+        slow = run(source, pipeline=slow_div)
+        assert slow.counters.cycles > fast.counters.cycles + 50
+
+    def test_icache_hits_dominate_in_loop(self):
+        result = run(
+            "li t0, 0\nli t1, 1000\nloop: addi t0, t0, 1\nbne t0, t1, loop\n"
+            "li a0, 0" + EXIT)
+        counters = result.counters
+        assert counters.icache_hits > counters.icache_misses * 50
+
+    def test_dcache_miss_on_strided_walk(self):
+        # Touch 128 distinct lines: at least 128 cold misses.
+        result = run(
+            """
+            li t0, 0
+            li t1, 128
+            li t2, 0x40000     # in-memory scratch area
+            loop:
+              sd t0, 0(t2)
+              addi t2, t2, 64
+              addi t0, t0, 1
+              bne t0, t1, loop
+            li a0, 0
+            """ + EXIT)
+        assert result.counters.dcache_misses >= 128
+
+    def test_mix_histogram(self):
+        result = run("li a0, 1\nli a1, 2\nadd a0, a0, a1" + EXIT)
+        assert result.counters.mix.get("addi", 0) >= 2
+        assert result.counters.mix.get("add", 0) == 1
+        assert result.counters.mix.get("ecall", 0) == 1
+
+    def test_wall_time_conversion(self):
+        result = run("li a0, 0" + EXIT)
+        at_25mhz = result.wall_time_at_clock(25.0)
+        at_50mhz = result.wall_time_at_clock(50.0)
+        assert at_25mhz == pytest.approx(2 * at_50mhz)
+        assert at_25mhz > 0

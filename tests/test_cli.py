@@ -1,0 +1,90 @@
+"""CLI front end: package/run/inspect/describe round trips."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int main() {
+    print_str("cli says hi\\n");
+    return 3;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestPackageRunFlow:
+    def test_package_then_run(self, source_file, tmp_path, capsys):
+        out = str(tmp_path / "prog.eric")
+        assert main(["package", source_file, "-o", out,
+                     "--device-seed", "0x42"]) == 0
+        captured = capsys.readouterr().out
+        assert "package size" in captured
+
+        code = main(["run", out, "--device-seed", "0x42"])
+        captured = capsys.readouterr().out
+        assert "cli says hi" in captured
+        assert code == 3
+
+    def test_wrong_device_blocked(self, source_file, tmp_path, capsys):
+        out = str(tmp_path / "prog.eric")
+        main(["package", source_file, "-o", out, "--device-seed", "0x42"])
+        capsys.readouterr()
+        code = main(["run", out, "--device-seed", "0x43"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_inspect(self, source_file, tmp_path, capsys):
+        out = str(tmp_path / "prog.eric")
+        main(["package", source_file, "-o", out])
+        capsys.readouterr()
+        assert main(["inspect", out]) == 0
+        captured = capsys.readouterr().out
+        assert "mode          : full" in captured
+        assert "xor-repeating" in captured
+
+    def test_package_with_config(self, source_file, tmp_path, capsys):
+        config = tmp_path / "cfg.json"
+        config.write_text(json.dumps({"mode": "partial",
+                                      "partial_fraction": 0.25}))
+        out = str(tmp_path / "prog.eric")
+        assert main(["package", source_file, "-o", out,
+                     "--config", str(config)]) == 0
+        capsys.readouterr()
+        main(["inspect", out])
+        assert "partial" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_describe_default(self, capsys):
+        assert main(["describe"]) == 0
+        assert "mode:" in capsys.readouterr().out.replace(" ", "")
+
+    def test_describe_config(self, tmp_path, capsys):
+        config = tmp_path / "cfg.json"
+        config.write_text(json.dumps({"mode": "field"}))
+        assert main(["describe", "--config", str(config)]) == 0
+        assert "field" in capsys.readouterr().out
+
+    def test_disasm(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        captured = capsys.readouterr().out
+        assert "jal" in captured or "addi" in captured
+
+    def test_bad_config_reports_error(self, source_file, tmp_path, capsys):
+        config = tmp_path / "cfg.json"
+        config.write_text(json.dumps({"mode": "nonsense"}))
+        assert main(["describe", "--config", str(config)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["run", "/nonexistent.eric"]) == 1
+        assert "No such file" in capsys.readouterr().err

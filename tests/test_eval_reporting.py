@@ -1,0 +1,58 @@
+"""Evaluation-harness plumbing: rendering, summaries, CLI entry."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS, table1, table2
+from repro.eval.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["a", "b"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "| a" in lines[2]
+        assert text.count("+-") >= 3
+
+    def test_number_alignment(self):
+        text = format_table(["name", "val"], [["x", 5], ["y", 123]])
+        # numbers right-aligned within their column
+        assert "|   5 |" in text
+        assert "| 123 |" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestExperimentRegistry:
+    def test_all_five_experiments(self):
+        assert set(EXPERIMENTS) == {"table1", "table2", "fig5", "fig6",
+                                    "fig7"}
+
+    def test_each_module_has_run(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+
+    def test_table_results_render(self):
+        for module in (table1, table2):
+            rendered = module.run().render()
+            assert "Table" in rendered
+            assert "+" in rendered
+
+    def test_runner_rejects_unknown(self, capsys):
+        from repro.eval.__main__ import main
+        assert main(["figure9"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_runner_runs_cheap_experiments(self, capsys):
+        from repro.eval.__main__ import main
+        assert main(["table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Test Environment" in out
+        assert "Area Results" in out

@@ -1,0 +1,73 @@
+"""Every workload must match its Python oracle on the SoC — this is the
+equivalence that lets the figure benchmarks trust the whole stack."""
+
+import pytest
+
+from repro.cc.driver import compile_source
+from repro.soc.soc import RocketLikeSoC
+from repro.workloads import WORKLOADS, all_workloads, get_workload
+
+NAMES = sorted(WORKLOADS)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return {name: compile_source(w.source, name=name).program
+            for name, w in WORKLOADS.items()}
+
+
+class TestRegistry:
+    def test_eight_workloads(self):
+        assert len(WORKLOADS) == 8
+
+    def test_names_match_modules(self):
+        assert set(NAMES) == {
+            "basicmath", "bitcount", "qsort", "crc32",
+            "dijkstra", "fft", "sha", "stringsearch",
+        }
+
+    def test_get_workload(self):
+        assert get_workload("sha").name == "sha"
+        with pytest.raises(KeyError):
+            get_workload("nonesuch")
+
+    def test_all_have_counterparts_and_oracles(self):
+        for workload in all_workloads().values():
+            assert "/" in workload.mibench_counterpart
+            assert workload.expected_stdout.endswith("\n")
+            assert workload.description
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestOracles:
+    def test_output_matches_oracle(self, name, compiled):
+        workload = WORKLOADS[name]
+        result = RocketLikeSoC().run(compiled[name])
+        assert result.stdout == workload.expected_stdout
+        assert result.exit_code == 0
+
+    def test_optimized_and_unoptimized_agree(self, name):
+        workload = WORKLOADS[name]
+        o0 = compile_source(workload.source, optimize=False).program
+        result = RocketLikeSoC().run(o0)
+        assert result.stdout == workload.expected_stdout
+
+    def test_compressed_build_agrees(self, name):
+        workload = WORKLOADS[name]
+        rvc = compile_source(workload.source, compress=True).program
+        result = RocketLikeSoC().run(rvc)
+        assert result.stdout == workload.expected_stdout
+        assert rvc.compressed_count > 0
+
+
+class TestSizeDiversity:
+    def test_static_sizes_spread(self, compiled):
+        sizes = sorted(len(p.text) for p in compiled.values())
+        assert sizes[-1] > 2 * sizes[0]  # Fig. 5/7 need size diversity
+
+    def test_dynamic_lengths_spread(self, compiled):
+        cycles = {}
+        for name, program in compiled.items():
+            cycles[name] = RocketLikeSoC().run(program).counters.cycles
+        values = sorted(cycles.values())
+        assert values[-1] > 2 * values[0]
