@@ -1,56 +1,61 @@
 #!/usr/bin/env python3
-"""Fleet deployment: one compile, many devices (paper §III.1).
+"""Fleet deployment: compile once, encrypt per device (paper §III.1).
 
-"If the hardware manufacturer maps two or more different hardware to the
-same PUF-based key ... programs can be created to run on multiple
-hardware of their own with a single compile step."
+ERIC's practicality claim is that device-keyed encryption is cheap
+enough to run at deployment scale.  ``DeploymentSession.deploy_fleet``
+makes that concrete: the program is compiled and signed exactly once
+(the device-independent artifact), then encrypted under each target's
+PUF-based key and pushed out by a worker pool.  A device that fails
+validation is reported, not fatal — the rest of the fleet still ships.
 
-The registry issues a *group key* plus per-device XOR helper data; every
-enrolled device recovers the group key inside its own KMU, so a single
-package serves the whole fleet — while non-members still can't run it.
+The registry's *device groups* remain available for the paper's
+single-package variant (one group key + per-device helper data); this
+example shows the per-device-key pipeline, which keeps every package
+unique to its die.
 
 Run:  python examples/fleet_deployment.py
 """
 
-from repro import Device, DeviceRegistry, EricCompiler, ValidationError
+from repro import DeploymentSession, Device, RecordingTelemetry
 
 SOURCE = """
 int main() {
-    print_str("fleet firmware v1\\n");
+    print_str("fleet firmware v2\\n");
     return 0;
 }
 """
 
 
 def main() -> None:
-    registry = DeviceRegistry()
-    fleet = [Device(device_seed=5000 + i) for i in range(4)]
-    for device in fleet:
-        registry.enroll(device)
+    session = DeploymentSession()
+    telemetry = RecordingTelemetry()
+    session.on_event(telemetry)
 
-    group = registry.provision_group([d.device_id for d in fleet])
-    print(f"provisioned {group.group_id} for {len(fleet)} devices")
+    fleet = [Device(device_seed=5000 + i) for i in range(10)]
 
-    # ONE compile for the whole fleet:
-    compiler = EricCompiler()
-    package = compiler.compile_and_package(SOURCE, group.group_key,
-                                           name="firmware")
-    print(f"single package: {package.package_size} bytes\n")
+    # A saboteur: its enrollment record claims the identity of the first
+    # fleet member, so its package decrypts under the wrong PUF key.
+    impostor = Device(device_seed=0xBAD5EED)
+    impostor.device_id = fleet[0].device_id
 
-    for device in fleet:
-        mask = group.masks[device.device_id]
-        outcome = device.load_and_run(package.package_bytes, key_mask=mask)
-        print(f"  {device.device_id}: {outcome.run.stdout.strip()!r} "
-              f"({outcome.total_cycles} cycles)")
+    report = session.deploy_fleet(SOURCE, fleet + [impostor],
+                                  max_workers=4, name="firmware")
+    print(report.summary())
+    print()
 
-    print("\nan outsider device (not in the group):")
-    outsider = Device(device_seed=9999)
-    try:
-        outsider.load_and_run(package.package_bytes,
-                              key_mask=group.masks[fleet[0].device_id])
-        print("  !!! outsider ran the firmware (should never happen)")
-    except ValidationError:
-        print("  blocked: helper data is useless without the matching PUF")
+    for outcome in report.succeeded:
+        print(f"  {outcome.device_id}: "
+              f"{outcome.result.stdout.strip()!r} "
+              f"({outcome.result.total_cycles} cycles)")
+    for outcome in report.failed:
+        print(f"  {outcome.device_id}: BLOCKED "
+              f"({type(outcome.error).__name__})")
+
+    stats = session.cache_stats
+    print(f"\ncompiled {stats.compiles}x for {report.device_count} "
+          f"devices; per-stage telemetry events: "
+          f"{len(telemetry.stages('package'))} package, "
+          f"{len(telemetry.stages('execute'))} execute")
 
 
 if __name__ == "__main__":

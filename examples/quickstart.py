@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Quickstart: the whole ERIC flow (paper Fig. 3, steps 1-6) in 30 lines.
+"""Quickstart: the whole ERIC flow (paper Fig. 3, steps 1-6).
 
 A software source compiles a MiniC program, encrypts it for one specific
-device, ships it, and the device decrypts, validates and runs it.
+device, ships it, and the device decrypts, validates and runs it.  The
+session API keeps the compiled artifact cached, so the second deployment
+of the same program skips compilation entirely.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Device, deploy
+from repro import DeploymentSession, Device
 
 SOURCE = """
 int main() {
@@ -26,10 +28,12 @@ def main() -> None:
     # standing in for silicon process variation.
     device = Device(device_seed=0xC0FFEE)
 
-    # deploy() enrolls the device, compiles+signs+encrypts the program
-    # under the device's PUF-based key, transfers the package, and has
-    # the device decrypt/validate/execute it.
-    result = deploy(SOURCE, device, name="quickstart")
+    # A session owns the enrollment registry, the ERIC compiler and the
+    # compiled-artifact cache.  deploy() enrolls the device, compiles+
+    # signs+encrypts the program under the device's PUF-based key,
+    # transfers the package, and has the device decrypt/validate/run it.
+    session = DeploymentSession()
+    result = session.deploy(SOURCE, device, name="quickstart")
 
     print("device said:")
     print(result.stdout)
@@ -40,6 +44,13 @@ def main() -> None:
     print(f"end-to-end cycles  : {result.total_cycles}")
     wall = result.run_result.run.wall_time_at_clock(25.0)
     print(f"wall time at 25 MHz: {wall * 1e3:.2f} ms")
+
+    # Deploy the same program again: the artifact cache answers, the
+    # MiniC compiler never runs a second time.
+    session.deploy(SOURCE, device, name="quickstart")
+    stats = session.cache_stats
+    print(f"two deployments    : {stats.compiles} compile "
+          f"({stats.hits} cache hit)")
 
 
 if __name__ == "__main__":

@@ -6,18 +6,36 @@ unclonable function (PUF), so that only that device can decrypt,
 integrity-check and execute them — defeating both static and dynamic
 analysis by anyone else.
 
-Quickstart::
+Quickstart — one device::
 
-    from repro import Device, EricCompiler, EricConfig, deploy
+    from repro import Device, deploy
 
     device = Device(device_seed=42)
     result = deploy("int main() { print_str(\\"hi\\"); return 0; }", device)
     print(result.stdout, result.total_cycles)
 
+Quickstart — a fleet (compile once, encrypt per device)::
+
+    from repro import Device, DeploymentSession
+
+    session = DeploymentSession()
+    fleet = [Device(device_seed=s) for s in range(100, 110)]
+    report = session.deploy_fleet(SOURCE, fleet, max_workers=8)
+    print(report.summary())          # per-device outcomes + stage costs
+    print(session.cache_stats)       # proves the single compile
+
+``deploy`` is a convenience wrapper over a throwaway
+:class:`DeploymentSession`; hold a session whenever you deploy more than
+once and the artifact cache makes repeat compiles free.
+
 Package map (see DESIGN.md for the full inventory):
 
 =====================  ====================================================
-``repro.core``         ERIC itself: keys, encryptor, package, HDE, device
+``repro.core``         ERIC itself: keys, encryptor, package, HDE, device;
+                       the compiler split into a device-independent
+                       ``prepare`` and per-device ``package_artifact``
+``repro.service``      fleet-scale deployment: ``DeploymentSession``,
+                       artifact cache, fleet reports, telemetry hooks
 ``repro.crypto``       SHA-256, HMAC/KDF, XOR ciphers, AES (from scratch)
 ``repro.puf``          arbiter-PUF model, key generator, metrics
 ``repro.isa``          RV64IM + RVC encode/decode/disassemble
@@ -32,7 +50,8 @@ Package map (see DESIGN.md for the full inventory):
 """
 
 from repro.core.config import EncryptionMode, EricConfig
-from repro.core.compiler_driver import EricCompiler, EricCompileResult
+from repro.core.compiler_driver import (CompiledArtifact, EricCompiler,
+                                        EricCompileResult)
 from repro.core.device import Device, DeviceRunResult
 from repro.core.provisioning import DeviceRegistry
 from repro.core.workflow import DeploymentResult, deploy
@@ -41,10 +60,23 @@ from repro.errors import (
     PackageFormatError,
     ValidationError,
 )
+from repro.service import (
+    ArtifactCache,
+    CacheStats,
+    DeploymentSession,
+    FleetDeploymentReport,
+    FleetDeviceOutcome,
+    RecordingTelemetry,
+    TelemetryEvent,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CompiledArtifact",
+    "DeploymentSession",
     "EncryptionMode",
     "EricConfig",
     "EricCompiler",
@@ -53,6 +85,10 @@ __all__ = [
     "DeviceRunResult",
     "DeviceRegistry",
     "DeploymentResult",
+    "FleetDeploymentReport",
+    "FleetDeviceOutcome",
+    "RecordingTelemetry",
+    "TelemetryEvent",
     "deploy",
     "EricError",
     "PackageFormatError",

@@ -4,6 +4,7 @@ Subcommands::
 
     eric describe --config cfg.json       show an encryption configuration
     eric package  prog.c -o prog.eric     compile+sign+encrypt a program
+    eric fleet    prog.c --devices 10     compile once, deploy to a fleet
     eric run      prog.eric               decrypt+validate+run on a device
     eric inspect  prog.eric               parse a package header
     eric disasm   prog.c                  compile and disassemble (plain)
@@ -11,7 +12,9 @@ Subcommands::
 
 Device identity is simulated: ``--device-seed`` selects the die.  The
 same seed on ``package`` and ``run`` is the happy path; different seeds
-demonstrate the two-way authentication failure.
+demonstrate the two-way authentication failure.  ``fleet`` takes either
+``--devices N`` (seeds ``--seed-base .. --seed-base+N-1``) or an
+explicit ``--device-seeds 0x10,0x11,...`` list.
 """
 
 from __future__ import annotations
@@ -20,11 +23,11 @@ import argparse
 import json
 import sys
 
-from repro.core.compiler_driver import EricCompiler
 from repro.core.device import Device
 from repro.core.interface import config_from_dict, describe
 from repro.core.package import ProgramPackage
 from repro.errors import EricError
+from repro.service.session import DeploymentSession
 
 
 def _load_config(path: str | None):
@@ -44,10 +47,10 @@ def _cmd_package(args: argparse.Namespace) -> int:
         source = handle.read()
     config = _load_config(args.config)
     device = Device(device_seed=args.device_seed)
-    compiler = EricCompiler(config)
-    result = compiler.compile_and_package(source,
-                                          device.enrollment_key(),
-                                          name=args.source)
+    # package_for goes through the session's DeviceRegistry, so the CLI
+    # exercises the same step-① enrollment path as deploy().
+    session = DeploymentSession(config)
+    result = session.package_for(source, device, name=args.source)
     with open(args.output, "wb") as handle:
         handle.write(result.package_bytes)
     t = result.timings
@@ -59,6 +62,40 @@ def _cmd_package(args: argparse.Namespace) -> int:
           f"sign {t.signature_s * 1e3:.1f} ms, "
           f"encrypt {t.encryption_s * 1e3:.1f} ms")
     return 0
+
+
+def _fleet_seeds(args: argparse.Namespace) -> list[int]:
+    if args.device_seeds is not None:
+        try:
+            return [int(s, 0) for s in args.device_seeds.split(",")
+                    if s.strip()]
+        except ValueError:
+            raise EricError(
+                f"bad --device-seeds {args.device_seeds!r}: expected "
+                "comma-separated integers (0x... allowed)") from None
+    return [args.seed_base + i for i in range(args.devices)]
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    seeds = _fleet_seeds(args)
+    # empty fleet / bad max_workers raise EricError in deploy_fleet,
+    # which main() renders as a clean "eric: error:" line
+    session = DeploymentSession(_load_config(args.config))
+    devices = [Device(device_seed=seed) for seed in seeds]
+    report = session.deploy_fleet(
+        source, devices, max_workers=args.max_workers, name=args.source,
+        max_instructions=args.max_instructions)
+    print(report.summary())
+    stats = session.cache_stats
+    print(f"  compiles     : {stats.compiles} "
+          f"(cache {stats.hits} hits / {stats.misses} misses)")
+    for outcome in report.succeeded:
+        print(f"  {outcome.device_id}: exit "
+              f"{outcome.result.exit_code}, "
+              f"{outcome.result.total_cycles} cycles")
+    return 0 if report.all_ok else 1
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -127,6 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device-seed", type=lambda s: int(s, 0),
                    default=0xC0FFEE)
     p.set_defaults(func=_cmd_package)
+
+    p = sub.add_parser("fleet",
+                       help="compile once, deploy to a whole fleet")
+    p.add_argument("source", help="MiniC source file")
+    p.add_argument("--config", help="JSON config file")
+    p.add_argument("--devices", type=int, default=4,
+                   help="fleet size (seeds seed-base..seed-base+N-1)")
+    p.add_argument("--seed-base", type=lambda s: int(s, 0),
+                   default=0xF1EE7)
+    p.add_argument("--device-seeds",
+                   help="explicit comma-separated seed list (overrides "
+                        "--devices/--seed-base)")
+    p.add_argument("--max-workers", type=int, default=4)
+    p.add_argument("--max-instructions", type=int, default=20_000_000)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("run", help="decrypt+validate+run a package")
     p.add_argument("package", help=".eric package file")

@@ -25,6 +25,13 @@ Deployment plumbing:
 * :mod:`repro.core.provisioning`    — enrollment registry, device groups
 * :mod:`repro.core.interface`       — declarative config front end
 * :mod:`repro.core.workflow`        — the end-to-end Fig. 3 flow ①-⑥
+  (one-shot; fleet-scale deployment lives in :mod:`repro.service`)
+
+The compiler is split along the device boundary:
+:meth:`EricCompiler.prepare` yields a :class:`CompiledArtifact` (compile
++ sign + slot selection, device-independent) and
+:meth:`EricCompiler.package_artifact` binds it to one device key — the
+foundation of the compile-once/encrypt-per-device fleet pipeline.
 """
 
 from repro.core.config import EncryptionMode, EricConfig, TABLE_I_ENVIRONMENT
@@ -32,16 +39,19 @@ from repro.core.keys import KeyManagementUnit, puf_based_key
 from repro.core.signature import compute_signature
 from repro.core.encryptor import EncryptionMap, encrypt_program
 from repro.core.package import ProgramPackage
-from repro.core.compiler_driver import EricCompiler, EricCompileResult
+from repro.core.compiler_driver import (CompiledArtifact, EricCompiler,
+                                        EricCompileResult, source_digest)
 from repro.core.hde import HardwareDecryptionEngine, HdeReport
 from repro.core.device import Device, DeviceRunResult
 from repro.core.provisioning import DeviceRegistry
 from repro.core.workflow import deploy, DeploymentResult
 
 __all__ = [
+    "CompiledArtifact",
     "EncryptionMode",
     "EricConfig",
     "TABLE_I_ENVIRONMENT",
+    "source_digest",
     "KeyManagementUnit",
     "puf_based_key",
     "compute_signature",

@@ -8,17 +8,26 @@ stage's wall time so the Fig. 6 bench can report
     (ERIC compile time) / (baseline compile time)
 
 exactly as the paper does.
+
+The flow is split along the device boundary: :meth:`EricCompiler.prepare`
+produces a :class:`CompiledArtifact` — everything that does *not* depend
+on the target device (program image, signature, encryption map) — and
+:meth:`EricCompiler.package_artifact` binds one artifact to one device
+key.  Fleet deployment (``repro.service``) caches artifacts so a
+thousand-device rollout pays for compilation and signing exactly once.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
 from repro.asm.program import Program
 from repro.cc.driver import CompileResult, compile_source
 from repro.core.config import EricConfig
-from repro.core.encryptor import EncryptedProgram, encrypt_program
+from repro.core.encryptor import (EncryptedProgram, EncryptionMap,
+                                  build_map, encrypt_program)
 from repro.core.keys import KeyManagementUnit
 from repro.core.package import ProgramPackage
 from repro.core.signature import compute_signature
@@ -69,6 +78,37 @@ class EricCompileResult:
         return (self.package_size - self.plain_size) / self.plain_size
 
 
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """The device-independent half of the software-source flow.
+
+    Compilation, signature generation and encryption-map selection depend
+    only on ``(source, config)`` — never on the target device — so one
+    artifact can be bound to any number of device keys with
+    :meth:`EricCompiler.package_artifact`.  This is what the fleet
+    artifact cache stores.
+    """
+
+    program: Program
+    signature: bytes
+    enc_map: EncryptionMap
+    config: EricConfig
+    name: str
+    plain_size: int
+    source_digest: str
+    compile_s: float = 0.0
+    signature_s: float = 0.0
+    #: encryption-map slot selection; reported under encryption_s (where
+    #: this work was always billed) so Fig. 6's signature-only adjustment
+    #: keeps subtracting pure hash time
+    selection_s: float = 0.0
+
+
+def source_digest(source: str) -> str:
+    """Canonical cache identity of a source text (SHA-256 hex)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
 class EricCompiler:
     """Software-source side of ERIC (Fig. 4 left half)."""
 
@@ -84,32 +124,67 @@ class EricCompiler:
                                 compress=self.config.compress)
         return result, time.perf_counter() - start
 
-    def package_program(self, program: Program, target_key: bytes,
-                        timings: PackagingTimings | None = None,
-                        ) -> EricCompileResult:
-        """Steps ③-④ for an already-compiled program."""
-        if len(target_key) != 32:
-            raise ConfigError(
-                "target_key must be the device's 32-byte PUF-based key")
-        timings = timings or PackagingTimings()
-        config = self.config
+    def prepare(self, source: str, name: str = "program",
+                ) -> CompiledArtifact:
+        """Steps ②-③ up to the device boundary: compile, sign, select.
 
+        Everything here is a pure function of ``(source, config)``; the
+        result can be cached and re-bound to any device key.
+        """
+        compile_result, compile_s = self.compile_baseline(source, name)
+        return self.prepare_program(compile_result.program, name=name,
+                                    compile_s=compile_s,
+                                    digest=source_digest(source))
+
+    def prepare_program(self, program: Program, name: str = "program",
+                        compile_s: float = 0.0, digest: str = "",
+                        ) -> CompiledArtifact:
+        """Build the device-independent artifact for a compiled program."""
+        config = self.config
         start = time.perf_counter()
         signature = compute_signature(program,
                                       include_data=config.sign_data)
-        timings.signature_s = time.perf_counter() - start
+        signature_s = time.perf_counter() - start
+        start = time.perf_counter()
+        enc_map = build_map(program, config)
+        selection_s = time.perf_counter() - start
+        return CompiledArtifact(
+            program=program, signature=signature, enc_map=enc_map,
+            config=config, name=name,
+            plain_size=len(program.serialize_plain()),
+            source_digest=digest, compile_s=compile_s,
+            signature_s=signature_s, selection_s=selection_s,
+        )
+
+    def package_artifact(self, artifact: CompiledArtifact,
+                         target_key: bytes) -> EricCompileResult:
+        """Step ④ for one device: encrypt + package under its key.
+
+        This is the only per-device work in the whole software-source
+        flow; a fleet deployment calls it once per device while paying
+        :meth:`prepare` exactly once.
+        """
+        if len(target_key) != 32:
+            raise ConfigError(
+                "target_key must be the device's 32-byte PUF-based key")
+        config = artifact.config
+        program = artifact.program
+        timings = PackagingTimings(compile_s=artifact.compile_s,
+                                   signature_s=artifact.signature_s)
 
         start = time.perf_counter()
         kmu = KeyManagementUnit(target_key)
         text_cipher = kmu.text_cipher(config.cipher)
         signature_cipher = kmu.signature_cipher(config.cipher)
         encrypted = encrypt_program(program, config, text_cipher,
-                                    signature_cipher, signature)
+                                    signature_cipher, artifact.signature,
+                                    enc_map=artifact.enc_map)
         data_payload = program.data
         if config.encrypt_data and program.data:
             data_payload = kmu.data_cipher(config.cipher).transform(
                 program.data, 0)
-        timings.encryption_s = time.perf_counter() - start
+        timings.encryption_s = (artifact.selection_s
+                                + time.perf_counter() - start)
 
         start = time.perf_counter()
         package = ProgramPackage(
@@ -129,13 +204,29 @@ class EricCompiler:
         return EricCompileResult(
             package_bytes=package_bytes, package=package, program=program,
             encrypted=encrypted, timings=timings, config=config,
-            plain_size=len(program.serialize_plain()),
+            plain_size=artifact.plain_size,
         )
+
+    def package_program(self, program: Program, target_key: bytes,
+                        timings: PackagingTimings | None = None,
+                        ) -> EricCompileResult:
+        """Steps ③-④ for an already-compiled program.
+
+        A caller-supplied ``timings`` is populated in place (and becomes
+        the result's ``timings``), preserving the pre-split contract.
+        """
+        compile_s = timings.compile_s if timings else 0.0
+        artifact = self.prepare_program(program, compile_s=compile_s)
+        result = self.package_artifact(artifact, target_key)
+        if timings is not None:
+            timings.signature_s = result.timings.signature_s
+            timings.encryption_s = result.timings.encryption_s
+            timings.packaging_s = result.timings.packaging_s
+            result.timings = timings
+        return result
 
     def compile_and_package(self, source: str, target_key: bytes,
                             name: str = "program") -> EricCompileResult:
         """The full software-source flow: steps ②-④ of Fig. 3."""
-        compile_result, compile_s = self.compile_baseline(source, name)
-        timings = PackagingTimings(compile_s=compile_s)
-        return self.package_program(compile_result.program, target_key,
-                                    timings)
+        artifact = self.prepare(source, name)
+        return self.package_artifact(artifact, target_key)

@@ -171,10 +171,17 @@ class EncryptedProgram:
 
 def encrypt_program(program: Program, config: EricConfig,
                     text_cipher: Cipher, signature_cipher: Cipher,
-                    signature: bytes) -> EncryptedProgram:
-    """Full Encryption Unit flow: map -> encrypt text -> wrap signature."""
+                    signature: bytes,
+                    enc_map: EncryptionMap | None = None) -> EncryptedProgram:
+    """Full Encryption Unit flow: map -> encrypt text -> wrap signature.
+
+    ``enc_map`` lets a caller reuse a precomputed map: slot selection is
+    device-independent, so a fleet deployment builds it once and encrypts
+    under many keys without re-running the selection PRNG.
+    """
     config.validate()
-    enc_map = build_map(program, config)
+    if enc_map is None:
+        enc_map = build_map(program, config)
     ciphertext = encrypt_text(program.text, program.layout, enc_map,
                               text_cipher, config.mode,
                               config.field_classes)

@@ -49,7 +49,19 @@ def config_from_dict(options: dict) -> EricConfig:
         kwargs["field_classes"] = tuple(options["field_classes"])
     if "epoch" in options:
         epoch = options["epoch"]
-        kwargs["epoch"] = epoch.encode() if isinstance(epoch, str) else epoch
+        if isinstance(epoch, str):
+            # latin-1 mirrors config_to_dict's decoding: it maps each
+            # code point 0x00-0xFF to the same byte, so arbitrary epoch
+            # bytes survive a dict round-trip (UTF-8 would corrupt
+            # bytes >= 0x80).
+            try:
+                epoch = epoch.encode("latin-1")
+            except UnicodeEncodeError:
+                raise ConfigError(
+                    f"epoch {epoch!r} has characters above U+00FF; an "
+                    "epoch is a byte string, so use code points "
+                    "0x00-0xFF only") from None
+        kwargs["epoch"] = epoch
     return EricConfig(**kwargs).validate()
 
 

@@ -4,13 +4,18 @@
 compile+sign+encrypt for it, ship the package over an (optionally
 hostile) network, and have the device decrypt/validate/run it.  The
 examples and the integration tests are built on this.
+
+Since the ``repro.service`` redesign this is a convenience wrapper over
+a throwaway :class:`repro.service.session.DeploymentSession`; anything
+deploying more than once — and certainly anything deploying to a fleet —
+should hold a session instead and get artifact caching for free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.compiler_driver import EricCompileResult, EricCompiler
+from repro.core.compiler_driver import EricCompileResult
 from repro.core.config import EricConfig
 from repro.core.device import Device, DeviceRunResult
 from repro.core.provisioning import DeviceRegistry
@@ -50,20 +55,11 @@ def deploy(source: str, device: Device,
     because the channel tampered with the package) propagates to the
     caller — the program does not run.
     """
-    registry = registry or DeviceRegistry()
-    if device.device_id not in registry.enrolled:
-        registry.enroll(device)                         # step ①
-    target_key = registry.handshake(device.device_id)   # handshake
+    # Imported here: repro.service builds on this module (it reuses
+    # DeploymentResult), so the dependency must stay one-way at import
+    # time.
+    from repro.service.session import DeploymentSession
 
-    compiler = EricCompiler(config)                     # step ②
-    result = compiler.compile_and_package(source, target_key,
-                                          name=name)    # step ③
-
-    channel = channel or UntrustedChannel()
-    delivered = channel.transfer(result.package_bytes)  # step ④
-
-    run_result = device.load_and_run(                   # steps ⑤-⑥
-        delivered, max_instructions=max_instructions)
-    return DeploymentResult(compile_result=result,
-                            delivered_bytes=delivered,
-                            run_result=run_result)
+    session = DeploymentSession(config, registry=registry)
+    return session.deploy(source, device, channel=channel, name=name,
+                          max_instructions=max_instructions)

@@ -1,0 +1,33 @@
+"""repro.service — fleet-scale deployment on top of the core flow.
+
+* :mod:`repro.service.session`   — :class:`DeploymentSession`: registry +
+  compiler + artifact cache + telemetry behind ``deploy``,
+  ``deploy_fleet`` and ``package_for``
+* :mod:`repro.service.cache`     — thread-safe LRU of device-independent
+  compiled artifacts with hit/miss statistics
+* :mod:`repro.service.telemetry` — per-stage observability hooks
+
+The split this package rides on lives in
+:mod:`repro.core.compiler_driver`: ``prepare()`` (compile + sign +
+select, device-independent, cacheable) vs ``package_artifact()``
+(encrypt + package under one device key).
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.session import (ChannelFactory, DeploymentSession,
+                                   FleetDeploymentReport,
+                                   FleetDeviceOutcome)
+from repro.service.telemetry import (RecordingTelemetry, TelemetryEvent,
+                                     TelemetryHub)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "ChannelFactory",
+    "DeploymentSession",
+    "FleetDeploymentReport",
+    "FleetDeviceOutcome",
+    "RecordingTelemetry",
+    "TelemetryEvent",
+    "TelemetryHub",
+]

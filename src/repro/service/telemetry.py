@@ -1,0 +1,59 @@
+"""Deployment telemetry: pluggable per-stage observability hooks.
+
+A :class:`DeploymentSession` emits one :class:`TelemetryEvent` per
+pipeline stage (compile, package, transfer, execute, …) to every
+registered sink.  A sink is any callable taking the event — a logger, a
+metrics exporter, or the bundled :class:`RecordingTelemetry` used by
+tests and reports.  Sinks must never break a deployment: exceptions they
+raise are swallowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One observed pipeline stage."""
+
+    stage: str
+    seconds: float = 0.0
+    device_id: str | None = None
+    program: str | None = None
+    ok: bool = True
+    detail: str = ""
+
+
+class RecordingTelemetry:
+    """A sink that keeps every event (tests, reports, debugging)."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def stages(self, stage: str) -> list[TelemetryEvent]:
+        return [e for e in self.events if e.stage == stage]
+
+    def total_seconds(self, stage: str) -> float:
+        return sum(e.seconds for e in self.stages(stage))
+
+
+@dataclass
+class TelemetryHub:
+    """Fan-out to zero or more sinks; failures in sinks are isolated."""
+
+    sinks: list = field(default_factory=list)
+
+    def add(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        for sink in self.sinks:
+            try:
+                sink(event)
+            except Exception:
+                # Observability must never take down a deployment.
+                pass

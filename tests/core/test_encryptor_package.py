@@ -214,3 +214,17 @@ class TestPackageFormat:
         map_bytes = (hello_program.instruction_count + 7) // 8
         assert len(partial) == len(full) + map_bytes
         assert len(full) > len(plain)
+
+
+class TestPackageProgramTimingsContract:
+    def test_caller_timings_populated_in_place(self, hello_program):
+        from repro.core.compiler_driver import EricCompiler, PackagingTimings
+
+        timings = PackagingTimings(compile_s=1.25)
+        result = EricCompiler().package_program(
+            hello_program, puf_based_key(b"unit-test-device"), timings)
+        assert result.timings is timings
+        assert timings.compile_s == 1.25
+        assert timings.signature_s > 0
+        assert timings.encryption_s > 0
+        assert timings.packaging_s >= 0

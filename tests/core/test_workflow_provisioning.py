@@ -57,6 +57,13 @@ class TestDeployWorkflow:
         result = deploy(SOURCE, device, registry=registry)
         assert result.exit_code == 5
 
+    def test_ensure_enrolled_idempotent(self, device):
+        registry = DeviceRegistry()
+        key = registry.ensure_enrolled(device)
+        assert key == registry.ensure_enrolled(device)
+        assert key == registry.handshake(device.device_id)
+        assert registry.enrolled == (device.device_id,)
+
 
 class TestRegistry:
     def test_enroll_and_handshake(self, device):
@@ -130,6 +137,18 @@ class TestConfigInterface:
 
     def test_from_dict_defaults(self):
         assert config_from_dict({}) == EricConfig()
+
+    def test_high_byte_epoch_roundtrip(self):
+        # regression: epoch bytes >= 0x80 were decoded latin-1 but
+        # re-encoded UTF-8, corrupting the key-derivation context
+        config = EricConfig(epoch=bytes(range(256)))
+        restored = config_from_dict(config_to_dict(config))
+        assert restored.epoch == config.epoch
+        assert restored == config
+
+    def test_epoch_beyond_byte_range_rejected(self):
+        with pytest.raises(ConfigError, match="U\\+00FF"):
+            config_from_dict({"epoch": "época-€"})
 
     def test_mode_strings(self):
         for mode in ("full", "partial", "field"):

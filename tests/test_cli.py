@@ -63,6 +63,21 @@ class TestPackageRunFlow:
         assert "partial" in capsys.readouterr().out
 
 
+class TestFleetCommand:
+    def test_fleet_compiles_once(self, source_file, capsys):
+        assert main(["fleet", source_file, "--devices", "3",
+                     "--max-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 devices ok" in out
+        assert "compiles     : 1" in out
+
+    def test_fleet_explicit_seeds(self, source_file, capsys):
+        assert main(["fleet", source_file,
+                     "--device-seeds", "0x10,0x11"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 devices ok" in out
+
+
 class TestOtherCommands:
     def test_describe_default(self, capsys):
         assert main(["describe"]) == 0
