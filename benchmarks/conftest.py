@@ -1,10 +1,20 @@
 """Shared infrastructure for the figure/table benchmarks.
 
-Every bench prints the regenerated table (visible with ``pytest -s``) and
-writes it to ``benchmarks/results/<name>.txt`` so the rows survive output
-capture.  pytest-benchmark timings measure the *harness* cost of each
-experiment; the scientific content is the printed rows plus the shape
-assertions in each test.
+Every bench prints the regenerated table (visible with ``pytest -s``)
+and writes it to ``benchmarks/results/<name>.txt`` so the rows survive
+output capture.  Writers with machine-dependent cells pass a separate
+``stable=`` render (see :class:`repro.eval.report.Volatile`): the live
+text is printed, the stable text is persisted, and regenerating results
+produces no spurious diffs.
+
+The session-scoped ``farm`` fixture runs against the committed result
+store under ``benchmarks/results/farm/``: figure rows are served from
+stored records when present and only simulated (then persisted) when
+missing — the same resumability `eric sweep` exposes.
+
+pytest-benchmark timings measure the *harness* cost of each experiment;
+the scientific content is the printed rows plus the shape assertions in
+each test.
 """
 
 from __future__ import annotations
@@ -13,17 +23,38 @@ import pathlib
 
 import pytest
 
+from repro.farm import ResultStore, SimulationFarm
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+FARM_STORE_DIR = RESULTS_DIR / "farm"
 
 
 @pytest.fixture(scope="session")
 def record():
-    """record(name, text): print + persist a rendered result table."""
+    """record(name, text, stable=None): print + persist a result table.
+
+    ``text`` is printed as measured; ``stable`` (default: ``text``) is
+    what lands in ``results/<name>.txt``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _record(name: str, text: str) -> None:
+    def _record(name: str, text: str, stable: str | None = None) -> None:
         print()
         print(text)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        persisted = text if stable is None else stable
+        (RESULTS_DIR / f"{name}.txt").write_text(persisted + "\n")
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def farm_store() -> ResultStore:
+    """The committed, resumable measurement store."""
+    return ResultStore(FARM_STORE_DIR)
+
+
+@pytest.fixture(scope="session")
+def farm(farm_store) -> SimulationFarm:
+    """One farm for the whole benchmark session (jobs=1: benchmark
+    wall times must not depend on box parallelism)."""
+    return SimulationFarm(store=farm_store, jobs=1)

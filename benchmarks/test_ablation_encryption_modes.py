@@ -3,64 +3,61 @@
 Sweeps FULL, PARTIAL at several fractions, and FIELD over one workload,
 reporting package size, HDE cycles, and attacker decode rate: the
 security/size/time trade surface the ERIC interface exposes.
+
+The six configurations run as ``analyze=True`` farm jobs, so the
+static-attacker metrics land in the result store next to the cycle
+counts and the sweep resumes incrementally like every other figure.
 """
 
-import pytest
-
-from repro.core.compiler_driver import EricCompiler
 from repro.core.config import EncryptionMode, EricConfig
-from repro.core.device import Device
 from repro.eval.report import format_table
-from repro.net.static_attacker import analyze_blob
-from repro.workloads import get_workload
+from repro.farm import JobMatrix, SimParams
 
 WORKLOAD = "fft"
+_DEVICE_SEED = 0xAB1A
+
+CONFIGS = [
+    ("full", EricConfig(mode=EncryptionMode.FULL)),
+    ("partial 25%", EricConfig(mode=EncryptionMode.PARTIAL,
+                               partial_fraction=0.25)),
+    ("partial 50%", EricConfig(mode=EncryptionMode.PARTIAL,
+                               partial_fraction=0.50)),
+    ("partial 75%", EricConfig(mode=EncryptionMode.PARTIAL,
+                               partial_fraction=0.75)),
+    ("field imm+regs", EricConfig(mode=EncryptionMode.FIELD)),
+    ("field imm only", EricConfig(mode=EncryptionMode.FIELD,
+                                  field_classes=("imm",))),
+]
 
 
-@pytest.fixture(scope="module")
-def device():
-    return Device(device_seed=0xAB1A)
+def _matrix() -> JobMatrix:
+    return JobMatrix(
+        workloads=(WORKLOAD,),
+        configs=tuple(config for _, config in CONFIGS),
+        params=(SimParams(device_seed=_DEVICE_SEED),),
+        simulate=True,
+        analyze=True,
+    )
 
 
-def _package(config, device):
-    compiler = EricCompiler(config)
-    return compiler.compile_and_package(get_workload(WORKLOAD).source,
-                                        device.enrollment_key(),
-                                        name=WORKLOAD)
+def test_mode_sweep(benchmark, record, farm):
+    report = benchmark.pedantic(lambda: farm.run(_matrix()),
+                                rounds=1, iterations=1)
+    report.require_ok()
+    from repro.workloads import get_workload
 
-
-def test_mode_sweep(benchmark, record, device):
-    configs = [
-        ("full", EricConfig(mode=EncryptionMode.FULL)),
-        ("partial 25%", EricConfig(mode=EncryptionMode.PARTIAL,
-                                   partial_fraction=0.25)),
-        ("partial 50%", EricConfig(mode=EncryptionMode.PARTIAL,
-                                   partial_fraction=0.50)),
-        ("partial 75%", EricConfig(mode=EncryptionMode.PARTIAL,
-                                   partial_fraction=0.75)),
-        ("field imm+regs", EricConfig(mode=EncryptionMode.FIELD)),
-        ("field imm only", EricConfig(mode=EncryptionMode.FIELD,
-                                      field_classes=("imm",))),
-    ]
-
-    def sweep():
-        rows = []
-        for label, config in configs:
-            result = _package(config, device)
-            outcome = device.load_and_run(result.package_bytes)
-            report = analyze_blob(result.package.enc_text)
-            rows.append({
-                "label": label,
-                "size": result.package_size,
-                "slots": result.encrypted.enc_map.encrypted_count,
-                "hde": outcome.hde.total_cycles,
-                "decode": report.valid_decode_fraction,
-                "stdout_ok": outcome.run.stdout
-                == get_workload(WORKLOAD).expected_stdout,
-            })
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    expected = get_workload(WORKLOAD).expected_stdout
+    rows = []
+    # matrix order preserves CONFIGS order for the single workload
+    for (label, _), rec in zip(CONFIGS, report.records):
+        rows.append({
+            "label": label,
+            "size": rec.package_size,
+            "slots": rec.analysis["enc_slots"],
+            "hde": rec.hde_cycles,
+            "decode": rec.analysis["decode_fraction"],
+            "stdout_ok": rec.output_ok(expected),
+        })
     record("ablation_encryption_modes", format_table(
         ["mode", "package B", "enc slots", "HDE cycles", "decode rate",
          "output ok"],
@@ -81,13 +78,17 @@ def test_mode_sweep(benchmark, record, device):
     assert by_label["partial 25%"]["size"] > by_label["full"]["size"]
 
 
-def test_partial_protects_selected_region(record, device):
+def test_partial_protects_selected_region(record):
     """Partial encryption with a chosen range keeps the critical slots
     unreadable while the rest stays plain (the 'protect the critical
     parts' use of §III.1)."""
+    from repro.core.compiler_driver import EricCompiler
+    from repro.core.device import Device
     from repro.core.encryptor import EncryptionMap, encrypt_text
     from repro.core.keys import KeyManagementUnit
+    from repro.workloads import get_workload
 
+    device = Device(device_seed=_DEVICE_SEED)
     compiler = EricCompiler()
     result, _ = compiler.compile_baseline(get_workload(WORKLOAD).source)
     program = result.program

@@ -5,44 +5,50 @@ This sweep re-runs the Fig. 7 comparison under perturbed pipeline
 constants (div latency, miss penalty, flush penalty) and checks the
 headline — low single-digit overhead, proportional to size/length —
 survives every variant.
+
+The 5-variant × 8-workload grid is a farm matrix: the 40 simulations
+resume from the committed result store, and ``--jobs N`` (via ``eric
+sweep``) parallelises a cold re-measure.
 """
 
-from repro.core.compiler_driver import EricCompiler
-from repro.core.device import Device
 from repro.eval.report import format_table
-from repro.soc.pipeline import PipelineModel
+from repro.farm import JobMatrix, SimParams
 from repro.workloads import all_workloads
 
+# Labels -> repro.farm.spec.PIPELINE_VARIANTS names.
 VARIANTS = {
-    "default": PipelineModel(),
-    "slow divider": PipelineModel(div_latency=64, div32_latency=32),
-    "fast memory": PipelineModel(miss_penalty=8),
-    "slow memory": PipelineModel(miss_penalty=60),
-    "costly flush": PipelineModel(flush_penalty=4),
+    "default": "default",
+    "slow divider": "slow-divider",
+    "fast memory": "fast-memory",
+    "slow memory": "slow-memory",
+    "costly flush": "costly-flush",
 }
 
-
-def _overheads(pipeline):
-    device = Device(device_seed=0x517, pipeline=pipeline)
-    compiler = EricCompiler()
-    key = device.enrollment_key()
-    overheads = []
-    for name, workload in all_workloads().items():
-        package = compiler.compile_and_package(workload.source, key,
-                                               name=name)
-        plain = device.run_plain(package.program)
-        eric = device.load_and_run(package.package_bytes)
-        overheads.append(100.0 * (eric.total_cycles
-                                  / plain.counters.cycles - 1.0))
-    return overheads
+_DEVICE_SEED = 0x517
 
 
-def test_pipeline_sensitivity(benchmark, record):
-    def sweep():
-        return {label: _overheads(pipe)
-                for label, pipe in VARIANTS.items()}
+def _matrix() -> JobMatrix:
+    return JobMatrix(
+        workloads=tuple(all_workloads()),
+        params=tuple(SimParams(device_seed=_DEVICE_SEED, pipeline=name)
+                     for name in VARIANTS.values()),
+        simulate=True,
+    )
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+def test_pipeline_sensitivity(benchmark, record, farm):
+    report = benchmark.pedantic(lambda: farm.run(_matrix()),
+                                rounds=1, iterations=1)
+    report.require_ok()
+    results = {label: [] for label in VARIANTS}
+    by_variant = {name: label for label, name in VARIANTS.items()}
+    workloads = all_workloads()
+    for job in report.results:
+        expected = workloads[job.spec.workload].expected_stdout
+        assert job.record.output_ok(expected), job.spec.display_name
+        results[by_variant[job.spec.params.pipeline]].append(
+            job.record.overhead_pct)
+
     rows = []
     for label, overheads in results.items():
         rows.append([label,
@@ -54,6 +60,7 @@ def test_pipeline_sensitivity(benchmark, record):
     ))
 
     for label, overheads in results.items():
+        assert len(overheads) == len(all_workloads()), label
         avg = sum(overheads) / len(overheads)
         # the conclusion band survives every variant
         assert 1.0 < avg < 8.0, label

@@ -9,8 +9,9 @@ per byte (1 bit per 16 bits, §IV.A).
 from repro.eval import fig5
 
 
-def test_fig5_package_sizes(benchmark, record):
-    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+def test_fig5_package_sizes(benchmark, record, farm):
+    result = benchmark.pedantic(lambda: fig5.run(farm=farm),
+                                rounds=1, iterations=1)
     record("fig5_package_size", result.render())
 
     s = result.summary
@@ -27,10 +28,10 @@ def test_fig5_package_sizes(benchmark, record):
         assert row.rvc_partial_pct > row.partial_pct
 
 
-def test_fig5_small_programs_pay_more(record):
+def test_fig5_small_programs_pay_more(record, farm):
     """The paper's size-normalization effect: fixed signature cost means
     smaller binaries see larger percentage increases."""
-    result = fig5.run()
+    result = fig5.run(farm=farm)
     by_size = sorted(result.rows, key=lambda r: r.plain_size)
     smallest, largest = by_size[0], by_size[-1]
     assert smallest.full_pct > largest.full_pct

@@ -7,8 +7,9 @@ with overhead proportional to static size over dynamic length.
 from repro.eval import fig7
 
 
-def test_fig7_execution_time(benchmark, record):
-    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+def test_fig7_execution_time(benchmark, record, farm):
+    result = benchmark.pedantic(lambda: fig7.run(farm=farm),
+                                rounds=1, iterations=1)
     record("fig7_execution_time", result.render())
 
     s = result.summary
@@ -20,11 +21,11 @@ def test_fig7_execution_time(benchmark, record):
         assert row.eric_cycles == row.plain_cycles + row.hde_cycles
 
 
-def test_fig7_overhead_proportional_to_size_over_length(record):
+def test_fig7_overhead_proportional_to_size_over_length(record, farm):
     """The paper's closing observation: 'there is a direct
     proportionality between the dynamic size of the program and the
     performance' — overhead correlates with static/dynamic ratio."""
-    result = fig7.run()
+    result = fig7.run(farm=farm)
     pairs = [(r.hde_cycles / r.plain_cycles, r.overhead_pct)
              for r in result.rows]
     pairs.sort()

@@ -36,6 +36,9 @@ Package map (see DESIGN.md for the full inventory):
                        ``prepare`` and per-device ``package_artifact``
 ``repro.service``      fleet-scale deployment: ``DeploymentSession``,
                        artifact cache, fleet reports, telemetry hooks
+``repro.farm``         matrix-scale evaluation: content-addressed job
+                       matrices, a resumable result store, and a
+                       process-pool simulation farm (``eric sweep``)
 ``repro.crypto``       SHA-256, HMAC/KDF, XOR ciphers, AES (from scratch)
 ``repro.puf``          arbiter-PUF model, key generator, metrics
 ``repro.isa``          RV64IM + RVC encode/decode/disassemble
@@ -60,6 +63,15 @@ from repro.errors import (
     PackageFormatError,
     ValidationError,
 )
+from repro.farm import (
+    FarmRecord,
+    FarmReport,
+    JobMatrix,
+    JobSpec,
+    ResultStore,
+    SimParams,
+    SimulationFarm,
+)
 from repro.service import (
     ArtifactCache,
     CacheStats,
@@ -70,13 +82,20 @@ from repro.service import (
     TelemetryEvent,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
     "CompiledArtifact",
     "DeploymentSession",
+    "FarmRecord",
+    "FarmReport",
+    "JobMatrix",
+    "JobSpec",
+    "ResultStore",
+    "SimParams",
+    "SimulationFarm",
     "EncryptionMode",
     "EricConfig",
     "EricCompiler",

@@ -8,7 +8,8 @@ Subcommands::
     eric run      prog.eric               decrypt+validate+run on a device
     eric inspect  prog.eric               parse a package header
     eric disasm   prog.c                  compile and disassemble (plain)
-    eric eval     [table1 ...]            regenerate paper tables/figures
+    eric eval     [fig7 ...] --jobs 4     regenerate paper tables/figures
+    eric sweep    matrix.json --jobs 4    run a simulation-farm matrix
 
 Device identity is simulated: ``--device-seed`` selects the die.  The
 same seed on ``package`` and ``run`` is the happy path; different seeds
@@ -30,11 +31,19 @@ from repro.errors import EricError
 from repro.service.session import DeploymentSession
 
 
+def _load_json(path: str, what: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise EricError(f"{what} {path!r} is not valid JSON: "
+                            f"{exc}") from None
+
+
 def _load_config(path: str | None):
     if path is None:
         return config_from_dict({})
-    with open(path, "r", encoding="utf-8") as handle:
-        return config_from_dict(json.load(handle))
+    return config_from_dict(_load_json(path, "config file"))
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -144,7 +153,30 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     from repro.eval.__main__ import main as eval_main
-    return eval_main(args.experiments)
+
+    argv = list(args.experiments) + ["--jobs", str(args.jobs)]
+    if args.store:
+        argv += ["--store", args.store]
+    if args.force:
+        argv.append("--force")
+    return eval_main(argv)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.farm import JobMatrix, ResultStore, SimulationFarm
+    from repro.service.telemetry import StagePrinter
+
+    matrix = JobMatrix.from_spec(_load_json(args.spec, "sweep spec"))
+    store = None if args.no_store else ResultStore(args.store)
+    farm = SimulationFarm(store=store, jobs=args.jobs)
+    if not args.quiet:
+        farm.on_event(StagePrinter(stages="farm.job"))
+    report = farm.run(matrix, force=args.force)
+    print(report.render())
+    print(report.summary())
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} records)")
+    return 0 if not report.failures else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,7 +231,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("eval", help="regenerate paper tables/figures")
     p.add_argument("experiments", nargs="*",
                    help="table1 table2 fig5 fig6 fig7 (default: all)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="simulation-farm worker processes (default 1)")
+    p.add_argument("--store",
+                   help="farm result store directory to resume from")
+    p.add_argument("--force", action="store_true",
+                   help="re-measure even stored results")
     p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a workload x config x device matrix on the farm")
+    p.add_argument("spec", help="JSON matrix spec (see repro.farm."
+                                "JobMatrix.from_spec)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1)")
+    p.add_argument("--store", default="benchmarks/results/farm",
+                   help="result-store directory "
+                        "(default: benchmarks/results/farm)")
+    p.add_argument("--no-store", action="store_true",
+                   help="measure in-memory; skip and persist nothing")
+    p.add_argument("--force", action="store_true",
+                   help="re-measure (and re-persist) stored keys")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+    p.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -7,20 +7,22 @@ per 16 bits of text when RVC compression is on — the paper's closing
 observation in §IV.A).
 
 The reproduction reports, per workload: plain size, FULL-mode package
-size, PARTIAL-mode package size, and the same with RVC builds.
+size, PARTIAL-mode package size, and the same with RVC builds.  The
+three packaging configurations per workload run as farm jobs
+(``simulate=False`` — sizes need no execution), so a populated result
+store regenerates this figure without compiling anything.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.compiler_driver import EricCompiler
 from repro.core.config import EncryptionMode, EricConfig
-from repro.core.keys import puf_based_key
 from repro.eval.report import format_table
+from repro.farm import JobMatrix, SimParams, SimulationFarm
 from repro.workloads import all_workloads
 
-_EVAL_KEY = puf_based_key(b"eval-device")
+_DEVICE_SEED = 0xE5A1
 
 
 @dataclass
@@ -77,28 +79,41 @@ class Fig5Result:
         return body + "\n" + tail
 
 
-def run(partial_fraction: float = 0.5) -> Fig5Result:
+def matrix(partial_fraction: float = 0.5) -> JobMatrix:
+    """Every workload × (full, partial, RVC-partial); packaging only."""
+    return JobMatrix(
+        workloads=tuple(all_workloads()),
+        configs=(
+            EricConfig(mode=EncryptionMode.FULL),
+            EricConfig(mode=EncryptionMode.PARTIAL,
+                       partial_fraction=partial_fraction),
+            EricConfig(mode=EncryptionMode.PARTIAL,
+                       partial_fraction=partial_fraction, compress=True),
+        ),
+        params=(SimParams(device_seed=_DEVICE_SEED),),
+        simulate=False,
+    )
+
+
+def run(partial_fraction: float = 0.5, *,
+        farm: SimulationFarm | None = None, jobs: int = 1,
+        force: bool = False) -> Fig5Result:
+    farm = farm or SimulationFarm(jobs=jobs)
+    report = farm.run(matrix(partial_fraction), force=force)
+    report.require_ok()
     result = Fig5Result()
-    full_compiler = EricCompiler(EricConfig(mode=EncryptionMode.FULL))
-    partial_compiler = EricCompiler(EricConfig(
-        mode=EncryptionMode.PARTIAL, partial_fraction=partial_fraction))
-    rvc_partial_compiler = EricCompiler(EricConfig(
-        mode=EncryptionMode.PARTIAL, partial_fraction=partial_fraction,
-        compress=True))
-    for name, workload in all_workloads().items():
-        full = full_compiler.compile_and_package(workload.source, _EVAL_KEY,
-                                                 name=name)
-        partial = partial_compiler.compile_and_package(
-            workload.source, _EVAL_KEY, name=name)
-        rvc = rvc_partial_compiler.compile_and_package(
-            workload.source, _EVAL_KEY, name=name)
+    jobs = report.results
+    # matrix order is workload-major: (full, partial, rvc) per workload;
+    # names come from the requesting specs, not the stored records
+    for i in range(0, len(jobs), 3):
+        full, partial, rvc = (job.record for job in jobs[i:i + 3])
         result.rows.append(Fig5Row(
-            name=name,
+            name=jobs[i].spec.display_name,
             plain_size=full.plain_size,
             full_size=full.package_size,
             partial_size=partial.package_size,
-            full_pct=100.0 * full.size_increase_fraction,
-            partial_pct=100.0 * partial.size_increase_fraction,
-            rvc_partial_pct=100.0 * rvc.size_increase_fraction,
+            full_pct=full.size_increase_pct,
+            partial_pct=partial.size_increase_pct,
+            rvc_partial_pct=rvc.size_increase_pct,
         ))
     return result

@@ -14,20 +14,24 @@ SHA-256 throughput (150 MB/s, conservative for the authors' C++
 implementation); the claim under test — a bounded one-time packaging
 cost, roughly proportional to program size, worst case about twice the
 average — is visible in both columns.
+
+Timing measurements are farm jobs (min over ``repeats``), so a
+populated result store replays the figure with the wall times of the
+machine that originally measured it — which is exactly what makes the
+committed ``benchmarks/results/fig6_compile_time.txt`` regenerate
+byte-identically instead of churning on every run.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.core.compiler_driver import EricCompiler
 from repro.core.config import EricConfig
-from repro.core.keys import puf_based_key
 from repro.eval.report import format_table
+from repro.farm import JobMatrix, SimParams, SimulationFarm
 from repro.workloads import all_workloads
 
-_EVAL_KEY = puf_based_key(b"eval-device")
+_DEVICE_SEED = 0xE6A1
 
 #: Conservative native SHA-256 software throughput (bytes/second) used
 #: for the adjusted column.
@@ -96,29 +100,32 @@ class Fig6Result:
         return body + "\n" + tail
 
 
-def run(config: EricConfig | None = None, repeats: int = 5) -> Fig6Result:
-    compiler = EricCompiler(config)
+def matrix(config: EricConfig | None = None,
+           repeats: int = 5) -> JobMatrix:
+    """Every workload, packaging only, min-of-``repeats`` timings."""
+    return JobMatrix(
+        workloads=tuple(all_workloads()),
+        configs=(config or EricConfig(),),
+        params=(SimParams(device_seed=_DEVICE_SEED),),
+        simulate=False,
+        repeats=repeats,
+    )
+
+
+def run(config: EricConfig | None = None, repeats: int = 5, *,
+        farm: SimulationFarm | None = None, jobs: int = 1,
+        force: bool = False) -> Fig6Result:
+    farm = farm or SimulationFarm(jobs=jobs)
+    report = farm.run(matrix(config, repeats), force=force)
+    report.require_ok()
     result = Fig6Result()
-    for name, workload in all_workloads().items():
-        baseline_s = min(
-            compiler.compile_baseline(workload.source, name)[1]
-            for _ in range(repeats)
-        )
-        best = None
-        for _ in range(repeats):
-            start = time.perf_counter()
-            package = compiler.compile_and_package(workload.source,
-                                                   _EVAL_KEY, name=name)
-            elapsed = time.perf_counter() - start
-            if best is None or elapsed < best[0]:
-                best = (elapsed, package)
-        elapsed, package = best
-        signed = len(package.program.text)
-        if compiler.config.sign_data:
-            signed += len(package.program.data)
+    for job in report.results:
+        record = job.record
         result.rows.append(Fig6Row(
-            name=name, baseline_s=baseline_s, eric_s=elapsed,
-            signature_s=package.timings.signature_s,
-            signed_bytes=signed,
+            name=job.spec.display_name,
+            baseline_s=record.baseline_s,
+            eric_s=record.package_total_s,
+            signature_s=record.signature_s,
+            signed_bytes=record.signed_bytes,
         ))
     return result

@@ -6,17 +6,20 @@ size over its dynamic length (the HDE decrypts+verifies once at load).
 
 The reproduction runs every workload twice on the same device model:
 plain (no HDE in the path) and as an ERIC package (HDE cycles + run
-cycles), reporting total-cycle ratios.
+cycles), reporting total-cycle ratios.  Measurements are sourced
+through :mod:`repro.farm`: pass ``jobs=N`` to fan the workloads out
+over worker processes, or a shared ``farm`` to resume from (and add
+to) a persistent result store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.compiler_driver import EricCompiler
 from repro.core.config import EricConfig
-from repro.core.device import Device
+from repro.errors import EricError
 from repro.eval.report import format_table
+from repro.farm import JobMatrix, SimParams, SimulationFarm
 from repro.workloads import all_workloads
 
 _DEVICE_SEED = 0xE7A1
@@ -68,22 +71,36 @@ class Fig7Result:
         return body + "\n" + tail
 
 
-def run(config: EricConfig | None = None,
-        device: Device | None = None) -> Fig7Result:
-    device = device or Device(device_seed=_DEVICE_SEED)
-    compiler = EricCompiler(config)
-    target_key = device.enrollment_key()
+def matrix(config: EricConfig | None = None) -> JobMatrix:
+    """The Fig. 7 job grid: every workload on the Table I device."""
+    return JobMatrix(
+        workloads=tuple(all_workloads()),
+        configs=(config or EricConfig(),),
+        params=(SimParams(device_seed=_DEVICE_SEED),),
+        simulate=True,
+    )
+
+
+def run(config: EricConfig | None = None, *,
+        farm: SimulationFarm | None = None, jobs: int = 1,
+        force: bool = False) -> Fig7Result:
+    farm = farm or SimulationFarm(jobs=jobs)
+    report = farm.run(matrix(config), force=force)
+    report.require_ok()
     result = Fig7Result()
-    for name, workload in all_workloads().items():
-        package = compiler.compile_and_package(workload.source, target_key,
-                                               name=name)
-        plain = device.run_plain(package.program)
-        eric = device.load_and_run(package.package_bytes)
-        assert eric.run.stdout == workload.expected_stdout, name
+    workloads = all_workloads()
+    # identity (name, oracle) comes from the requesting spec: a stored
+    # record may have been measured under another display name
+    for job in report.results:
+        record = job.record
+        expected = workloads[job.spec.workload].expected_stdout
+        if not record.output_ok(expected):
+            raise EricError(f"{job.spec.display_name}: simulated output "
+                            "does not match the workload oracle")
         result.rows.append(Fig7Row(
-            name=name,
-            plain_cycles=plain.counters.cycles,
-            hde_cycles=eric.hde.total_cycles,
-            eric_cycles=eric.total_cycles,
+            name=job.spec.display_name,
+            plain_cycles=record.plain_cycles,
+            hde_cycles=record.hde_cycles,
+            eric_cycles=record.eric_cycles,
         ))
     return result

@@ -1,12 +1,37 @@
-"""Plain-text table rendering for the evaluation harness."""
+"""Plain-text table rendering for the evaluation harness.
+
+Cells may be wrapped in :class:`Volatile` to mark machine-dependent
+wall-clock measurements: a live render (``stable=False``) shows the
+measured number, a stable render replaces it with a fixed placeholder.
+The benchmark suite persists the stable render under
+``benchmarks/results/`` so regenerating results on another machine (or
+the same one, a minute later) produces no spurious diffs.
+"""
 
 from __future__ import annotations
 
 
+class Volatile:
+    """A measured value that must not leak into persisted results."""
+
+    PLACEHOLDER = "~"
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Volatile({self.value!r})"
+
+
 def format_table(headers: list[str], rows: list[list], title: str = "",
-                 ) -> str:
-    """Render an ASCII table; cells are str()-ed, numbers right-aligned."""
-    cells = [[_fmt(value) for value in row] for row in rows]
+                 stable: bool = False) -> str:
+    """Render an ASCII table; cells are str()-ed, numbers right-aligned.
+
+    ``stable=True`` masks :class:`Volatile` cells with a placeholder,
+    yielding byte-identical output across runs when everything else is
+    deterministic.
+    """
+    cells = [[_fmt(value, stable) for value in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in cells:
         for i, cell in enumerate(row):
@@ -32,7 +57,9 @@ def format_table(headers: list[str], rows: list[list], title: str = "",
     return "\n".join(out)
 
 
-def _fmt(value) -> str:
+def _fmt(value, stable: bool = False) -> str:
+    if isinstance(value, Volatile):
+        return Volatile.PLACEHOLDER if stable else _fmt(value.value)
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)

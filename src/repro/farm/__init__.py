@@ -1,0 +1,46 @@
+"""repro.farm — the parallel simulation farm with a persistent store.
+
+Every number the evaluation harness reports is the outcome of running a
+(workload × :class:`~repro.core.config.EricConfig` × SoC-parameter)
+combination on the simulated device.  The farm turns those combinations
+into **content-addressed jobs** (:mod:`repro.farm.spec`), persists each
+measurement as a JSONL record (:mod:`repro.farm.store`), and fans
+un-measured jobs out over worker processes
+(:mod:`repro.farm.executor`).  Re-running any matrix is incremental:
+already-stored keys are served from disk, ``force=True`` re-measures.
+
+    from repro.farm import JobMatrix, ResultStore, SimulationFarm
+
+    matrix = JobMatrix(workloads=("crc32", "fft"))
+    farm = SimulationFarm(store=ResultStore("benchmarks/results/farm"),
+                          jobs=4)
+    report = farm.run(matrix)
+    print(report.summary())   # N jobs -> H store hits, E executed ...
+
+The figure modules (:mod:`repro.eval.fig5`/``fig6``/``fig7``) and the
+ablation benchmarks source their measurements through this subsystem;
+``eric sweep`` exposes it on the command line.
+"""
+
+from repro.farm.executor import (FarmJobResult, FarmReport, SimulationFarm,
+                                 execute_job)
+from repro.farm.spec import (KEY_SCHEMA, PIPELINE_VARIANTS, JobMatrix,
+                             JobSpec, SimParams)
+from repro.farm.store import (DEFAULT_STORE_DIR, STORE_SCHEMA, FarmRecord,
+                              ResultStore)
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "FarmJobResult",
+    "FarmRecord",
+    "FarmReport",
+    "JobMatrix",
+    "JobSpec",
+    "KEY_SCHEMA",
+    "PIPELINE_VARIANTS",
+    "ResultStore",
+    "STORE_SCHEMA",
+    "SimParams",
+    "SimulationFarm",
+    "execute_job",
+]

@@ -1,0 +1,373 @@
+"""SimulationFarm: fan a job matrix out over worker processes.
+
+The MiniC interpreter and the SoC timing loop are pure-Python and
+CPU-bound, so the farm uses a :class:`~concurrent.futures.ProcessPoolExecutor`
+(threads would serialize on the GIL).  ``jobs=1`` runs inline in the
+calling process — the baseline the parallel benchmark compares against,
+and the mode unit tests use.
+
+Per-job failure isolation: a job that raises records an error outcome
+and the rest of the matrix proceeds; failed jobs are never persisted,
+so the next run retries them.  Every completion is emitted to the
+:mod:`repro.service.telemetry` hub (stage ``farm.job``) and to an
+optional ``progress(done, total, result)`` callback.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+
+from repro.core.compiler_driver import EricCompiler, source_digest
+from repro.core.device import Device
+from repro.errors import ConfigError, EricError
+from repro.farm.spec import JobMatrix, JobSpec
+from repro.farm.store import FarmRecord, ResultStore
+from repro.service.telemetry import TelemetryEvent, TelemetryHub
+
+
+def execute_job(spec: JobSpec) -> FarmRecord:
+    """Measure one job, start to finish, in this process.
+
+    This is the farm's worker entry point (top-level so it pickles);
+    it is also a convenient one-job API for tests and notebooks.
+    """
+    spec.validate()
+    start = time.perf_counter()
+    source, expected_stdout = spec.resolve_source()
+    params = spec.params
+    device = Device(device_seed=params.device_seed,
+                    pipeline=params.pipeline_model(),
+                    overlapped_hde=params.overlapped_hde)
+    compiler = EricCompiler(spec.config)
+    target_key = device.enrollment_key()
+
+    baseline_s = min(compiler.compile_baseline(source, spec.display_name)[1]
+                     for _ in range(spec.repeats))
+    best = None
+    for _ in range(spec.repeats):
+        stage_start = time.perf_counter()
+        result = compiler.compile_and_package(source, target_key,
+                                              name=spec.display_name)
+        elapsed = time.perf_counter() - stage_start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    package_total_s, result = best
+    signed_bytes = len(result.program.text)
+    if spec.config.sign_data:
+        signed_bytes += len(result.program.data)
+
+    record = {
+        "key": spec.key(),
+        "name": spec.display_name,
+        "workload": spec.workload,
+        "source_digest": source_digest(source),
+        "config": _config_dict(spec.config),
+        "params": asdict(params),
+        "simulate": spec.simulate,
+        "analyze": spec.analyze,
+        "repeats": spec.repeats,
+        "plain_size": result.plain_size,
+        "package_size": result.package_size,
+        "signed_bytes": signed_bytes,
+        "baseline_s": baseline_s,
+        "package_total_s": package_total_s,
+        "compile_s": result.timings.compile_s,
+        "signature_s": result.timings.signature_s,
+        "encryption_s": result.timings.encryption_s,
+        "packaging_s": result.timings.packaging_s,
+    }
+
+    if spec.simulate:
+        plain = device.run_plain(result.program,
+                                 max_instructions=params.max_instructions)
+        eric = device.load_and_run(result.package_bytes,
+                                   max_instructions=params.max_instructions)
+        record.update(
+            plain_cycles=plain.counters.cycles,
+            hde_cycles=eric.hde.total_cycles,
+            eric_cycles=eric.total_cycles,
+            stdout_ok=(None if expected_stdout is None
+                       else eric.run.stdout == expected_stdout),
+            plain_run=plain.to_record(),
+            eric_run=eric.run.to_record(),
+            hde=asdict(eric.hde),
+        )
+
+    if spec.analyze:
+        from repro.net.static_attacker import analyze_blob
+        report = analyze_blob(result.package.enc_text)
+        record["analysis"] = {
+            "enc_slots": result.encrypted.enc_map.encrypted_count,
+            "decode_fraction": report.valid_decode_fraction,
+            "byte_entropy": report.byte_entropy_bits,
+            "looks_like_code": report.looks_like_code,
+        }
+
+    record["wall_s"] = time.perf_counter() - start
+    return FarmRecord(**record)
+
+
+def _config_dict(config) -> dict:
+    from repro.core.interface import config_to_dict
+    return config_to_dict(config)
+
+
+def _execute_safe(spec: JobSpec) -> tuple[FarmRecord | None, str | None]:
+    """Worker wrapper: never raises on job errors, returns
+    (record, error).  KeyboardInterrupt/SystemExit still propagate — an
+    interactive abort must stop the sweep, not count as a job failure."""
+    try:
+        return execute_job(spec), None
+    except Exception as exc:  # noqa: BLE001 — isolation boundary
+        tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return None, tail
+
+
+@dataclass(frozen=True)
+class FarmJobResult:
+    """One matrix slot's outcome, in submission order."""
+
+    spec: JobSpec
+    record: FarmRecord | None
+    error: str | None
+    from_store: bool
+    wall_s: float
+    #: True when this slot shares the outcome of an identical job
+    #: earlier in the same matrix (deduplicated, not executed)
+    shared: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class FarmReport:
+    """Aggregate of one farm run over a matrix."""
+
+    results: tuple[FarmJobResult, ...]
+    wall_s: float
+    jobs: int
+    store_path: str | None
+
+    @property
+    def records(self) -> tuple[FarmRecord, ...]:
+        """Successful records, aligned with matrix submission order."""
+        return tuple(r.record for r in self.results if r.record is not None)
+
+    @property
+    def failures(self) -> tuple[FarmJobResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+    @property
+    def hits(self) -> int:
+        """Jobs served straight from the result store."""
+        return sum(1 for r in self.results if r.from_store)
+
+    @property
+    def executed(self) -> int:
+        """Jobs this run actually measured (compiled and, for
+        simulate=True specs, simulated)."""
+        return sum(1 for r in self.results
+                   if r.ok and not r.from_store and not r.shared)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / len(self.results) if self.results else 0.0
+
+    @property
+    def total_eric_cycles(self) -> int:
+        return sum(r.eric_cycles or 0 for r in self.records)
+
+    @property
+    def measured_wall_s(self) -> float:
+        """Simulation time this run paid (store hits cost ~nothing)."""
+        return sum(r.wall_s for r in self.results if not r.from_store)
+
+    def require_ok(self) -> None:
+        if self.failures:
+            lines = [f"{f.spec.display_name}: {f.error}"
+                     for f in self.failures]
+            raise EricError(
+                f"{len(self.failures)} farm job(s) failed: "
+                + "; ".join(lines))
+
+    def summary(self) -> str:
+        return (f"farm: {len(self.results)} jobs -> {self.hits} store "
+                f"hits, {self.executed} executed, {len(self.failures)} "
+                f"failed in {self.wall_s * 1e3:.1f} ms "
+                f"(hit rate {self.hit_rate:.0%}, jobs={self.jobs})")
+
+    def render(self) -> str:
+        """Sorted per-job table (stable across runs for stable stores)."""
+        # local import: repro.eval pulls in the fig modules, which in
+        # turn import repro.farm — a cycle at module-import time
+        from repro.eval.report import format_table
+
+        rows = []
+        for result in sorted(
+                self.results,
+                key=lambda r: (r.spec.display_name,
+                               r.spec.config.mode.value,
+                               r.spec.params.pipeline,
+                               r.spec.params.device_seed,
+                               r.spec.key())):
+            spec, record = result.spec, result.record
+            status = ("hit" if result.from_store
+                      else "ok" if result.ok else "FAILED")
+            rows.append([
+                spec.display_name,
+                spec.config.mode.value,
+                spec.params.pipeline,
+                f"{spec.params.device_seed:#x}",
+                record.package_size if record else "-",
+                (record.eric_cycles
+                 if record and record.eric_cycles is not None else "-"),
+                status,
+            ])
+        return format_table(
+            ["job", "mode", "pipeline", "seed", "package B",
+             "ERIC cycles", "status"],
+            rows, title="Simulation-farm sweep")
+
+
+class SimulationFarm:
+    """Executes job matrices against a result store.
+
+    Args:
+        store: persistent record store; None measures everything
+            in-memory (nothing skipped, nothing persisted).
+        jobs: worker processes; 1 = inline in this process.
+        telemetry: optional initial telemetry sink.
+        progress: optional ``callback(done, total, result)`` fired once
+            per job as outcomes land (store hits first).
+    """
+
+    def __init__(self, store: ResultStore | None = None, jobs: int = 1,
+                 telemetry=None, progress=None) -> None:
+        if jobs < 1:
+            raise ConfigError("jobs must be at least 1")
+        self.store = store
+        self.jobs = jobs
+        self.progress = progress
+        self._telemetry = TelemetryHub()
+        if telemetry is not None:
+            self._telemetry.add(telemetry)
+
+    def on_event(self, sink) -> None:
+        """Register a telemetry sink (see repro.service.telemetry)."""
+        self._telemetry.add(sink)
+
+    def run(self, matrix: JobMatrix | tuple[JobSpec, ...] | list[JobSpec],
+            force: bool = False) -> FarmReport:
+        """Measure every job of ``matrix``, resuming from the store.
+
+        ``force`` re-measures (and re-persists) even stored keys.
+        Duplicate keys inside one matrix execute once and share the
+        record.  Results keep matrix submission order.
+        """
+        specs = (matrix.jobs() if isinstance(matrix, JobMatrix)
+                 else tuple(s.validate() for s in matrix))
+        if not specs:
+            raise ConfigError("nothing to run: empty job list")
+        start = time.perf_counter()
+        keys = [spec.key() for spec in specs]
+        results: list[FarmJobResult | None] = [None] * len(specs)
+        total = len(specs)
+        done = 0
+
+        # -- phase 1: serve store hits ------------------------------------
+        pending: list[int] = []
+        first_index: dict[str, int] = {}
+        followers: dict[int, int] = {}  # duplicate slot -> executing slot
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            record = None if (force or self.store is None) \
+                else self.store.get(key)
+            if record is not None:
+                results[i] = FarmJobResult(spec=spec, record=record,
+                                           error=None, from_store=True,
+                                           wall_s=0.0)
+                done += 1
+                self._announce(done, total, results[i])
+            elif key in first_index:
+                followers[i] = first_index[key]
+            else:
+                first_index[key] = i
+                pending.append(i)
+
+        # -- phase 2: execute the rest ------------------------------------
+        for i, record, error, wall_s in self._execute(specs, pending):
+            if record is not None and self.store is not None:
+                self.store.put(record)
+            results[i] = FarmJobResult(spec=specs[i], record=record,
+                                       error=error, from_store=False,
+                                       wall_s=wall_s)
+            done += 1
+            self._announce(done, total, results[i])
+
+        # -- phase 3: duplicates share the executing slot's outcome -------
+        for i, leader in followers.items():
+            outcome = results[leader]
+            results[i] = FarmJobResult(spec=specs[i], record=outcome.record,
+                                       error=outcome.error,
+                                       from_store=outcome.from_store,
+                                       wall_s=0.0, shared=True)
+            done += 1
+            self._announce(done, total, results[i])
+
+        wall_s = time.perf_counter() - start
+        report = FarmReport(
+            results=tuple(results), wall_s=wall_s, jobs=self.jobs,
+            store_path=str(self.store.path) if self.store else None)
+        self._telemetry.emit(TelemetryEvent(
+            stage="farm.sweep", seconds=wall_s, ok=not report.failures,
+            detail=(f"{report.hits} hits / {report.executed} executed / "
+                    f"{len(report.failures)} failed")))
+        return report
+
+    def _execute(self, specs, pending):
+        """Yield (index, record, error, wall_s) as pending jobs finish."""
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            for i in pending:
+                job_start = time.perf_counter()
+                record, error = _execute_safe(specs[i])
+                yield i, record, error, time.perf_counter() - job_start
+            return
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            submitted = {}
+            started = {}
+            for i in pending:
+                started[i] = time.perf_counter()
+                submitted[pool.submit(_execute_safe, specs[i])] = i
+            outstanding = set(submitted)
+            while outstanding:
+                finished, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = submitted[future]
+                    wall_s = time.perf_counter() - started[i]
+                    try:
+                        record, error = future.result()
+                    except Exception as exc:  # pool/pickle failure
+                        record, error = None, (
+                            f"{type(exc).__name__}: {exc}")
+                    yield i, record, error, wall_s
+
+    def _announce(self, done: int, total: int,
+                  result: FarmJobResult) -> None:
+        self._telemetry.emit(TelemetryEvent(
+            stage="farm.job", seconds=result.wall_s,
+            program=result.spec.display_name, ok=result.ok,
+            detail=("store hit" if result.from_store
+                    else result.error or "executed")))
+        if self.progress is not None:
+            try:
+                self.progress(done, total, result)
+            except Exception:
+                pass  # progress hooks must never break a sweep

@@ -1,0 +1,284 @@
+"""Job specifications for the simulation farm.
+
+A :class:`JobSpec` names one workload × :class:`EricConfig` ×
+SoC-parameter combination and derives a **content-addressed key** from
+exactly the inputs that determine its measurement: the source text, the
+packaging configuration, the simulation parameters, and the measurement
+shape (simulate/analyze/repeats).  Two specs with the same key measure
+the same thing, so the :class:`~repro.farm.store.ResultStore` can serve
+one's record for the other — across processes, sessions, and matrix
+definitions.
+
+:class:`JobMatrix` expands workload/config/parameter grids into a
+deterministic, sorted job list; ``JobMatrix.from_spec`` parses the small
+JSON dialect the ``eric sweep`` command reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from itertools import product
+
+from repro.core.config import EricConfig
+from repro.core.interface import config_from_dict, config_to_dict
+from repro.errors import ConfigError
+from repro.soc.pipeline import PipelineModel
+
+#: Bumped whenever key-relevant semantics change (timing model, record
+#: schema): old store entries then simply stop matching instead of
+#: serving stale measurements.
+KEY_SCHEMA = 1
+
+#: Named SoC pipeline variants a job may select.  Names (not
+#: :class:`PipelineModel` instances) travel in :class:`SimParams` so
+#: specs stay JSON-serializable and hash stably.
+PIPELINE_VARIANTS: dict[str, PipelineModel] = {
+    "default": PipelineModel(),
+    "slow-divider": PipelineModel(div_latency=64, div32_latency=32),
+    "fast-memory": PipelineModel(miss_penalty=8),
+    "slow-memory": PipelineModel(miss_penalty=60),
+    "costly-flush": PipelineModel(flush_penalty=4),
+}
+
+
+def _registry():
+    # Imported lazily: repro.workloads pulls in every workload source.
+    from repro.workloads import all_workloads
+    return all_workloads()
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Device/SoC-side knobs of one simulation (the matrix's third axis).
+
+    Attributes:
+        device_seed: selects the die (PUF identity and therefore key).
+        pipeline: a :data:`PIPELINE_VARIANTS` name.
+        overlapped_hde: run the HDE decrypt/signature units overlapped.
+        max_instructions: simulator instruction budget.
+    """
+
+    device_seed: int = 0xFA53
+    pipeline: str = "default"
+    overlapped_hde: bool = False
+    max_instructions: int = 20_000_000
+
+    def validate(self) -> "SimParams":
+        if not isinstance(self.device_seed, int) \
+                or isinstance(self.device_seed, bool):
+            raise ConfigError(
+                f"device_seed must be an integer, got "
+                f"{self.device_seed!r}")
+        if self.pipeline not in PIPELINE_VARIANTS:
+            raise ConfigError(
+                f"unknown pipeline variant {self.pipeline!r}; "
+                f"available: {sorted(PIPELINE_VARIANTS)}")
+        if self.max_instructions < 1:
+            raise ConfigError("max_instructions must be positive")
+        return self
+
+    def pipeline_model(self) -> PipelineModel:
+        return PIPELINE_VARIANTS[self.pipeline]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One farm job: measure a (program, config, device) combination.
+
+    Exactly one of ``workload`` (a registry name) or ``source`` (inline
+    MiniC text) must be set.  ``name`` is display-only and deliberately
+    excluded from the job key: renaming a job must not re-measure it.
+
+    ``simulate=False`` jobs stop after packaging (enough for the size
+    and compile-time figures); ``analyze=True`` additionally runs the
+    static attacker over the ciphertext and records its metrics.
+    ``repeats`` re-runs the timed compile+package stages and keeps the
+    minimum (the Fig. 6 protocol).
+    """
+
+    workload: str | None = None
+    source: str | None = None
+    name: str | None = None
+    config: EricConfig = EricConfig()
+    params: SimParams = SimParams()
+    simulate: bool = True
+    analyze: bool = False
+    repeats: int = 1
+
+    def validate(self) -> "JobSpec":
+        if (self.workload is None) == (self.source is None):
+            raise ConfigError(
+                "a JobSpec needs exactly one of workload= or source=")
+        if self.workload is not None and self.workload not in _registry():
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; "
+                f"available: {sorted(_registry())}")
+        if self.repeats < 1:
+            raise ConfigError("repeats must be at least 1")
+        self.config.validate()
+        self.params.validate()
+        return self
+
+    @property
+    def display_name(self) -> str:
+        return self.name or self.workload or "program"
+
+    def resolve_source(self) -> tuple[str, str | None]:
+        """The MiniC text and, for registry workloads, the exact
+        expected stdout (the oracle the record's ``stdout_ok`` checks)."""
+        if self.workload is not None:
+            workload = _registry()[self.workload]
+            return workload.source, workload.expected_stdout
+        return self.source, None
+
+    def key(self) -> str:
+        """Content address of this measurement (SHA-256 hex).
+
+        Covers everything the outcome depends on — and nothing else:
+        ``name`` is cosmetic, and a registry workload hashes identically
+        to the same source passed inline.
+        """
+        source, _ = self.resolve_source()
+        payload = {
+            "schema": KEY_SCHEMA,
+            "source": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            "config": config_to_dict(self.config),
+            "params": asdict(self.params),
+            "simulate": self.simulate,
+            "analyze": self.analyze,
+            "repeats": self.repeats,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobMatrix:
+    """A workload × config × parameter grid, expanded deterministically.
+
+    ``jobs()`` is workload-major (all configs and parameter sets of one
+    program are adjacent) and stable across runs — the expansion order
+    is part of the farm's reporting contract.
+    """
+
+    workloads: tuple[str, ...] = ()
+    #: inline programs as (name, source) pairs
+    programs: tuple[tuple[str, str], ...] = ()
+    configs: tuple[EricConfig, ...] = (EricConfig(),)
+    params: tuple[SimParams, ...] = (SimParams(),)
+    simulate: bool = True
+    analyze: bool = False
+    repeats: int = 1
+
+    def jobs(self) -> tuple[JobSpec, ...]:
+        if not self.workloads and not self.programs:
+            raise ConfigError("empty matrix: no workloads or programs")
+        if not self.configs or not self.params:
+            raise ConfigError("empty matrix: no configs or params")
+        specs = []
+        named: list[tuple[str, str | None, str | None]] = (
+            [(name, name, None) for name in self.workloads]
+            + [(name, None, source) for name, source in self.programs])
+        for (name, workload, source), config, params in product(
+                named, self.configs, self.params):
+            specs.append(JobSpec(
+                workload=workload, source=source, name=name,
+                config=config, params=params, simulate=self.simulate,
+                analyze=self.analyze, repeats=self.repeats).validate())
+        return tuple(specs)
+
+    @property
+    def job_count(self) -> int:
+        return ((len(self.workloads) + len(self.programs))
+                * len(self.configs) * len(self.params))
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "JobMatrix":
+        """Parse the ``eric sweep`` JSON dialect.
+
+        ::
+
+            {
+              "workloads": ["crc32", "fft"],
+              "programs": [{"name": "hello", "source": "int main() ..."}],
+              "configs": [{}, {"mode": "partial", "partial_fraction": 0.25}],
+              "device_seeds": [64083],
+              "pipelines": ["default"],
+              "overlapped_hde": false,
+              "max_instructions": 20000000,
+              "simulate": true,
+              "analyze": false,
+              "repeats": 1
+            }
+
+        Every key is optional except at least one of
+        ``workloads``/``programs``.  ``configs`` entries use the same
+        schema as ``eric describe --config`` files.
+        """
+        known = {"workloads", "programs", "configs", "device_seeds",
+                 "pipelines", "overlapped_hde", "max_instructions",
+                 "simulate", "analyze", "repeats"}
+        if not isinstance(spec, dict):
+            raise ConfigError("sweep spec must be a JSON object")
+        unknown = set(spec) - known
+        if unknown:
+            raise ConfigError(f"unknown sweep keys {sorted(unknown)}; "
+                              f"known: {sorted(known)}")
+        programs = []
+        for entry in spec.get("programs", []):
+            if (not isinstance(entry, dict)
+                    or set(entry) != {"name", "source"}):
+                raise ConfigError(
+                    'each program needs exactly {"name": ..., "source": ...}')
+            programs.append((entry["name"], entry["source"]))
+        configs = tuple(config_from_dict(options)
+                        for options in spec.get("configs", [{}]))
+        params = tuple(
+            SimParams(
+                device_seed=seed, pipeline=pipeline,
+                overlapped_hde=bool(spec.get("overlapped_hde", False)),
+                max_instructions=_int_option(spec, "max_instructions",
+                                             20_000_000),
+            ).validate()
+            for seed, pipeline in product(
+                [_parse_seed(seed)
+                 for seed in spec.get("device_seeds",
+                                      [SimParams.device_seed])],
+                spec.get("pipelines", ["default"]))
+        )
+        matrix = cls(
+            workloads=tuple(spec.get("workloads", ())),
+            programs=tuple(programs),
+            configs=configs,
+            params=params,
+            simulate=bool(spec.get("simulate", True)),
+            analyze=bool(spec.get("analyze", False)),
+            repeats=_int_option(spec, "repeats", 1),
+        )
+        matrix.jobs()  # validates workload names, fractions, emptiness
+        return matrix
+
+
+def _parse_seed(seed) -> int:
+    """Accept JSON integers and "0x…" strings (JSON has no hex)."""
+    if isinstance(seed, bool):
+        raise ConfigError(f"device_seeds entries must be integers, "
+                          f"got {seed!r}")
+    if isinstance(seed, int):
+        return seed
+    if isinstance(seed, str):
+        try:
+            return int(seed, 0)
+        except ValueError:
+            pass
+    raise ConfigError(f"device_seeds entries must be integers or "
+                      f"0x-strings, got {seed!r}")
+
+
+def _int_option(spec: dict, key: str, default: int) -> int:
+    value = spec.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigError(f"{key} must be an integer, got {value!r}")
+    return value

@@ -42,6 +42,31 @@ class RecordingTelemetry:
 
 
 @dataclass
+class StagePrinter:
+    """A sink that renders events as one-line progress messages.
+
+    Used by ``eric sweep`` to narrate farm jobs as they land; any
+    emitter (deployment sessions, the simulation farm) can share it.
+    ``stages`` limits output to a stage prefix (e.g. ``"farm."``).
+    """
+
+    stream: object = None  # default: sys.stdout at call time
+    stages: str = ""
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        import sys
+
+        if self.stages and not event.stage.startswith(self.stages):
+            return
+        stream = self.stream if self.stream is not None else sys.stdout
+        subject = f" {event.program}" if event.program else ""
+        detail = f": {event.detail}" if event.detail else ""
+        flag = "" if event.ok else " [FAILED]"
+        print(f"  [{event.stage}]{subject}{detail} "
+              f"({event.seconds * 1e3:.1f} ms){flag}", file=stream)
+
+
+@dataclass
 class TelemetryHub:
     """Fan-out to zero or more sinks; failures in sinks are isolated."""
 

@@ -9,7 +9,7 @@ this structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -41,6 +41,13 @@ class PerfCounters:
     @property
     def cpi(self) -> float:
         return self.cycles / self.instret if self.instret else 0.0
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "PerfCounters":
+        """Rebuild counters from a :meth:`snapshot` dict (farm records);
+        ``cpi`` is derived, unknown keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in snapshot.items() if k in known})
 
     def snapshot(self) -> dict:
         """Plain-dict view (stable keys; used by reports and attackers)."""

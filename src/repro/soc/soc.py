@@ -66,6 +66,31 @@ class RunResult:
         """Seconds this run would take at the prototype's clock."""
         return self.counters.cycles / (mhz * 1e6)
 
+    def to_record(self, include_mix: bool = False) -> dict:
+        """JSON-safe view for the simulation-farm result store.
+
+        The console survives as latin-1 text (byte-transparent, like
+        :attr:`stdout`); the per-mnemonic mix is opt-in because it can
+        dwarf the rest of the record.
+        """
+        record = {
+            "exit_code": self.exit_code,
+            "console": self.console.decode("latin-1"),
+            "counters": self.counters.snapshot(),
+        }
+        if include_mix:
+            record["mix"] = dict(self.counters.mix)
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_record` output."""
+        counters = PerfCounters.from_snapshot(record["counters"])
+        counters.mix = dict(record.get("mix", {}))
+        return cls(exit_code=record["exit_code"],
+                   console=record["console"].encode("latin-1"),
+                   counters=counters)
+
 
 class RocketLikeSoC:
     """In-order RV64IM(+RVC) SoC with L1 caches and a timing model."""

@@ -1,0 +1,136 @@
+"""Job keys and matrix expansion: the farm's content-addressing layer."""
+
+import pytest
+
+from repro.core.config import EncryptionMode, EricConfig
+from repro.errors import ConfigError
+from repro.farm import PIPELINE_VARIANTS, JobMatrix, JobSpec, SimParams
+from repro.workloads import get_workload
+
+HELLO = "int main() { print_int(7); return 0; }\n"
+
+
+class TestJobKeys:
+    def test_key_is_stable(self):
+        spec = JobSpec(workload="crc32")
+        assert spec.key() == spec.key()
+        assert spec.key() == JobSpec(workload="crc32").key()
+
+    def test_key_ignores_display_name(self):
+        # renaming a job must not invalidate its stored measurement
+        a = JobSpec(workload="crc32", name="a")
+        b = JobSpec(workload="crc32", name="b")
+        assert a.key() == b.key()
+
+    def test_inline_source_matches_registry_workload(self):
+        by_name = JobSpec(workload="crc32")
+        inline = JobSpec(source=get_workload("crc32").source, name="x")
+        assert by_name.key() == inline.key()
+
+    def test_key_covers_every_measurement_input(self):
+        base = JobSpec(workload="crc32")
+        variants = [
+            JobSpec(workload="fft"),
+            JobSpec(workload="crc32",
+                    config=EricConfig(mode=EncryptionMode.PARTIAL)),
+            JobSpec(workload="crc32",
+                    params=SimParams(device_seed=0xBEEF)),
+            JobSpec(workload="crc32",
+                    params=SimParams(pipeline="slow-memory")),
+            JobSpec(workload="crc32", simulate=False),
+            JobSpec(workload="crc32", analyze=True),
+            JobSpec(workload="crc32", repeats=3),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ConfigError):
+            JobSpec().validate()  # neither workload nor source
+        with pytest.raises(ConfigError):
+            JobSpec(workload="crc32", source=HELLO).validate()  # both
+        with pytest.raises(ConfigError):
+            JobSpec(workload="no-such-workload").validate()
+        with pytest.raises(ConfigError):
+            JobSpec(workload="crc32", repeats=0).validate()
+        with pytest.raises(ConfigError):
+            JobSpec(workload="crc32",
+                    params=SimParams(pipeline="warp-speed")).validate()
+
+    def test_oracle_resolution(self):
+        source, expected = JobSpec(workload="crc32").resolve_source()
+        assert expected == get_workload("crc32").expected_stdout
+        source, expected = JobSpec(source=HELLO).resolve_source()
+        assert expected is None and source == HELLO
+
+
+class TestJobMatrix:
+    def test_expansion_is_workload_major_and_deterministic(self):
+        matrix = JobMatrix(
+            workloads=("crc32", "fft"),
+            configs=(EricConfig(),
+                     EricConfig(mode=EncryptionMode.PARTIAL)),
+            params=(SimParams(), SimParams(device_seed=1)),
+        )
+        jobs = matrix.jobs()
+        assert len(jobs) == matrix.job_count == 8
+        assert [j.display_name for j in jobs[:4]] == ["crc32"] * 4
+        assert jobs == matrix.jobs()  # stable expansion
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigError):
+            JobMatrix().jobs()
+        with pytest.raises(ConfigError):
+            JobMatrix(workloads=("crc32",), configs=()).jobs()
+
+    def test_from_spec_full_dialect(self):
+        matrix = JobMatrix.from_spec({
+            "workloads": ["crc32"],
+            "programs": [{"name": "hello", "source": HELLO}],
+            "configs": [{}, {"mode": "partial", "partial_fraction": 0.25}],
+            "device_seeds": [16, 17],
+            "pipelines": ["default", "slow-memory"],
+            "simulate": False,
+            "repeats": 2,
+        })
+        jobs = matrix.jobs()
+        assert len(jobs) == 2 * 2 * (2 * 2)
+        assert not jobs[0].simulate
+        assert jobs[0].repeats == 2
+        seeds = {j.params.device_seed for j in jobs}
+        assert seeds == {16, 17}
+
+    def test_from_spec_accepts_hex_seed_strings(self):
+        # JSON has no hex literals; "0x10" is the natural spelling
+        matrix = JobMatrix.from_spec({"workloads": ["crc32"],
+                                      "device_seeds": ["0x10", 17]})
+        assert {j.params.device_seed for j in matrix.jobs()} == {16, 17}
+
+    def test_from_spec_rejects_non_integer_seeds(self):
+        for bad in [1.5, True, None, "seventeen", [16]]:
+            with pytest.raises(ConfigError):
+                JobMatrix.from_spec({"workloads": ["crc32"],
+                                     "device_seeds": [bad]})
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec({"workloads": ["crc32"],
+                                 "repeats": "many"})
+
+    def test_from_spec_rejects_junk(self):
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec({"workload": ["crc32"]})  # typo'd key
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec({"workloads": ["nope"]})
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec({"workloads": ["crc32"],
+                                 "pipelines": ["warp"]})
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec({"programs": [{"name": "x"}]})
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec({"workloads": ["crc32"],
+                                 "configs": [{"mode": "nonsense"}]})
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec([])  # not an object
+
+    def test_pipeline_variants_cover_the_ablation(self):
+        assert {"default", "slow-divider", "fast-memory", "slow-memory",
+                "costly-flush"} <= set(PIPELINE_VARIANTS)

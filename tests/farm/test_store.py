@@ -1,0 +1,103 @@
+"""ResultStore: JSONL persistence, resumability, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.farm import STORE_SCHEMA, FarmRecord, ResultStore
+
+
+def _record(key: str, **overrides) -> FarmRecord:
+    base = dict(
+        key=key, name="toy", workload=None, source_digest="d" * 64,
+        config={"mode": "full"}, params={"device_seed": 1},
+        simulate=True, analyze=False, repeats=1,
+        plain_size=100, package_size=153, signed_bytes=96,
+        baseline_s=0.01, package_total_s=0.02, compile_s=0.01,
+        signature_s=0.004, encryption_s=0.003, packaging_s=0.001,
+        plain_cycles=1000, hde_cycles=50, eric_cycles=1050,
+        stdout_ok=True,
+    )
+    base.update(overrides)
+    return FarmRecord(**base)
+
+
+class TestRoundTrip:
+    def test_put_get_and_reload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = _record("k1")
+        store.put(record)
+        assert store.get("k1") == record
+        assert "k1" in store
+
+        # a fresh instance reads the same file — the resume path
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.get("k1") == record
+
+    def test_json_round_trip_preserves_optional_fields(self):
+        record = _record("k2", analysis={"enc_slots": 3},
+                         eric_run={"exit_code": 0, "console": "hi\n",
+                                   "counters": {"cycles": 1050}})
+        assert FarmRecord.from_json(record.to_json()) == record
+
+    def test_missing_directory_is_created(self, tmp_path):
+        store = ResultStore(tmp_path / "a" / "b")
+        store.put(_record("k"))
+        assert (tmp_path / "a" / "b" / "results.jsonl").exists()
+
+
+class TestRobustness:
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_record("good"))
+        with store.path.open("a") as handle:
+            handle.write('{"truncated": \n')
+            handle.write("not json at all\n")
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.skipped_lines == 2
+
+    def test_schema_mismatch_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        old = json.loads(_record("old-schema").to_json())
+        old["schema"] = STORE_SCHEMA + 1
+        with store.path.open("a") as handle:
+            handle.write(json.dumps(old) + "\n")
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("old-schema") is None
+        assert reloaded.skipped_lines == 1
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_record("k", eric_cycles=1050))
+        store.put(_record("k", eric_cycles=2222))  # a --force re-measure
+        assert store.get("k").eric_cycles == 2222
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("k").eric_cycles == 2222
+        assert len(reloaded) == 1
+
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_record("k", eric_cycles=1))
+        store.put(_record("k", eric_cycles=2))
+        store.put(_record("j"))
+        assert store.compact() == 2
+        text = store.path.read_text().strip().splitlines()
+        assert len(text) == 2
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("k").eric_cycles == 2
+
+
+class TestRecordViews:
+    def test_overhead_pct(self):
+        assert _record("k").overhead_pct == pytest.approx(5.0)
+
+    def test_overhead_requires_simulation(self):
+        record = _record("k", plain_cycles=None, hde_cycles=None,
+                         eric_cycles=None, stdout_ok=None)
+        with pytest.raises(ValueError):
+            record.overhead_pct
+
+    def test_size_increase_pct(self):
+        assert _record("k").size_increase_pct == 53.0

@@ -1,0 +1,145 @@
+"""ArtifactCache single-flight semantics under real thread contention.
+
+The fleet-deployment claim rests on "N concurrent deploys of one
+program compile exactly once".  These tests drive the cache with real
+threads released through a barrier so every worker is in-flight at
+once, and count actual ``build`` invocations.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import EricConfig
+from repro.service.cache import ArtifactCache
+
+N_THREADS = 8
+
+
+class _CountingBuild:
+    """A slow build that records every invocation and its thread."""
+
+    def __init__(self, result="artifact", delay_s=0.05, fail_first=0):
+        self.result = result
+        self.delay_s = delay_s
+        self.calls = 0
+        self.failures_left = fail_first
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            self.calls += 1
+            fail = self.failures_left > 0
+            if fail:
+                self.failures_left -= 1
+        # sleep outside the lock: all waiters must genuinely overlap
+        time.sleep(self.delay_s)
+        if fail:
+            raise RuntimeError("transient build failure")
+        return self.result
+
+
+def _race(cache, key_args, build, n_threads=N_THREADS):
+    """Release n threads at once against one key; collect outcomes."""
+    barrier = threading.Barrier(n_threads)
+    outcomes = [None] * n_threads
+
+    def worker(slot):
+        barrier.wait()
+        try:
+            outcomes[slot] = ("ok", cache.get_or_build(*key_args, build))
+        except Exception as exc:  # noqa: BLE001 — recorded for asserts
+            outcomes[slot] = ("error", exc)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
+
+
+def test_contended_uncached_key_builds_exactly_once():
+    cache = ArtifactCache()
+    build = _CountingBuild()
+    outcomes = _race(cache, ("digest", "prog", EricConfig()), build)
+
+    assert build.calls == 1
+    assert all(status == "ok" for status, _ in outcomes)
+    assert all(value is build.result for _, value in outcomes)
+    stats = cache.stats
+    assert stats.misses == 1
+    assert stats.hits == N_THREADS - 1
+    assert stats.lookups == N_THREADS
+
+
+def test_distinct_keys_build_concurrently_once_each():
+    cache = ArtifactCache()
+    configs = [EricConfig(selection_seed=i) for i in range(4)]
+    builds = [_CountingBuild(result=i) for i in range(4)]
+    barrier = threading.Barrier(4 * 3)
+    results = []
+    results_lock = threading.Lock()
+
+    def worker(i):
+        barrier.wait()
+        value = cache.get_or_build("digest", "prog", configs[i], builds[i])
+        with results_lock:
+            results.append((i, value))
+
+    threads = [threading.Thread(target=worker, args=(i % 4,))
+               for i in range(4 * 3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert [b.calls for b in builds] == [1, 1, 1, 1]
+    assert all(value == i for i, value in results)
+    assert cache.stats.misses == 4
+    assert cache.stats.hits == 4 * 3 - 4
+
+
+def test_failed_build_releases_waiters_to_retry():
+    """One transient failure must not poison the key: whichever waiter
+    takes over retries, and the whole race converges on one success."""
+    cache = ArtifactCache()
+    build = _CountingBuild(fail_first=1)
+    outcomes = _race(cache, ("digest", "prog", EricConfig()), build)
+
+    errors = [value for status, value in outcomes if status == "error"]
+    successes = [value for status, value in outcomes if status == "ok"]
+    # exactly one thread observed the injected failure...
+    assert len(errors) == 1
+    assert isinstance(errors[0], RuntimeError)
+    # ...everyone else got the artifact from exactly one retry build
+    assert build.calls == 2
+    assert all(value is build.result for value in successes)
+    assert cache.stats.misses == 1
+
+    # and the key is healthy afterwards: pure cache hit, no new build
+    assert cache.get_or_build("digest", "prog", EricConfig(),
+                              build) is build.result
+    assert build.calls == 2
+
+
+def test_sequential_hits_after_the_race():
+    cache = ArtifactCache()
+    build = _CountingBuild(delay_s=0.0)
+    _race(cache, ("digest", "prog", EricConfig()), build)
+    for _ in range(3):
+        assert cache.get_or_build("digest", "prog", EricConfig(),
+                                  build) is build.result
+    assert build.calls == 1
+
+
+@pytest.mark.parametrize("n_threads", [2, 16])
+def test_single_flight_at_other_contention_levels(n_threads):
+    cache = ArtifactCache()
+    build = _CountingBuild(delay_s=0.02)
+    outcomes = _race(cache, ("digest", "prog", EricConfig()), build,
+                     n_threads=n_threads)
+    assert build.calls == 1
+    assert all(status == "ok" for status, _ in outcomes)

@@ -78,6 +78,80 @@ class TestFleetCommand:
         assert "2/2 devices ok" in out
 
 
+class TestSweepCommand:
+    SPEC = {
+        "programs": [
+            {"name": "hello", "source": SOURCE},
+            {"name": "answer",
+             "source": "int main() { print_int(42); return 0; }\n"},
+        ],
+        "configs": [{}, {"mode": "partial", "partial_fraction": 0.25}],
+    }
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_sweep_then_resume_hits_everything(self, spec_file, tmp_path,
+                                               capsys):
+        store = str(tmp_path / "farm")
+        assert main(["sweep", spec_file, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs -> 0 store hits, 4 executed" in out
+        assert "results.jsonl (4 records)" in out
+
+        # the acceptance criterion: a repeated sweep simulates nothing
+        assert main(["sweep", spec_file, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs -> 4 store hits, 0 executed" in out
+        assert "hit rate 100%" in out
+
+    def test_sweep_force_re_measures(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "farm")
+        main(["sweep", spec_file, "--store", store, "--quiet"])
+        capsys.readouterr()
+        assert main(["sweep", spec_file, "--store", store,
+                     "--force", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 store hits, 4 executed" in out
+
+    def test_sweep_no_store(self, spec_file, capsys):
+        assert main(["sweep", spec_file, "--no-store", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 store hits, 4 executed" in out
+        assert "store:" not in out
+
+    def test_sweep_progress_lines(self, spec_file, tmp_path, capsys):
+        assert main(["sweep", spec_file,
+                     "--store", str(tmp_path / "farm")]) == 0
+        out = capsys.readouterr().out
+        assert "[farm.job] hello" in out
+        assert "[farm.job] answer" in out
+
+    def test_sweep_reports_failures(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "programs": [{"name": "broken", "source": "int main( {"}]}))
+        assert main(["sweep", str(spec), "--no-store", "--quiet"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_sweep_rejects_bad_spec(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"workloads": ["no-such-workload"]}))
+        assert main(["sweep", str(spec)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_rejects_malformed_json(self, tmp_path, capsys):
+        spec = tmp_path / "notjson.txt"
+        spec.write_text("{this is not json")
+        assert main(["sweep", str(spec)]) == 1
+        err = capsys.readouterr().err
+        assert "eric: error:" in err
+        assert "not valid JSON" in err
+
+
 class TestOtherCommands:
     def test_describe_default(self, capsys):
         assert main(["describe"]) == 0

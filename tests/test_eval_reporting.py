@@ -56,3 +56,57 @@ class TestExperimentRegistry:
         out = capsys.readouterr().out
         assert "Test Environment" in out
         assert "Area Results" in out
+
+    def test_runner_accepts_farm_flags(self, capsys):
+        from repro.eval.__main__ import main
+        # table experiments don't construct a farm, but the flags parse
+        assert main(["table1", "--jobs", "4"]) == 0
+        assert "Test Environment" in capsys.readouterr().out
+
+
+class TestVolatileCells:
+    def test_live_render_shows_value(self):
+        from repro.eval.report import Volatile
+        text = format_table(["t ms"], [[Volatile(12.345)]])
+        assert "12.35" in text
+
+    def test_stable_render_masks_value(self):
+        from repro.eval.report import Volatile
+        text = format_table(["t ms"], [[Volatile(12.345)]], stable=True)
+        assert "12.35" not in text
+        assert Volatile.PLACEHOLDER in text
+
+    def test_stable_render_is_run_independent(self):
+        from repro.eval.report import Volatile
+        one = format_table(["n", "t"], [["x", Volatile(1.0)]], stable=True)
+        two = format_table(["n", "t"], [["x", Volatile(999999.0)]],
+                           stable=True)
+        assert one == two
+
+
+class TestFarmBackedFigures:
+    """fig5/6/7 source their rows through the simulation farm."""
+
+    def test_fig7_resumes_from_store(self, tmp_path):
+        from repro.eval import fig7
+        from repro.farm import ResultStore, SimulationFarm
+
+        store = ResultStore(tmp_path)
+        first = fig7.run(farm=SimulationFarm(store=store))
+        telemetry_farm = SimulationFarm(store=ResultStore(tmp_path))
+        second = fig7.run(farm=telemetry_farm)
+        assert [r.eric_cycles for r in second.rows] \
+            == [r.eric_cycles for r in first.rows]
+
+    def test_figure_matrices_are_well_formed(self):
+        from repro.eval import fig5, fig6, fig7
+        from repro.workloads import all_workloads
+
+        n = len(all_workloads())
+        assert fig7.matrix().job_count == n
+        assert fig5.matrix().job_count == 3 * n
+        assert fig6.matrix().job_count == n
+        assert not fig5.matrix().simulate
+        assert not fig6.matrix().simulate
+        assert fig6.matrix(repeats=3).repeats == 3
+        assert fig7.matrix().simulate
