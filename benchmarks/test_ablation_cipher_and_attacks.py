@@ -5,103 +5,96 @@
   packaging time, HDE cycles, and ciphertext quality.
 * attack resistance: static-attacker metrics per encryption mode, and
   dynamic-attacker outcomes on non-target hardware.
+
+Every row is a farm record measured with ``analyze=True``: the worker
+stores the static-attacker report (with a ``plain`` baseline sub-report
+of the unencrypted text) and the dynamic-attacker outcomes, so the
+whole matrix resumes from the committed store.  The encrypt-ms column
+is the store-replayed wall time — stable across warm re-runs like the
+Fig. 6 timings.
 """
 
-import pytest
-
-from repro.core.compiler_driver import EricCompiler
 from repro.core.config import EncryptionMode, EricConfig
-from repro.core.device import Device
-from repro.eval.report import Volatile, format_table
-from repro.net.dynamic_attacker import attempt_execution
-from repro.net.static_attacker import analyze_blob, byte_entropy
+from repro.eval.report import format_table
+from repro.farm import JobMatrix, SimParams
 from repro.workloads import get_workload
 
 WORKLOAD = "crc32"
+_PARAMS = (SimParams(device_seed=0xC1F),)
+
+CIPHERS = ("xor-repeating", "xor-sha256ctr")
 
 
-@pytest.fixture(scope="module")
-def device():
-    return Device(device_seed=0xC1F)
+def _cipher_matrix(workload: str, simulate: bool) -> JobMatrix:
+    return JobMatrix(workloads=(workload,),
+                     configs=tuple(EricConfig(cipher=c) for c in CIPHERS),
+                     params=_PARAMS, simulate=simulate, analyze=True)
 
 
 class TestCipherChoice:
-    def test_cipher_sweep(self, benchmark, record, device):
-        def sweep():
-            rows = []
-            for cipher in ("xor-repeating", "xor-sha256ctr"):
-                compiler = EricCompiler(EricConfig(cipher=cipher))
-                result = compiler.compile_and_package(
-                    get_workload(WORKLOAD).source,
-                    device.enrollment_key(), name=WORKLOAD)
-                outcome = device.load_and_run(result.package_bytes)
-                entropy = byte_entropy(result.package.enc_text)
-                rows.append((cipher,
-                             result.timings.encryption_s * 1e3,
-                             outcome.hde.total_cycles,
-                             entropy,
-                             outcome.run.stdout
-                             == get_workload(WORKLOAD).expected_stdout))
-            return rows
+    def test_cipher_sweep(self, benchmark, record, farm):
+        report = benchmark.pedantic(
+            lambda: farm.run(_cipher_matrix(WORKLOAD, simulate=True)),
+            rounds=1, iterations=1)
+        report.require_ok()
 
-        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-        # encrypt ms is wall-clock: Volatile keeps it out of the
-        # persisted table so regeneration stays diff-clean
-        table_rows = [[c, Volatile(f"{t:.2f}"), h, f"{e:.2f}", ok]
-                      for c, t, h, e, ok in rows]
-        headers = ["cipher", "encrypt ms", "HDE cycles",
-                   "ciphertext entropy", "output ok"]
-        title = f"Cipher-choice ablation ({WORKLOAD})"
-        record("ablation_cipher_choice",
-               format_table(headers, table_rows, title=title),
-               stable=format_table(headers, table_rows, title=title,
-                                   stable=True))
+        expected = get_workload(WORKLOAD).expected_stdout
+        rows = [(r.spec.config.cipher,
+                 r.record.encryption_s * 1e3,
+                 r.record.hde_cycles,
+                 r.record.analysis["byte_entropy"],
+                 r.record.output_ok(expected))
+                for r in report.results]
+        record("ablation_cipher_choice", format_table(
+            ["cipher", "encrypt ms", "HDE cycles",
+             "ciphertext entropy", "output ok"],
+            [[c, f"{t:.2f}", h, f"{e:.2f}", ok]
+             for c, t, h, e, ok in rows],
+            title=f"Cipher-choice ablation ({WORKLOAD})",
+        ))
         assert all(ok for *_, ok in rows)
         # the keystream variant raises ciphertext entropy vs repeating-key
         by_name = {r[0]: r for r in rows}
         assert by_name["xor-sha256ctr"][3] >= by_name["xor-repeating"][3]
 
-    def test_repeating_key_is_weaker_on_long_texts(self, device):
+    def test_repeating_key_is_weaker_on_long_texts(self, farm):
         """Why the pluggable-cipher hook matters: a repeating 32-byte key
         leaves periodic structure that keystream mode removes."""
-        source = get_workload("sha").source  # the largest text
-        results = {}
-        for cipher in ("xor-repeating", "xor-sha256ctr"):
-            compiler = EricCompiler(EricConfig(cipher=cipher))
-            package = compiler.compile_and_package(
-                source, device.enrollment_key())
-            results[cipher] = byte_entropy(package.package.enc_text)
-        assert results["xor-sha256ctr"] > results["xor-repeating"] - 0.2
+        report = farm.run(_cipher_matrix("sha", simulate=False))
+        report.require_ok()
+        entropy = {r.spec.config.cipher: r.record.analysis["byte_entropy"]
+                   for r in report.results}
+        assert entropy["xor-sha256ctr"] > entropy["xor-repeating"] - 0.2
 
 
 class TestAttackResistance:
     MODES = [
-        ("plain", None),
         ("full", EricConfig(mode=EncryptionMode.FULL)),
         ("partial 50%", EricConfig(mode=EncryptionMode.PARTIAL)),
         ("field", EricConfig(mode=EncryptionMode.FIELD)),
     ]
 
-    def test_static_resistance_table(self, benchmark, record, device):
-        source = get_workload(WORKLOAD).source
+    def _matrix(self) -> JobMatrix:
+        return JobMatrix(workloads=(WORKLOAD,),
+                         configs=tuple(c for _, c in self.MODES),
+                         params=_PARAMS, simulate=True, analyze=True)
 
-        def sweep():
-            rows = []
-            for label, config in self.MODES:
-                if config is None:
-                    compiler = EricCompiler()
-                    blob = compiler.compile_baseline(source)[0].program.text
-                else:
-                    result = EricCompiler(config).compile_and_package(
-                        source, device.enrollment_key())
-                    blob = result.package.enc_text
-                report = analyze_blob(blob)
-                rows.append((label, report.valid_decode_fraction,
-                             report.byte_entropy_bits,
-                             report.looks_like_code))
-            return rows
+    def test_static_resistance_table(self, benchmark, record, farm):
+        report = benchmark.pedantic(lambda: farm.run(self._matrix()),
+                                    rounds=1, iterations=1)
+        report.require_ok()
 
-        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # every record carries the same-source plain baseline; the
+        # full-mode record supplies the table's "plain" row
+        plain = report.results[0].record.analysis["plain"]
+        rows = [("plain", plain["decode_fraction"],
+                 plain["byte_entropy"], plain["looks_like_code"])]
+        for (label, _), result in zip(self.MODES, report.results):
+            analysis = result.record.analysis
+            rows.append((label, analysis["decode_fraction"],
+                         analysis["byte_entropy"],
+                         analysis["looks_like_code"]))
+
         record("ablation_static_resistance", format_table(
             ["text", "decode rate", "byte entropy", "verdict code?"],
             [[l, f"{d:.1%}", f"{e:.2f}", v] for l, d, e, v in rows],
@@ -117,17 +110,17 @@ class TestAttackResistance:
         # field mode intentionally still *looks* like code
         assert by_label["field"][1] > 0.9
 
-    def test_dynamic_resistance(self, record, device):
-        package = EricCompiler().compile_and_package(
-            get_workload(WORKLOAD).source, device.enrollment_key())
-        attackers = [Device(device_seed=s) for s in (1, 2, 3)]
-        outcomes = [attempt_execution(a, package.package_bytes)
-                    for a in attackers]
+    def test_dynamic_resistance(self, record, farm):
+        report = farm.run(JobMatrix(workloads=(WORKLOAD,), params=_PARAMS,
+                                    simulate=True, analyze=True))
+        report.require_ok()
+        [result] = report.results
+        outcomes = result.record.analysis["dynamic"]
         record("ablation_dynamic_resistance", "\n".join(
-            ["Dynamic analysis on 3 attacker devices:"]
-            + [f"  attacker {i}: outcome={o.outcome!r} "
-               f"instructions={o.instructions_observed} "
-               f"leaked={o.leaked_behaviour}"
+            [f"Dynamic analysis on {len(outcomes)} attacker devices:"]
+            + [f"  attacker {i}: outcome={o['outcome']!r} "
+               f"instructions={o['instructions_observed']} "
+               f"leaked={o['leaked']}"
                for i, o in enumerate(outcomes)]))
-        assert all(not o.leaked_behaviour for o in outcomes)
-        assert all(o.outcome == "rejected" for o in outcomes)
+        assert all(not o["leaked"] for o in outcomes)
+        assert all(o["outcome"] == "rejected" for o in outcomes)

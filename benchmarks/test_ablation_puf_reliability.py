@@ -3,46 +3,53 @@
 The paper's PKG must hand the Decryption Unit the *same* key every boot;
 this sweep quantifies how enrollment screening + majority voting buy that
 stability, and where the design would break (extreme noise corners).
+
+Every point is a content-addressed farm job: the worker measures
+``FarmRecord.key_failure`` (repeated PKG readouts at the job's operating
+point) and ``key_digest`` for every job, so the whole sweep resumes from
+the committed store with zero simulations.
 """
 
-import pytest
-
 from repro.eval.report import format_table
-from repro.puf.arbiter import PufArray
+from repro.farm import KEY_STABILITY_READS, JobMatrix, SimParams
 from repro.puf.environment import Environment
-from repro.puf.key_generator import PufKeyGenerator
-from repro.puf.metrics import key_failure_probability
 
-_READS = 40
+_SEED = 0x5EED
 
-
-def _failure_rate(noise, votes, environment=Environment(),
-                  margin_sigmas=4.0, seed=0x5EED):
-    array = PufArray(width=32, n_stages=8, device_seed=seed,
-                     noise_sigma=noise)
-    pkg = PufKeyGenerator(array, key_bits=32, votes=votes,
-                          margin_sigmas=margin_sigmas)
-    readouts = [pkg.generate(environment).key for _ in range(_READS)]
-    return key_failure_probability(readouts)
+#: Reliability jobs only need the device's PKG, not a real workload, so
+#: a trivial probe program keeps the packaging stage negligible.
+_PROBE = ("pkg-probe", "int main() { return 0; }\n")
 
 
-def test_voting_and_screening_sweep(benchmark, record):
-    def sweep():
-        rows = []
-        for noise in (0.04, 0.15, 0.40):
-            for votes in (1, 5, 11):
-                rows.append((noise, votes,
-                             _failure_rate(noise, votes),
-                             _failure_rate(noise, votes,
-                                           margin_sigmas=0.0)))
-        return rows
+def _params(noise=0.04, votes=11, margin_sigmas=4.0,
+            environment=Environment(), seed=_SEED) -> SimParams:
+    return SimParams(device_seed=seed, puf_noise_sigma=noise,
+                     puf_votes=votes, puf_margin_sigmas=margin_sigmas,
+                     environment=environment)
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+def test_voting_and_screening_sweep(benchmark, record, farm):
+    grid = [(noise, votes)
+            for noise in (0.04, 0.15, 0.40) for votes in (1, 5, 11)]
+    matrix = JobMatrix(
+        programs=(_PROBE,),
+        params=tuple(_params(noise, votes, margin_sigmas=margin)
+                     for noise, votes in grid for margin in (4.0, 0.0)),
+        simulate=False)
+
+    report = benchmark.pedantic(lambda: farm.run(matrix),
+                                rounds=1, iterations=1)
+    report.require_ok()
+    failure = [r.record.key_failure for r in report.results]
+    rows = [(noise, votes, failure[2 * i], failure[2 * i + 1])
+            for i, (noise, votes) in enumerate(grid)]
+
     record("ablation_puf_reliability", format_table(
         ["noise sigma", "votes", "fail rate (screened)",
          "fail rate (unscreened)"],
         [[f"{n:.2f}", v, f"{s:.3f}", f"{u:.3f}"] for n, v, s, u in rows],
-        title=f"PUF key failure probability over {_READS} readouts",
+        title=f"PUF key failure probability over "
+              f"{KEY_STABILITY_READS} readouts",
     ))
 
     by_key = {(n, v): (s, u) for n, v, s, u in rows}
@@ -55,18 +62,24 @@ def test_voting_and_screening_sweep(benchmark, record):
         assert by_key[(noise, 11)][0] <= by_key[(noise, 1)][0]
 
 
-def test_environment_sweep(record):
-    rows = []
-    for label, env in (
+def test_environment_sweep(record, farm):
+    corners = [
         ("nominal 25C/1.00V", Environment()),
         ("hot 85C/1.00V", Environment(temperature_c=85.0)),
         ("hot+brownout 85C/0.90V", Environment(temperature_c=85.0,
                                                voltage=0.90)),
         ("extreme 125C/0.80V", Environment(temperature_c=125.0,
                                            voltage=0.80)),
-    ):
-        rows.append((label, env.noise_scale(),
-                     _failure_rate(0.04, 11, env)))
+    ]
+    matrix = JobMatrix(
+        programs=(_PROBE,),
+        params=tuple(_params(environment=env) for _, env in corners),
+        simulate=False)
+    report = farm.run(matrix)
+    report.require_ok()
+
+    rows = [(label, env.noise_scale(), result.record.key_failure)
+            for (label, env), result in zip(corners, report.results)]
     record("ablation_puf_environment", format_table(
         ["environment", "noise scale", "key failure rate"],
         [[l, f"{s:.2f}x", f"{f:.3f}"] for l, s, f in rows],
@@ -81,10 +94,14 @@ def test_environment_sweep(record):
     assert scales == sorted(scales)
 
 
-def test_wrong_device_never_reconstructs(record):
-    """Uniqueness at the key level: 20 different dies, 20 distinct keys."""
-    keys = set()
-    for seed in range(20):
-        array = PufArray(width=32, n_stages=8, device_seed=seed)
-        keys.add(PufKeyGenerator(array, key_bits=32).generate().key)
-    assert len(keys) >= 19  # one 32-bit collision in 20 is already rare
+def test_wrong_device_never_reconstructs(farm):
+    """Uniqueness at the key level: 20 different dies, 20 distinct keys
+    (compared via the records' enrollment-key digests)."""
+    matrix = JobMatrix(
+        programs=(_PROBE,),
+        params=tuple(_params(seed=seed) for seed in range(20)),
+        simulate=False)
+    report = farm.run(matrix)
+    report.require_ok()
+    digests = {r.record.key_digest for r in report.results}
+    assert len(digests) >= 19  # one 32-bit collision in 20 is already rare

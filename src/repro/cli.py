@@ -162,12 +162,24 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return eval_main(argv)
 
 
+def _warn_skipped_lines(store) -> None:
+    """Surface corrupt/schema-mismatched store lines (silently skipped
+    at load) so operators know the file carries dead weight."""
+    warning = store.skipped_warning() if store is not None else None
+    if warning:
+        print(f"eric: warning: {warning}", file=sys.stderr)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.farm import JobMatrix, ResultStore, SimulationFarm
     from repro.service.telemetry import StagePrinter
 
+    if args.compact and args.no_store:
+        raise EricError("--compact rewrites the result store; "
+                        "drop --no-store to use it")
     matrix = JobMatrix.from_spec(_load_json(args.spec, "sweep spec"))
     store = None if args.no_store else ResultStore(args.store)
+    _warn_skipped_lines(store)
     farm = SimulationFarm(store=store, jobs=args.jobs)
     if not args.quiet:
         farm.on_event(StagePrinter(stages="farm.job"))
@@ -175,6 +187,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(report.render())
     print(report.summary())
     if store is not None:
+        if args.compact:
+            print(f"store compacted: {store.compact()} live record(s)")
         print(f"store: {store.path} ({len(store)} records)")
     return 0 if not report.failures else 1
 
@@ -253,6 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measure in-memory; skip and persist nothing")
     p.add_argument("--force", action="store_true",
                    help="re-measure (and re-persist) stored keys")
+    p.add_argument("--compact", action="store_true",
+                   help="after the sweep, rewrite the store with one "
+                        "line per live key (drops superseded and "
+                        "corrupt lines)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
     p.set_defaults(func=_cmd_sweep)

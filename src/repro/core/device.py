@@ -15,7 +15,7 @@ from repro.core.hde import HardwareDecryptionEngine, HdeReport
 from repro.core.keys import puf_based_key
 from repro.puf.arbiter import NOISE_SIGMA, PufArray
 from repro.puf.environment import NOMINAL, Environment
-from repro.puf.key_generator import PufKeyGenerator
+from repro.puf.key_generator import MARGIN_SIGMAS, PufKeyGenerator
 from repro.soc.cache import CacheConfig
 from repro.soc.pipeline import DEFAULT_PIPELINE, PipelineModel
 from repro.soc.soc import RocketLikeSoC, RunResult
@@ -40,6 +40,7 @@ class Device:
     def __init__(self, device_seed: int, *,
                  puf_width: int = 32, puf_stages: int = 8,
                  key_bits: int = 32, votes: int = 11,
+                 margin_sigmas: float = MARGIN_SIGMAS,
                  noise_sigma: float = NOISE_SIGMA,
                  epoch: bytes = b"epoch-0",
                  environment: Environment = NOMINAL,
@@ -56,7 +57,8 @@ class Device:
                                   device_seed=device_seed,
                                   noise_sigma=noise_sigma)
         self.pkg = PufKeyGenerator(self.puf_array, key_bits=key_bits,
-                                   votes=votes)
+                                   votes=votes,
+                                   margin_sigmas=margin_sigmas)
         self.hde = HardwareDecryptionEngine(self.pkg, epoch=epoch,
                                             environment=environment,
                                             overlapped=overlapped_hde)

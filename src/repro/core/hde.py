@@ -61,13 +61,21 @@ class HdeReport:
     overlapped: bool = False
 
     @property
+    def serial_cycles(self) -> int:
+        """Cycle total under serial accounting (decrypt, then hash),
+        whatever mode actually ran — the overlapped-HDE ablation's
+        per-record baseline."""
+        return (self.puf_keygen_cycles + self.kmu_cycles
+                + self.decrypt_cycles + self.signature_cycles
+                + self.validation_cycles)
+
+    @property
     def total_cycles(self) -> int:
-        setup = self.puf_keygen_cycles + self.kmu_cycles
-        tail = self.validation_cycles
         if self.overlapped:
-            return setup + max(self.decrypt_cycles,
-                               self.signature_cycles) + tail
-        return setup + self.decrypt_cycles + self.signature_cycles + tail
+            return (self.puf_keygen_cycles + self.kmu_cycles
+                    + max(self.decrypt_cycles, self.signature_cycles)
+                    + self.validation_cycles)
+        return self.serial_cycles
 
 
 class HardwareDecryptionEngine:

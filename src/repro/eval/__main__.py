@@ -49,6 +49,8 @@ def main(argv: list[str]) -> int:
         # pool budget and, when --store is given, one result store
         from repro.farm import ResultStore, SimulationFarm
         store = ResultStore(args.store) if args.store else None
+        if store is not None and store.skipped_warning():
+            print(f"warning: {store.skipped_warning()}", file=sys.stderr)
         farm = SimulationFarm(store=store, jobs=args.jobs)
     for name in names:
         if name in FARM_EXPERIMENTS:

@@ -22,8 +22,9 @@ ablation benchmarks source their measurements through this subsystem;
 ``eric sweep`` exposes it on the command line.
 """
 
-from repro.farm.executor import (FarmJobResult, FarmReport, SimulationFarm,
-                                 execute_job)
+from repro.farm.executor import (DYNAMIC_ATTACKER_SEEDS,
+                                 KEY_STABILITY_READS, FarmJobResult,
+                                 FarmReport, SimulationFarm, execute_job)
 from repro.farm.spec import (KEY_SCHEMA, PIPELINE_VARIANTS, JobMatrix,
                              JobSpec, SimParams)
 from repro.farm.store import (DEFAULT_STORE_DIR, STORE_SCHEMA, FarmRecord,
@@ -31,6 +32,8 @@ from repro.farm.store import (DEFAULT_STORE_DIR, STORE_SCHEMA, FarmRecord,
 
 __all__ = [
     "DEFAULT_STORE_DIR",
+    "DYNAMIC_ATTACKER_SEEDS",
+    "KEY_STABILITY_READS",
     "FarmJobResult",
     "FarmRecord",
     "FarmReport",

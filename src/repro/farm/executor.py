@@ -20,12 +20,44 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
 
+import hashlib
+
 from repro.core.compiler_driver import EricCompiler, source_digest
 from repro.core.device import Device
 from repro.errors import ConfigError, EricError
-from repro.farm.spec import JobMatrix, JobSpec
+from repro.farm.spec import JobMatrix, JobSpec, SimParams
 from repro.farm.store import FarmRecord, ResultStore
+from repro.puf.arbiter import PufArray
+from repro.puf.key_generator import PufKeyGenerator
+from repro.puf.metrics import key_failure_probability
 from repro.service.telemetry import TelemetryEvent, TelemetryHub
+
+#: Repeated PKG readouts per job for the record's ``key_failure`` field
+#: (the PUF-reliability ablations' protocol).
+KEY_STABILITY_READS = 40
+
+#: Non-target device seeds the dynamic-analysis attack runs on when a
+#: job is measured with ``analyze=True``.  A seed that collides with
+#: the job's own device would be the target itself (it decrypts and
+#: runs the package), so the worker skips it rather than record a
+#: bogus "leak".
+DYNAMIC_ATTACKER_SEEDS = (1, 2, 3)
+
+
+def _measure_key_failure(params: SimParams) -> float:
+    """Key-reconstruction failure rate at the job's operating point.
+
+    Measured on a freshly fabricated array so the noise-draw sequence
+    is a deterministic function of the params alone (enrollment
+    screening is noiseless and consumes no draws).
+    """
+    array = PufArray(device_seed=params.device_seed,
+                     noise_sigma=params.puf_noise_sigma)
+    pkg = PufKeyGenerator(array, votes=params.puf_votes,
+                          margin_sigmas=params.puf_margin_sigmas)
+    readouts = [pkg.generate(params.environment).key
+                for _ in range(KEY_STABILITY_READS)]
+    return key_failure_probability(readouts)
 
 
 def execute_job(spec: JobSpec) -> FarmRecord:
@@ -40,12 +72,21 @@ def execute_job(spec: JobSpec) -> FarmRecord:
     params = spec.params
     device = Device(device_seed=params.device_seed,
                     pipeline=params.pipeline_model(),
-                    overlapped_hde=params.overlapped_hde)
+                    overlapped_hde=params.overlapped_hde,
+                    environment=params.environment,
+                    noise_sigma=params.puf_noise_sigma,
+                    votes=params.puf_votes,
+                    margin_sigmas=params.puf_margin_sigmas)
     compiler = EricCompiler(spec.config)
     target_key = device.enrollment_key()
+    key_failure = _measure_key_failure(params)
 
-    baseline_s = min(compiler.compile_baseline(source, spec.display_name)[1]
-                     for _ in range(spec.repeats))
+    baseline = None
+    for _ in range(spec.repeats):
+        outcome = compiler.compile_baseline(source, spec.display_name)
+        if baseline is None or outcome[1] < baseline[1]:
+            baseline = outcome
+    baseline_result, baseline_s = baseline
     best = None
     for _ in range(spec.repeats):
         stage_start = time.perf_counter()
@@ -78,6 +119,8 @@ def execute_job(spec: JobSpec) -> FarmRecord:
         "signature_s": result.timings.signature_s,
         "encryption_s": result.timings.encryption_s,
         "packaging_s": result.timings.packaging_s,
+        "key_failure": key_failure,
+        "key_digest": hashlib.sha256(target_key).hexdigest(),
     }
 
     if spec.simulate:
@@ -88,6 +131,7 @@ def execute_job(spec: JobSpec) -> FarmRecord:
         record.update(
             plain_cycles=plain.counters.cycles,
             hde_cycles=eric.hde.total_cycles,
+            hde_serial_cycles=eric.hde.serial_cycles,
             eric_cycles=eric.total_cycles,
             stdout_ok=(None if expected_stdout is None
                        else eric.run.stdout == expected_stdout),
@@ -97,13 +141,28 @@ def execute_job(spec: JobSpec) -> FarmRecord:
         )
 
     if spec.analyze:
+        from repro.net.dynamic_attacker import attempt_execution
         from repro.net.static_attacker import analyze_blob
         report = analyze_blob(result.package.enc_text)
+        plain_report = analyze_blob(baseline_result.program.text)
+        dynamic = []
+        for seed in DYNAMIC_ATTACKER_SEEDS:
+            if seed == params.device_seed:
+                continue  # that is the target, not an attacker
+            attacker = Device(device_seed=seed)
+            outcome = attempt_execution(attacker, result.package_bytes)
+            dynamic.append(outcome.to_record(device_seed=seed))
         record["analysis"] = {
             "enc_slots": result.encrypted.enc_map.encrypted_count,
             "decode_fraction": report.valid_decode_fraction,
             "byte_entropy": report.byte_entropy_bits,
             "looks_like_code": report.looks_like_code,
+            "plain": {
+                "decode_fraction": plain_report.valid_decode_fraction,
+                "byte_entropy": plain_report.byte_entropy_bits,
+                "looks_like_code": plain_report.looks_like_code,
+            },
+            "dynamic": dynamic,
         }
 
     record["wall_s"] = time.perf_counter() - start
@@ -214,6 +273,8 @@ class FarmReport:
                                r.spec.config.mode.value,
                                r.spec.params.pipeline,
                                r.spec.params.device_seed,
+                               r.spec.params.environment.describe(),
+                               r.spec.params.overlapped_hde,
                                r.spec.key())):
             spec, record = result.spec, result.record
             status = ("hit" if result.from_store
@@ -223,14 +284,16 @@ class FarmReport:
                 spec.config.mode.value,
                 spec.params.pipeline,
                 f"{spec.params.device_seed:#x}",
+                spec.params.environment.describe(),
+                "overlap" if spec.params.overlapped_hde else "serial",
                 record.package_size if record else "-",
                 (record.eric_cycles
                  if record and record.eric_cycles is not None else "-"),
                 status,
             ])
         return format_table(
-            ["job", "mode", "pipeline", "seed", "package B",
-             "ERIC cycles", "status"],
+            ["job", "mode", "pipeline", "seed", "env", "hde",
+             "package B", "ERIC cycles", "status"],
             rows, title="Simulation-farm sweep")
 
 

@@ -24,12 +24,17 @@ from itertools import product
 from repro.core.config import EricConfig
 from repro.core.interface import config_from_dict, config_to_dict
 from repro.errors import ConfigError
+from repro.puf.arbiter import NOISE_SIGMA
+from repro.puf.environment import NOMINAL, Environment
+from repro.puf.key_generator import MARGIN_SIGMAS
 from repro.soc.pipeline import PipelineModel
 
 #: Bumped whenever key-relevant semantics change (timing model, record
 #: schema): old store entries then simply stop matching instead of
 #: serving stale measurements.
-KEY_SCHEMA = 1
+#: 2: SimParams grew environment + PUF knobs; records grew
+#:    hde_serial_cycles / key_failure / key_digest and analysis.dynamic.
+KEY_SCHEMA = 2
 
 #: Named SoC pipeline variants a job may select.  Names (not
 #: :class:`PipelineModel` instances) travel in :class:`SimParams` so
@@ -56,13 +61,24 @@ class SimParams:
     Attributes:
         device_seed: selects the die (PUF identity and therefore key).
         pipeline: a :data:`PIPELINE_VARIANTS` name.
+        environment: the operating point (temperature/voltage) the
+            device boots at — scales PUF evaluation noise, so it is a
+            measurement input like any other.
         overlapped_hde: run the HDE decrypt/signature units overlapped.
+        puf_noise_sigma: nominal PUF evaluation-noise sigma.
+        puf_votes: PKG majority votes per response bit.
+        puf_margin_sigmas: enrollment reliability-screening threshold
+            (0 disables screening — the reliability ablations' knob).
         max_instructions: simulator instruction budget.
     """
 
     device_seed: int = 0xFA53
     pipeline: str = "default"
+    environment: Environment = NOMINAL
     overlapped_hde: bool = False
+    puf_noise_sigma: float = NOISE_SIGMA
+    puf_votes: int = 11
+    puf_margin_sigmas: float = MARGIN_SIGMAS
     max_instructions: int = 20_000_000
 
     def validate(self) -> "SimParams":
@@ -75,6 +91,17 @@ class SimParams:
             raise ConfigError(
                 f"unknown pipeline variant {self.pipeline!r}; "
                 f"available: {sorted(PIPELINE_VARIANTS)}")
+        if not isinstance(self.environment, Environment):
+            raise ConfigError(
+                f"environment must be an Environment, got "
+                f"{self.environment!r}")
+        self.environment.validate()
+        if self.puf_noise_sigma < 0:
+            raise ConfigError("puf_noise_sigma must be non-negative")
+        if self.puf_votes < 1 or self.puf_votes % 2 == 0:
+            raise ConfigError("puf_votes must be a positive odd number")
+        if self.puf_margin_sigmas < 0:
+            raise ConfigError("puf_margin_sigmas must be non-negative")
         if self.max_instructions < 1:
             raise ConfigError("max_instructions must be positive")
         return self
@@ -206,7 +233,8 @@ class JobMatrix:
               "configs": [{}, {"mode": "partial", "partial_fraction": 0.25}],
               "device_seeds": [64083],
               "pipelines": ["default"],
-              "overlapped_hde": false,
+              "environments": [{}, {"temperature_c": 85.0, "voltage": 0.9}],
+              "overlapped_hde": [false, true],
               "max_instructions": 20000000,
               "simulate": true,
               "analyze": false,
@@ -216,10 +244,17 @@ class JobMatrix:
         Every key is optional except at least one of
         ``workloads``/``programs``.  ``configs`` entries use the same
         schema as ``eric describe --config`` files.
+
+        ``environments`` entries hold any of ``temperature_c`` /
+        ``voltage`` / ``frequency_mhz`` (missing keys default to the
+        nominal 25 C / 1.00 V point, so ``{}`` is nominal).
+        ``overlapped_hde`` is a sweep axis: a list of booleans expands
+        the parameter grid; a bare boolean (the pre-``environments``
+        scalar form) still means a single-value axis.
         """
         known = {"workloads", "programs", "configs", "device_seeds",
-                 "pipelines", "overlapped_hde", "max_instructions",
-                 "simulate", "analyze", "repeats"}
+                 "pipelines", "environments", "overlapped_hde",
+                 "max_instructions", "simulate", "analyze", "repeats"}
         if not isinstance(spec, dict):
             raise ConfigError("sweep spec must be a JSON object")
         unknown = set(spec) - known
@@ -235,18 +270,26 @@ class JobMatrix:
             programs.append((entry["name"], entry["source"]))
         configs = tuple(config_from_dict(options)
                         for options in spec.get("configs", [{}]))
+        environments = spec.get("environments", [{}])
+        if not isinstance(environments, list) or not environments:
+            raise ConfigError(
+                f"environments must be a non-empty list of objects, "
+                f"got {environments!r}")
         params = tuple(
             SimParams(
                 device_seed=seed, pipeline=pipeline,
-                overlapped_hde=bool(spec.get("overlapped_hde", False)),
+                environment=Environment.from_dict(environment),
+                overlapped_hde=overlapped,
                 max_instructions=_int_option(spec, "max_instructions",
                                              20_000_000),
             ).validate()
-            for seed, pipeline in product(
+            for seed, pipeline, environment, overlapped in product(
                 [_parse_seed(seed)
                  for seed in spec.get("device_seeds",
                                       [SimParams.device_seed])],
-                spec.get("pipelines", ["default"]))
+                spec.get("pipelines", ["default"]),
+                environments,
+                _bool_axis(spec, "overlapped_hde", False))
         )
         matrix = cls(
             workloads=tuple(spec.get("workloads", ())),
@@ -282,3 +325,17 @@ def _int_option(spec: dict, key: str, default: int) -> int:
     if not isinstance(value, int) or isinstance(value, bool):
         raise ConfigError(f"{key} must be an integer, got {value!r}")
     return value
+
+
+def _bool_axis(spec: dict, key: str, default: bool) -> tuple[bool, ...]:
+    """A sweep axis that historically was a scalar: a bare boolean still
+    parses (as a single-value axis), a list of booleans sweeps."""
+    value = spec.get(key, default)
+    if isinstance(value, bool):
+        return (value,)
+    if (isinstance(value, list) and value
+            and all(isinstance(v, bool) for v in value)):
+        return tuple(value)
+    raise ConfigError(
+        f"{key} must be a boolean or a non-empty list of booleans, "
+        f"got {value!r}")

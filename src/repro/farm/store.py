@@ -24,7 +24,9 @@ from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
 #: Record layout version; see module docstring for the mismatch rule.
-STORE_SCHEMA = 1
+#: 2: records grew hde_serial_cycles, key_failure, key_digest, and the
+#:    analysis dict grew "plain" and "dynamic" sub-payloads.
+STORE_SCHEMA = 2
 
 DEFAULT_STORE_DIR = Path("benchmarks") / "results" / "farm"
 _FILENAME = "results.jsonl"
@@ -64,6 +66,9 @@ class FarmRecord:
     # -- simulation (None when simulate=False) ---------------------------
     plain_cycles: int | None = None
     hde_cycles: int | None = None
+    #: serial-accounting HDE total of the same decryption — equals
+    #: ``hde_cycles`` for serial jobs, exceeds it for overlapped ones
+    hde_serial_cycles: int | None = None
     eric_cycles: int | None = None
     stdout_ok: bool | None = None
     #: ``RunResult.to_record()`` payloads (exit code, console, counters)
@@ -71,8 +76,18 @@ class FarmRecord:
     eric_run: dict | None = None
     hde: dict | None = None
 
-    # -- static analysis (None when analyze=False) -----------------------
+    # -- analysis (None when analyze=False); carries the static-attacker
+    # metrics plus "plain" (same metrics on the unencrypted text) and
+    # "dynamic" (attempt_execution outcomes on non-target devices) ------
     analysis: dict | None = None
+
+    # -- PUF key stability (measured on every job) ------------------------
+    #: fraction of repeated PKG readouts at the job's environment that
+    #: disagree with the majority readout (0.0 = a rock-stable key)
+    key_failure: float | None = None
+    #: SHA-256 of the enrollment (PUF-based) key — uniqueness studies
+    #: compare digests across device seeds without storing keys raw
+    key_digest: str | None = None
 
     wall_s: float = 0.0
     schema: int = STORE_SCHEMA
@@ -80,13 +95,21 @@ class FarmRecord:
     @property
     def overhead_pct(self) -> float:
         """Fig. 7's per-row headline; requires a simulated record."""
-        if not self.plain_cycles:
+        # plain_cycles is None for simulate=False jobs; a stored 0 would
+        # be a measured (if degenerate) value and gets its own message
+        if self.plain_cycles is None or self.eric_cycles is None:
             raise ValueError(f"record {self.key[:12]} was not simulated")
+        if self.plain_cycles == 0:
+            raise ValueError(
+                f"record {self.key[:12]} measured zero baseline cycles; "
+                f"overhead is undefined")
         return 100.0 * (self.eric_cycles / self.plain_cycles - 1.0)
 
     @property
     def size_increase_pct(self) -> float:
-        if not self.plain_size:
+        # plain_size is always measured (never None); zero means an
+        # empty program image, for which a ratio is meaningless
+        if self.plain_size == 0:
             return 0.0
         return 100.0 * (self.package_size - self.plain_size) / self.plain_size
 
@@ -147,17 +170,34 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / _FILENAME
         self._lock = threading.Lock()
-        self._records: dict[str, FarmRecord] = {}
-        self.skipped_lines = 0
+        self._records: dict[str, FarmRecord]
+        self._records, self.skipped_lines = self._read_file()
+
+    def _read_file(self) -> tuple[dict[str, FarmRecord], int]:
+        """Parse the on-disk file: last record per key wins, corrupt or
+        schema-mismatched lines are counted, not fatal."""
+        records: dict[str, FarmRecord] = {}
+        skipped = 0
         if self.path.exists():
             for line in self.path.read_text(encoding="utf-8").splitlines():
                 if not line.strip():
                     continue
                 record = FarmRecord.from_json(line)
                 if record is None:
-                    self.skipped_lines += 1
+                    skipped += 1
                 else:
-                    self._records[record.key] = record
+                    records[record.key] = record
+        return records, skipped
+
+    def skipped_warning(self) -> str | None:
+        """One-line operator warning when the loaded file carried
+        corrupt or schema-mismatched lines; None when it loaded clean.
+        Shared by every CLI entry point so the wording stays uniform."""
+        if not self.skipped_lines:
+            return None
+        return (f"{self.path} has {self.skipped_lines} corrupt or "
+                f"schema-mismatched line(s); run `eric sweep --compact` "
+                f"to drop them")
 
     def get(self, key: str) -> FarmRecord | None:
         with self._lock:
@@ -184,9 +224,23 @@ class ResultStore:
 
     def compact(self) -> int:
         """Rewrite the file with one line per live key (sorted), dropping
-        superseded duplicates and corrupt lines; returns the line count."""
+        superseded duplicates and corrupt lines; returns the line count.
+
+        The file is re-read (last record per key wins) before rewriting:
+        records appended by another process up to that re-read are
+        merged in, not discarded.  Every ``put`` writes through to disk,
+        so the on-disk record for a key this store also holds is at
+        least as new as the in-memory one.  (The lock is in-process
+        only: an append that lands in the short window between the
+        re-read and the rewrite can still be lost — compact stores
+        while other writers are quiescent.)
+        """
         with self._lock:
-            records = [self._records[k] for k in sorted(self._records)]
+            merged, _ = self._read_file()
+            for key, record in self._records.items():
+                merged.setdefault(key, record)
+            self._records = merged
+            records = [merged[k] for k in sorted(merged)]
             text = "".join(r.to_json() + "\n" for r in records)
             self.path.write_text(text, encoding="utf-8")
             self.skipped_lines = 0

@@ -43,6 +43,19 @@ class DynamicAnalysisOutcome:
         """
         return self.executed and self.instructions_observed > 100
 
+    def to_record(self, device_seed: int | None = None) -> dict:
+        """JSON-serializable summary for :class:`repro.farm` records
+        (``FarmRecord.analysis["dynamic"]`` entries)."""
+        record = {
+            "executed": self.executed,
+            "outcome": self.outcome,
+            "instructions_observed": self.instructions_observed,
+            "leaked": self.leaked_behaviour,
+        }
+        if device_seed is not None:
+            record["device_seed"] = device_seed
+        return record
+
 
 def attempt_execution(device, package_bytes: bytes,
                       max_instructions: int = 2_000_000,

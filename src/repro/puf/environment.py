@@ -14,7 +14,9 @@ noise growth of delay PUFs across the commercial temperature range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,46 @@ class Environment:
         temp_term = abs(self.temperature_c - 25.0) * self.TEMPERATURE_COEFF
         volt_term = abs(self.voltage - 1.0) * self.VOLTAGE_COEFF
         return max(0.25, 1.0 + temp_term + volt_term)
+
+    def validate(self) -> "Environment":
+        if self.temperature_c < -273.15:
+            raise ConfigError(
+                f"temperature_c {self.temperature_c!r} is below absolute "
+                f"zero")
+        if self.voltage <= 0:
+            raise ConfigError("voltage must be positive")
+        if self.frequency_mhz <= 0:
+            raise ConfigError("frequency_mhz must be positive")
+        return self
+
+    def describe(self) -> str:
+        """Compact display form ("85C/0.90V") for tables and logs."""
+        return f"{self.temperature_c:g}C/{self.voltage:.2f}V"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Environment":
+        """Parse one ``environments:`` entry of the sweep JSON dialect.
+
+        Every key is optional and defaults to the nominal operating
+        point; ``{}`` is the nominal environment itself.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"an environment must be a JSON object, got {data!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown environment keys {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        values = {}
+        for name, value in data.items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ConfigError(
+                    f"environment {name} must be a number, got {value!r}")
+            values[name] = float(value)
+        return cls(**values).validate()
 
 
 #: The nominal operating point used throughout tests and benchmarks.

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.errors import ConfigError, EricError
-from repro.farm import (JobMatrix, JobSpec, ResultStore, SimulationFarm,
+from repro.farm import (DYNAMIC_ATTACKER_SEEDS, JobMatrix, JobSpec,
+                        ResultStore, SimParams, SimulationFarm,
                         execute_job)
+from repro.puf.environment import Environment
 from repro.service.telemetry import RecordingTelemetry
 from repro.soc.soc import RunResult
 
@@ -56,6 +58,63 @@ class TestExecuteJob:
         assert record.analysis["enc_slots"] > 0
         assert 0.0 <= record.analysis["decode_fraction"] <= 1.0
 
+    def test_analysis_carries_plain_baseline_and_dynamic_outcomes(self):
+        record = execute_job(JobSpec(source=HELLO, simulate=False,
+                                     analyze=True))
+        # the unencrypted text is the static attacker's control sample
+        assert record.analysis["plain"]["looks_like_code"] is True
+        dynamic = record.analysis["dynamic"]
+        assert [d["device_seed"] for d in dynamic] \
+            == list(DYNAMIC_ATTACKER_SEEDS)
+        # non-target devices must reject the package without leaking
+        assert all(d["outcome"] == "rejected" for d in dynamic)
+        assert all(not d["leaked"] for d in dynamic)
+
+    def test_dynamic_attack_skips_the_target_device(self):
+        """A job whose own seed is in DYNAMIC_ATTACKER_SEEDS must not
+        'attack' itself and record a bogus leak."""
+        seed = DYNAMIC_ATTACKER_SEEDS[0]
+        record = execute_job(JobSpec(
+            source=HELLO, simulate=False, analyze=True,
+            params=SimParams(device_seed=seed)))
+        dynamic = record.analysis["dynamic"]
+        assert seed not in {d["device_seed"] for d in dynamic}
+        assert len(dynamic) == len(DYNAMIC_ATTACKER_SEEDS) - 1
+        assert all(not d["leaked"] for d in dynamic)
+
+    def test_key_stability_fields(self):
+        record = execute_job(JobSpec(source=HELLO, simulate=False))
+        # Table I policy (screened, 11 votes, nominal point): rock stable
+        assert record.key_failure == 0.0
+        assert len(record.key_digest) == 64
+
+        noisy = execute_job(JobSpec(
+            source=HELLO, simulate=False,
+            params=SimParams(puf_noise_sigma=0.4, puf_votes=1,
+                             puf_margin_sigmas=0.0)))
+        assert noisy.key_failure > 0.0
+
+    def test_environment_threads_into_device_and_key(self):
+        nominal = JobSpec(source=HELLO, simulate=False)
+        hot = JobSpec(source=HELLO, simulate=False,
+                      params=SimParams(environment=Environment(
+                          temperature_c=125.0, voltage=0.8)))
+        assert nominal.key() != hot.key()
+        record = execute_job(hot)
+        assert record.params["environment"]["temperature_c"] == 125.0
+        # screened + voted keys survive the extreme corner on this die
+        assert record.key_failure == 0.0
+
+    def test_overlapped_hde_serial_accounting(self):
+        serial = execute_job(JobSpec(source=HELLO))
+        overlapped = execute_job(JobSpec(
+            source=HELLO, params=SimParams(overlapped_hde=True)))
+        assert serial.hde_serial_cycles == serial.hde_cycles
+        assert overlapped.hde_cycles < overlapped.hde_serial_cycles
+        assert overlapped.hde_serial_cycles == serial.hde_cycles
+        # overlap hides HDE latency; the program run is untouched
+        assert overlapped.plain_cycles == serial.plain_cycles
+
 
 class TestFarmRun:
     def test_resume_serves_everything_from_store(self, tmp_path):
@@ -84,6 +143,25 @@ class TestFarmRun:
         report = SimulationFarm(store=store).run(hello_matrix())
         assert report.hits == 1
         assert report.executed == 1
+
+    def test_key_schema_bump_re_measures_a_warm_store(self, tmp_path,
+                                                      monkeypatch):
+        """A KEY_SCHEMA bump orphans every stored record: resume must
+        re-measure instead of serving stale results."""
+        from repro.farm import spec as spec_module
+
+        matrix = hello_matrix()
+        store = ResultStore(tmp_path)
+        warm = SimulationFarm(store=store).run(matrix)
+        assert warm.executed == 2
+
+        monkeypatch.setattr(spec_module, "KEY_SCHEMA",
+                            spec_module.KEY_SCHEMA + 1)
+        bumped = SimulationFarm(store=store).run(matrix)
+        assert bumped.hits == 0
+        assert bumped.executed == 2
+        # old records stay on disk (harmless) until a compact + reload
+        assert len(store) == 4
 
     def test_no_store_always_measures(self):
         farm = SimulationFarm()

@@ -5,6 +5,7 @@ import pytest
 from repro.core.config import EncryptionMode, EricConfig
 from repro.errors import ConfigError
 from repro.farm import PIPELINE_VARIANTS, JobMatrix, JobSpec, SimParams
+from repro.puf.environment import Environment
 from repro.workloads import get_workload
 
 HELLO = "int main() { print_int(7); return 0; }\n"
@@ -37,12 +38,33 @@ class TestJobKeys:
                     params=SimParams(device_seed=0xBEEF)),
             JobSpec(workload="crc32",
                     params=SimParams(pipeline="slow-memory")),
+            JobSpec(workload="crc32",
+                    params=SimParams(
+                        environment=Environment(temperature_c=85.0))),
+            JobSpec(workload="crc32",
+                    params=SimParams(overlapped_hde=True)),
+            JobSpec(workload="crc32",
+                    params=SimParams(puf_noise_sigma=0.15)),
+            JobSpec(workload="crc32", params=SimParams(puf_votes=5)),
+            JobSpec(workload="crc32",
+                    params=SimParams(puf_margin_sigmas=0.0)),
             JobSpec(workload="crc32", simulate=False),
             JobSpec(workload="crc32", analyze=True),
             JobSpec(workload="crc32", repeats=3),
         ]
         keys = {base.key()} | {v.key() for v in variants}
         assert len(keys) == len(variants) + 1
+
+    def test_key_schema_bump_orphans_old_keys(self, monkeypatch):
+        """The store resumes by exact key match, so bumping KEY_SCHEMA
+        must re-address every job (old records stop being served)."""
+        from repro.farm import spec as spec_module
+
+        spec = JobSpec(workload="crc32")
+        old_key = spec.key()
+        monkeypatch.setattr(spec_module, "KEY_SCHEMA",
+                            spec_module.KEY_SCHEMA + 1)
+        assert spec.key() != old_key
 
     def test_validation_rejects_bad_specs(self):
         with pytest.raises(ConfigError):
@@ -56,6 +78,18 @@ class TestJobKeys:
         with pytest.raises(ConfigError):
             JobSpec(workload="crc32",
                     params=SimParams(pipeline="warp-speed")).validate()
+        with pytest.raises(ConfigError):
+            JobSpec(workload="crc32",
+                    params=SimParams(puf_votes=4)).validate()
+        with pytest.raises(ConfigError):
+            JobSpec(workload="crc32",
+                    params=SimParams(puf_noise_sigma=-0.1)).validate()
+        with pytest.raises(ConfigError):
+            JobSpec(workload="crc32",
+                    params=SimParams(environment="hot")).validate()
+        with pytest.raises(ConfigError):
+            JobSpec(workload="crc32", params=SimParams(
+                environment=Environment(voltage=0.0))).validate()
 
     def test_oracle_resolution(self):
         source, expected = JobSpec(workload="crc32").resolve_source()
@@ -99,6 +133,41 @@ class TestJobMatrix:
         assert jobs[0].repeats == 2
         seeds = {j.params.device_seed for j in jobs}
         assert seeds == {16, 17}
+
+    def test_from_spec_environment_and_overlap_axes(self):
+        matrix = JobMatrix.from_spec({
+            "workloads": ["crc32"],
+            "environments": [{}, {"temperature_c": 85.0, "voltage": 0.9}],
+            "overlapped_hde": [False, True],
+        })
+        jobs = matrix.jobs()
+        assert len(jobs) == 4
+        environments = {j.params.environment for j in jobs}
+        assert environments == {Environment(),
+                                Environment(temperature_c=85.0,
+                                            voltage=0.9)}
+        assert {j.params.overlapped_hde for j in jobs} == {False, True}
+        assert len({j.key() for j in jobs}) == 4
+
+    def test_from_spec_overlapped_scalar_back_compat(self):
+        # the pre-environments dialect spelled overlapped_hde as a bool
+        matrix = JobMatrix.from_spec({"workloads": ["crc32"],
+                                      "overlapped_hde": True})
+        [job] = matrix.jobs()
+        assert job.params.overlapped_hde is True
+        assert job.params.environment == Environment()
+
+    def test_from_spec_rejects_bad_environment_axes(self):
+        for bad in [[], "hot", [[]], [{"planet": "mars"}],
+                    [{"temperature_c": "warm"}],
+                    [{"voltage": True}]]:
+            with pytest.raises(ConfigError):
+                JobMatrix.from_spec({"workloads": ["crc32"],
+                                     "environments": bad})
+        for bad in [[], "yes", [False, "yes"], 1]:
+            with pytest.raises(ConfigError):
+                JobMatrix.from_spec({"workloads": ["crc32"],
+                                     "overlapped_hde": bad})
 
     def test_from_spec_accepts_hex_seed_strings(self):
         # JSON has no hex literals; "0x10" is the natural spelling

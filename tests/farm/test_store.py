@@ -41,6 +41,35 @@ class TestRoundTrip:
                                    "counters": {"cycles": 1050}})
         assert FarmRecord.from_json(record.to_json()) == record
 
+    def test_json_round_trip_environment_and_dynamic_payloads(self):
+        """The PR-3 record extensions: environment in params, the
+        dynamic/plain analysis payloads, and the key-stability fields."""
+        record = _record(
+            "k-env",
+            params={"device_seed": 1,
+                    "environment": {"temperature_c": 85.0,
+                                    "voltage": 0.9,
+                                    "frequency_mhz": 25.0},
+                    "overlapped_hde": True,
+                    "puf_votes": 5},
+            hde_serial_cycles=70,
+            key_failure=0.025,
+            key_digest="ab" * 32,
+            analysis={
+                "enc_slots": 3,
+                "byte_entropy": 7.3,
+                "plain": {"byte_entropy": 5.1,
+                          "looks_like_code": True},
+                "dynamic": [{"device_seed": 1, "outcome": "rejected",
+                             "executed": False,
+                             "instructions_observed": 0,
+                             "leaked": False}],
+            })
+        revived = FarmRecord.from_json(record.to_json())
+        assert revived == record
+        assert revived.analysis["dynamic"][0]["outcome"] == "rejected"
+        assert revived.params["environment"]["voltage"] == 0.9
+
     def test_missing_directory_is_created(self, tmp_path):
         store = ResultStore(tmp_path / "a" / "b")
         store.put(_record("k"))
@@ -88,6 +117,24 @@ class TestRobustness:
         reloaded = ResultStore(tmp_path)
         assert reloaded.get("k").eric_cycles == 2
 
+    def test_compact_keeps_records_appended_by_another_process(
+            self, tmp_path):
+        """Regression: compact() used to rewrite from the in-memory dict
+        alone, silently discarding records another process appended
+        after this store loaded."""
+        ours = ResultStore(tmp_path)
+        ours.put(_record("mine"))
+        other = ResultStore(tmp_path)  # models a second process
+        other.put(_record("theirs"))
+        other.put(_record("mine", eric_cycles=9999))  # their re-measure
+
+        assert ours.compact() == 2
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("theirs") is not None
+        # last record on disk wins, exactly like a plain reload
+        assert reloaded.get("mine").eric_cycles == 9999
+        assert len(reloaded) == 2
+
 
 class TestRecordViews:
     def test_overhead_pct(self):
@@ -96,8 +143,17 @@ class TestRecordViews:
     def test_overhead_requires_simulation(self):
         record = _record("k", plain_cycles=None, hde_cycles=None,
                          eric_cycles=None, stdout_ok=None)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="was not simulated"):
+            record.overhead_pct
+
+    def test_overhead_distinguishes_zero_from_unsimulated(self):
+        """Regression: ``if not plain_cycles`` conflated a measured 0
+        with None and blamed the record for "not being simulated"."""
+        record = _record("k", plain_cycles=0, eric_cycles=50)
+        with pytest.raises(ValueError, match="zero baseline cycles"):
             record.overhead_pct
 
     def test_size_increase_pct(self):
         assert _record("k").size_increase_pct == 53.0
+        # an empty program image has no meaningful ratio, not an error
+        assert _record("k", plain_size=0).size_increase_pct == 0.0

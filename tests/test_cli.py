@@ -137,6 +137,44 @@ class TestSweepCommand:
         assert main(["sweep", str(spec), "--no-store", "--quiet"]) == 1
         assert "FAILED" in capsys.readouterr().out
 
+    def test_sweep_compact_rewrites_and_warns_on_junk(self, spec_file,
+                                                      tmp_path, capsys):
+        store = str(tmp_path / "farm")
+        main(["sweep", spec_file, "--store", store, "--quiet"])
+        results = tmp_path / "farm" / "results.jsonl"
+        with results.open("a") as handle:
+            handle.write("not json at all\n")
+        capsys.readouterr()
+
+        # the skipped line is surfaced, --compact drops it
+        assert main(["sweep", spec_file, "--store", store,
+                     "--quiet", "--compact"]) == 0
+        captured = capsys.readouterr()
+        assert "1 corrupt or schema-mismatched line(s)" in captured.err
+        assert "store compacted: 4 live record(s)" in captured.out
+        assert len(results.read_text().strip().splitlines()) == 4
+
+        # a compacted store loads clean: no warning the next time
+        assert main(["sweep", spec_file, "--store", store,
+                     "--quiet"]) == 0
+        assert "corrupt" not in capsys.readouterr().err
+
+    def test_sweep_compact_requires_a_store(self, spec_file, capsys):
+        assert main(["sweep", spec_file, "--no-store", "--compact"]) == 1
+        assert "--compact" in capsys.readouterr().err
+
+    def test_sweep_environment_axis(self, tmp_path, capsys):
+        spec = tmp_path / "env.json"
+        spec.write_text(json.dumps({
+            "programs": self.SPEC["programs"][:1],
+            "environments": [{}, {"temperature_c": 85.0}],
+            "simulate": False,
+        }))
+        assert main(["sweep", str(spec), "--no-store", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 jobs -> 0 store hits, 2 executed" in out
+        assert "85C/1.00V" in out and "25C/1.00V" in out
+
     def test_sweep_rejects_bad_spec(self, tmp_path, capsys):
         spec = tmp_path / "bad.json"
         spec.write_text(json.dumps({"workloads": ["no-such-workload"]}))
