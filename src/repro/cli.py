@@ -10,6 +10,8 @@ Subcommands::
     eric disasm   prog.c                  compile and disassemble (plain)
     eric eval     [fig7 ...] --jobs 4     regenerate paper tables/figures
     eric sweep    matrix.json --jobs 4    run a simulation-farm matrix
+    eric sweep    matrix.json --shards 4  shard it over coordinated workers
+    eric worker   shard.json --store DIR  run one shard (e.g. remotely)
 
 Device identity is simulated: ``--device-seed`` selects the die.  The
 same seed on ``package`` and ``run`` is the happy path; different seeds
@@ -157,6 +159,8 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     argv = list(args.experiments) + ["--jobs", str(args.jobs)]
     if args.store:
         argv += ["--store", args.store]
+    if args.shards:
+        argv += ["--shards", str(args.shards)]
     if args.force:
         argv.append("--force")
     return eval_main(argv)
@@ -171,26 +175,54 @@ def _warn_skipped_lines(store) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.farm import JobMatrix, ResultStore, SimulationFarm
+    from repro.farm import (FarmCoordinator, JobMatrix, ResultStore,
+                            SimulationFarm)
     from repro.service.telemetry import StagePrinter
 
     if args.compact and args.no_store:
         raise EricError("--compact rewrites the result store; "
                         "drop --no-store to use it")
+    if args.shards and args.no_store:
+        raise EricError("--shards merges shard stores into the main "
+                        "store; drop --no-store to use it")
     matrix = JobMatrix.from_spec(_load_json(args.spec, "sweep spec"))
     store = None if args.no_store else ResultStore(args.store)
     _warn_skipped_lines(store)
-    farm = SimulationFarm(store=store, jobs=args.jobs)
-    if not args.quiet:
-        farm.on_event(StagePrinter(stages="farm.job"))
+    if args.shards:
+        farm = FarmCoordinator(store=store, shards=args.shards,
+                               jobs_per_shard=args.jobs,
+                               shard_root=args.shard_root)
+        if not args.quiet:
+            # per-job events stay inside the worker processes; narrate
+            # shard completions instead
+            farm.on_event(StagePrinter(stages="farm.shard"))
+    else:
+        farm = SimulationFarm(store=store, jobs=args.jobs)
+        if not args.quiet:
+            farm.on_event(StagePrinter(stages="farm.job"))
     report = farm.run(matrix, force=args.force)
     print(report.render())
     print(report.summary())
+    if args.shards:
+        for index, stats in enumerate(farm.last_merge):
+            print(f"shard {index + 1}/{len(farm.last_merge)} merged: "
+                  f"{stats.describe()}")
     if store is not None:
         if args.compact:
             print(f"store compacted: {store.compact()} live record(s)")
         print(f"store: {store.path} ({len(store)} records)")
     return 0 if not report.failures else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.farm.worker import main as worker_main
+
+    argv = [args.shard, "--store", args.store, "--jobs", str(args.jobs)]
+    if args.force:
+        argv.append("--force")
+    if args.quiet:
+        argv.append("--quiet")
+    return worker_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulation-farm worker processes (default 1)")
     p.add_argument("--store",
                    help="farm result store directory to resume from")
+    p.add_argument("--shards", type=int, default=0,
+                   help="shard farm matrices over N coordinated worker "
+                        "processes (requires --store)")
     p.add_argument("--force", action="store_true",
                    help="re-measure even stored results")
     p.set_defaults(func=_cmd_eval)
@@ -259,10 +294,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("spec", help="JSON matrix spec (see repro.farm."
                                 "JobMatrix.from_spec)")
     p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes (default 1)")
+                   help="worker processes (default 1); with --shards, "
+                        "processes per shard")
     p.add_argument("--store", default="benchmarks/results/farm",
                    help="result-store directory "
                         "(default: benchmarks/results/farm)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="shard the matrix's key space over N "
+                        "coordinated workers, then merge their stores "
+                        "(0 = unsharded)")
+    p.add_argument("--shard-root",
+                   help="per-shard store/spec directory "
+                        "(default: <store>/shards)")
     p.add_argument("--no-store", action="store_true",
                    help="measure in-memory; skip and persist nothing")
     p.add_argument("--force", action="store_true",
@@ -274,6 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one distributed-farm shard against a local store")
+    p.add_argument("shard", help="shard spec JSON (written by "
+                                 "eric sweep --shards)")
+    p.add_argument("--store", required=True,
+                   help="per-shard result-store directory")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes on this machine (default 1)")
+    p.add_argument("--force", action="store_true",
+                   help="re-measure (and re-persist) stored keys")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+    p.set_defaults(func=_cmd_worker)
 
     return parser
 

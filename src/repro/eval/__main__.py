@@ -4,7 +4,9 @@ With no experiment arguments, runs everything (table1, table2, fig5,
 fig6, fig7).  The figure experiments measure through the simulation
 farm: ``--jobs N`` fans their workload matrices out over N worker
 processes, ``--store DIR`` resumes from (and adds to) a persistent
-result store, and ``--force`` re-measures stored keys.
+result store, ``--shards N`` distributes the matrices over N
+coordinated workers with per-shard stores merged back into ``--store``,
+and ``--force`` re-measures stored keys.
 """
 
 from __future__ import annotations
@@ -30,6 +32,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", metavar="DIR",
                         help="persistent farm result store to resume from "
                              "(default: measure in-memory)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="shard farm matrices over N coordinated "
+                             "worker processes (requires --store)")
     parser.add_argument("--force", action="store_true",
                         help="re-measure even stored results")
     return parser
@@ -47,11 +52,19 @@ def main(argv: list[str]) -> int:
     if any(name in FARM_EXPERIMENTS for name in names):
         # one farm for the whole invocation: fig5/6/7 share the worker
         # pool budget and, when --store is given, one result store
-        from repro.farm import ResultStore, SimulationFarm
+        from repro.farm import FarmCoordinator, ResultStore, SimulationFarm
         store = ResultStore(args.store) if args.store else None
         if store is not None and store.skipped_warning():
             print(f"warning: {store.skipped_warning()}", file=sys.stderr)
-        farm = SimulationFarm(store=store, jobs=args.jobs)
+        if args.shards:
+            if store is None:
+                print("--shards needs --store: shard stores merge into "
+                      "the main result store", file=sys.stderr)
+                return 2
+            farm = FarmCoordinator(store=store, shards=args.shards,
+                                   jobs_per_shard=args.jobs)
+        else:
+            farm = SimulationFarm(store=store, jobs=args.jobs)
     for name in names:
         if name in FARM_EXPERIMENTS:
             result = EXPERIMENTS[name].run(farm=farm, force=args.force)

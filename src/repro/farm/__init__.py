@@ -20,30 +20,54 @@ already-stored keys are served from disk, ``force=True`` re-measures.
 The figure modules (:mod:`repro.eval.fig5`/``fig6``/``fig7``) and the
 ablation benchmarks source their measurements through this subsystem;
 ``eric sweep`` exposes it on the command line.
+
+Scaling past one machine, :class:`~repro.farm.coordinator.FarmCoordinator`
+shards a matrix's key space into contiguous ranges
+(:class:`~repro.farm.spec.ShardPlan`), runs each shard as its own farm
+against a per-shard store (:mod:`repro.farm.worker`, also the ``eric
+worker`` entry point for remote machines), and merges the shard stores
+back last-record-wins (:meth:`ResultStore.merge_from`)::
+
+    from repro.farm import FarmCoordinator, JobMatrix, ResultStore
+
+    coordinator = FarmCoordinator(
+        store=ResultStore("benchmarks/results/farm"), shards=4)
+    report = coordinator.run(JobMatrix(workloads=("crc32", "fft")))
 """
 
+from repro.farm.coordinator import FarmCoordinator, ShardOutcome
 from repro.farm.executor import (DYNAMIC_ATTACKER_SEEDS,
                                  KEY_STABILITY_READS, FarmJobResult,
                                  FarmReport, SimulationFarm, execute_job)
 from repro.farm.spec import (KEY_SCHEMA, PIPELINE_VARIANTS, JobMatrix,
-                             JobSpec, SimParams)
-from repro.farm.store import (DEFAULT_STORE_DIR, STORE_SCHEMA, FarmRecord,
+                             JobSpec, ShardPlan, ShardSpec, SimParams)
+from repro.farm.store import (DEFAULT_STORE_DIR, STORE_SCHEMA,
+                              WALL_CLOCK_FIELDS, FarmRecord, MergeStats,
                               ResultStore)
+from repro.farm.worker import load_shard, run_shard
 
 __all__ = [
     "DEFAULT_STORE_DIR",
     "DYNAMIC_ATTACKER_SEEDS",
     "KEY_STABILITY_READS",
+    "FarmCoordinator",
     "FarmJobResult",
     "FarmRecord",
     "FarmReport",
     "JobMatrix",
     "JobSpec",
     "KEY_SCHEMA",
+    "MergeStats",
     "PIPELINE_VARIANTS",
     "ResultStore",
     "STORE_SCHEMA",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardSpec",
     "SimParams",
     "SimulationFarm",
+    "WALL_CLOCK_FIELDS",
     "execute_job",
+    "load_shard",
+    "run_shard",
 ]

@@ -19,6 +19,7 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import hashlib
 
@@ -174,6 +175,27 @@ def _config_dict(config) -> dict:
     return config_to_dict(config)
 
 
+#: Stack frames kept in a failed job's error string (innermost last).
+ERROR_TRACE_FRAMES = 3
+
+
+def _format_error(exc: BaseException) -> str:
+    """One line: the exception plus its last few stack frames.
+
+    Farm failures travel as strings — across process pools and, for the
+    distributed farm, across machines — so the message itself must
+    carry enough of the traceback to debug a remote shard.  Kept to one
+    line so ``require_ok``'s joined summary stays readable.
+    """
+    head = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    frames = traceback.extract_tb(exc.__traceback__)[-ERROR_TRACE_FRAMES:]
+    if not frames:
+        return head
+    trail = " <- ".join(f"{Path(f.filename).name}:{f.lineno} in {f.name}"
+                        for f in reversed(frames))
+    return f"{head} [at {trail}]"
+
+
 def _execute_safe(spec: JobSpec) -> tuple[FarmRecord | None, str | None]:
     """Worker wrapper: never raises on job errors, returns
     (record, error).  KeyboardInterrupt/SystemExit still propagate — an
@@ -181,8 +203,7 @@ def _execute_safe(spec: JobSpec) -> tuple[FarmRecord | None, str | None]:
     try:
         return execute_job(spec), None
     except Exception as exc:  # noqa: BLE001 — isolation boundary
-        tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
-        return None, tail
+        return None, _format_error(exc)
 
 
 @dataclass(frozen=True)
@@ -211,6 +232,11 @@ class FarmReport:
     wall_s: float
     jobs: int
     store_path: str | None
+    #: the coordinator's *configured* shard count when a FarmCoordinator
+    #: produced the report (like ``jobs``, this reports configuration,
+    #: not how many shards a possibly-warm run actually dispatched);
+    #: 0 for a plain single-store SimulationFarm run
+    shards: int = 0
 
     @property
     def records(self) -> tuple[FarmRecord, ...]:
@@ -239,7 +265,15 @@ class FarmReport:
 
     @property
     def total_eric_cycles(self) -> int:
-        return sum(r.eric_cycles or 0 for r in self.records)
+        """Cycles across *simulated* records only.
+
+        ``simulate=False`` records carry ``eric_cycles is None`` — never
+        measured, which is not the same thing as a measured 0 — and are
+        excluded from the sum rather than conflated with zero (the same
+        distinction :meth:`FarmRecord.overhead_pct` draws).
+        """
+        return sum(r.eric_cycles for r in self.records
+                   if r.eric_cycles is not None)
 
     @property
     def measured_wall_s(self) -> float:
@@ -255,10 +289,12 @@ class FarmReport:
                 + "; ".join(lines))
 
     def summary(self) -> str:
+        sharding = f", shards={self.shards}" if self.shards else ""
         return (f"farm: {len(self.results)} jobs -> {self.hits} store "
                 f"hits, {self.executed} executed, {len(self.failures)} "
                 f"failed in {self.wall_s * 1e3:.1f} ms "
-                f"(hit rate {self.hit_rate:.0%}, jobs={self.jobs})")
+                f"(hit rate {self.hit_rate:.0%}, jobs={self.jobs}"
+                f"{sharding})")
 
     def render(self) -> str:
         """Sorted per-job table (stable across runs for stable stores)."""
@@ -297,6 +333,59 @@ class FarmReport:
             rows, title="Simulation-farm sweep")
 
 
+def expand_specs(matrix) -> tuple[JobSpec, ...]:
+    """Normalize a matrix-or-spec-sequence into validated JobSpecs
+    (shared by the farm, the coordinator, and shard planning)."""
+    specs = (matrix.jobs() if isinstance(matrix, JobMatrix)
+             else tuple(s.validate() for s in matrix))
+    if not specs:
+        raise ConfigError("nothing to run: empty job list")
+    return specs
+
+
+def serve_store_hits(specs, keys, store, force, results, announce):
+    """Phase 1 of any farm run: fill ``results`` with store hits and
+    map duplicate keys onto their executing slot.
+
+    Returns ``(pending, followers, done)`` — indices left to execute,
+    duplicate-slot -> leader-slot mapping, and jobs announced so far.
+    Shared verbatim by :class:`SimulationFarm` and the coordinator so
+    hit/dedup semantics cannot drift between the two.
+    """
+    pending: list[int] = []
+    first_index: dict[str, int] = {}
+    followers: dict[int, int] = {}
+    done = 0
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        record = None if (force or store is None) else store.get(key)
+        if record is not None:
+            results[i] = FarmJobResult(spec=spec, record=record,
+                                       error=None, from_store=True,
+                                       wall_s=0.0)
+            done += 1
+            announce(done, len(specs), results[i])
+        elif key in first_index:
+            followers[i] = first_index[key]
+        else:
+            first_index[key] = i
+            pending.append(i)
+    return pending, followers, done
+
+
+def share_follower_outcomes(specs, results, followers, done, announce):
+    """Final phase of any farm run: duplicate slots adopt their
+    leader's outcome (marked ``shared``).  Returns the updated count."""
+    for i, leader in followers.items():
+        outcome = results[leader]
+        results[i] = FarmJobResult(spec=specs[i], record=outcome.record,
+                                   error=outcome.error,
+                                   from_store=outcome.from_store,
+                                   wall_s=0.0, shared=True)
+        done += 1
+        announce(done, len(specs), results[i])
+    return done
+
+
 class SimulationFarm:
     """Executes job matrices against a result store.
 
@@ -332,34 +421,15 @@ class SimulationFarm:
         Duplicate keys inside one matrix execute once and share the
         record.  Results keep matrix submission order.
         """
-        specs = (matrix.jobs() if isinstance(matrix, JobMatrix)
-                 else tuple(s.validate() for s in matrix))
-        if not specs:
-            raise ConfigError("nothing to run: empty job list")
+        specs = expand_specs(matrix)
         start = time.perf_counter()
         keys = [spec.key() for spec in specs]
         results: list[FarmJobResult | None] = [None] * len(specs)
         total = len(specs)
-        done = 0
 
-        # -- phase 1: serve store hits ------------------------------------
-        pending: list[int] = []
-        first_index: dict[str, int] = {}
-        followers: dict[int, int] = {}  # duplicate slot -> executing slot
-        for i, (spec, key) in enumerate(zip(specs, keys)):
-            record = None if (force or self.store is None) \
-                else self.store.get(key)
-            if record is not None:
-                results[i] = FarmJobResult(spec=spec, record=record,
-                                           error=None, from_store=True,
-                                           wall_s=0.0)
-                done += 1
-                self._announce(done, total, results[i])
-            elif key in first_index:
-                followers[i] = first_index[key]
-            else:
-                first_index[key] = i
-                pending.append(i)
+        # -- phase 1: serve store hits; dedupe within the matrix ----------
+        pending, followers, done = serve_store_hits(
+            specs, keys, self.store, force, results, self._announce)
 
         # -- phase 2: execute the rest ------------------------------------
         for i, record, error, wall_s in self._execute(specs, pending):
@@ -372,14 +442,8 @@ class SimulationFarm:
             self._announce(done, total, results[i])
 
         # -- phase 3: duplicates share the executing slot's outcome -------
-        for i, leader in followers.items():
-            outcome = results[leader]
-            results[i] = FarmJobResult(spec=specs[i], record=outcome.record,
-                                       error=outcome.error,
-                                       from_store=outcome.from_store,
-                                       wall_s=0.0, shared=True)
-            done += 1
-            self._announce(done, total, results[i])
+        share_follower_outcomes(specs, results, followers, done,
+                                self._announce)
 
         wall_s = time.perf_counter() - start
         report = FarmReport(

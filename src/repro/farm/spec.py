@@ -12,13 +12,19 @@ definitions.
 :class:`JobMatrix` expands workload/config/parameter grids into a
 deterministic, sorted job list; ``JobMatrix.from_spec`` parses the small
 JSON dialect the ``eric sweep`` command reads.
+
+:class:`ShardPlan` partitions a matrix's deduplicated, sorted key space
+into contiguous ranges for the distributed farm: each
+:class:`ShardSpec` is self-contained (it carries its jobs in full, not
+a reference to the original spec file), serializes to JSON, and can be
+executed on another machine by ``eric worker``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from itertools import product
 
 from repro.core.config import EricConfig
@@ -109,6 +115,22 @@ class SimParams:
     def pipeline_model(self) -> PipelineModel:
         return PIPELINE_VARIANTS[self.pipeline]
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimParams":
+        """Revive ``asdict(params)`` output (shard specs, store records)."""
+        if not isinstance(data, dict):
+            raise ConfigError(f"params must be an object, got {data!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown params keys {sorted(unknown)}; "
+                              f"known: {sorted(known)}")
+        options = dict(data)
+        environment = options.pop("environment", None)
+        if environment is not None:
+            options["environment"] = Environment.from_dict(environment)
+        return cls(**options).validate()
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -166,7 +188,17 @@ class JobSpec:
         Covers everything the outcome depends on — and nothing else:
         ``name`` is cosmetic, and a registry workload hashes identically
         to the same source passed inline.
+
+        Memoized per instance (the spec is frozen, so the address can
+        never change): sharding re-derives keys at plan, dispatch, and
+        merge time, and hashing the full source each time would scale
+        poorly with fleet-size matrices.  The memo is keyed on
+        :data:`KEY_SCHEMA` so a schema bump re-addresses even
+        already-hashed specs.
         """
+        cached = self.__dict__.get("_key_memo")
+        if cached is not None and cached[0] == KEY_SCHEMA:
+            return cached[1]
         source, _ = self.resolve_source()
         payload = {
             "schema": KEY_SCHEMA,
@@ -178,7 +210,40 @@ class JobSpec:
             "repeats": self.repeats,
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_key_memo", (KEY_SCHEMA, digest))
+        return digest
+
+    def to_dict(self) -> dict:
+        """JSON-portable form; ``from_dict`` revives it key-identically.
+
+        Unlike the ``eric sweep`` dialect (a grid description), this is
+        one fully-expanded job — the currency shard specs ship in.
+        """
+        return {
+            "workload": self.workload,
+            "source": self.source,
+            "name": self.name,
+            "config": config_to_dict(self.config),
+            "params": asdict(self.params),
+            "simulate": self.simulate,
+            "analyze": self.analyze,
+            "repeats": self.repeats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(f"job entry must be an object, got {data!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown job keys {sorted(unknown)}; "
+                              f"known: {sorted(known)}")
+        options = dict(data)
+        options["config"] = config_from_dict(options.get("config", {}))
+        options["params"] = SimParams.from_dict(options.get("params", {}))
+        return cls(**options).validate()
 
 
 @dataclass(frozen=True)
@@ -302,6 +367,149 @@ class JobMatrix:
         )
         matrix.jobs()  # validates workload names, fractions, emptiness
         return matrix
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice of a matrix's sorted, deduplicated key space.
+
+    Self-contained by design: ``jobs`` carries every job of the slice in
+    full (via :meth:`JobSpec.to_dict`), so the JSON form can be shipped
+    to another machine and executed there by ``eric worker`` without the
+    original sweep spec.  ``start``/``stop`` are the slice's first and
+    last job keys (inclusive); the worker re-derives each job's key and
+    refuses a shard whose keys fall outside the range — the signature
+    of a spec planned by a different code version.
+    """
+
+    index: int
+    count: int
+    start: str
+    stop: str
+    jobs: tuple[JobSpec, ...]
+
+    def validate(self) -> "ShardSpec":
+        # type-check first: hand-edited/truncated shard.json must fail
+        # with the curated ConfigError path, not a raw TypeError
+        for label, value in (("index", self.index), ("count", self.count)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError(
+                    f"shard {label} must be an integer, got {value!r}")
+        for label, value in (("start", self.start), ("stop", self.stop)):
+            if not isinstance(value, str):
+                raise ConfigError(
+                    f"shard {label} must be a job-key string, "
+                    f"got {value!r}")
+        if not 0 <= self.index < self.count:
+            raise ConfigError(
+                f"shard index {self.index} out of range for "
+                f"{self.count} shard(s)")
+        if not self.jobs:
+            raise ConfigError(f"shard {self.index} carries no jobs")
+        if self.start > self.stop:
+            raise ConfigError(
+                f"shard {self.index} has an inverted key range "
+                f"{self.start[:12]}..{self.stop[:12]}")
+        for job in self.jobs:
+            key = job.key()
+            if not self.start <= key <= self.stop:
+                raise ConfigError(
+                    f"job {job.display_name!r} (key {key[:12]}) falls "
+                    f"outside shard {self.index}'s range "
+                    f"{self.start[:12]}..{self.stop[:12]}; the shard "
+                    f"spec was planned by a different code version")
+        return self
+
+    def to_spec(self) -> dict:
+        """The JSON document ``eric worker`` consumes."""
+        return {
+            "kind": "eric-shard",
+            "key_schema": KEY_SCHEMA,
+            "index": self.index,
+            "count": self.count,
+            "start": self.start,
+            "stop": self.stop,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    @classmethod
+    def from_spec(cls, data: dict) -> "ShardSpec":
+        if not isinstance(data, dict) or data.get("kind") != "eric-shard":
+            raise ConfigError(
+                'not a shard spec: expected {"kind": "eric-shard", ...}')
+        schema = data.get("key_schema")
+        if schema != KEY_SCHEMA:
+            raise ConfigError(
+                f"shard spec was planned under KEY_SCHEMA={schema!r}, "
+                f"this farm addresses jobs under KEY_SCHEMA={KEY_SCHEMA}; "
+                f"re-plan the sweep")
+        required = {"index", "count", "start", "stop", "jobs"}
+        missing = required - set(data)
+        if missing:
+            raise ConfigError(f"shard spec misses {sorted(missing)}")
+        jobs = data["jobs"]
+        if not isinstance(jobs, list):
+            raise ConfigError(f"shard jobs must be a list, got {jobs!r}")
+        return cls(
+            index=data["index"], count=data["count"],
+            start=data["start"], stop=data["stop"],
+            jobs=tuple(JobSpec.from_dict(job) for job in jobs),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A matrix partitioned into contiguous key ranges for distribution.
+
+    The partition is a pure function of the matrix content: jobs are
+    deduplicated by key, the keys sorted, and the sorted sequence cut
+    into ``count`` near-even contiguous slices.  Keys are content
+    addresses, so the same matrix yields the same plan on every machine
+    and every run — the coordinator and remote workers never have to
+    negotiate an assignment.
+    """
+
+    shards: tuple[ShardSpec, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def job_count(self) -> int:
+        """Deduplicated jobs across all shards."""
+        return sum(len(shard.jobs) for shard in self.shards)
+
+    @classmethod
+    def partition(cls, matrix: "JobMatrix | tuple[JobSpec, ...] | list[JobSpec]",
+                  shards: int) -> "ShardPlan":
+        """Cut ``matrix`` into at most ``shards`` contiguous key ranges.
+
+        Fewer unique keys than requested shards yields one single-job
+        shard per key (never an empty shard).
+        """
+        if shards < 1:
+            raise ConfigError("shards must be at least 1")
+        specs = (matrix.jobs() if isinstance(matrix, JobMatrix)
+                 else tuple(s.validate() for s in matrix))
+        if not specs:
+            raise ConfigError("nothing to shard: empty job list")
+        by_key: dict[str, JobSpec] = {}
+        for spec in specs:
+            by_key.setdefault(spec.key(), spec)
+        keys = sorted(by_key)
+        count = min(shards, len(keys))
+        base, extra = divmod(len(keys), count)
+        out = []
+        position = 0
+        for index in range(count):
+            size = base + (1 if index < extra else 0)
+            chunk = keys[position:position + size]
+            position += size
+            out.append(ShardSpec(
+                index=index, count=count, start=chunk[0], stop=chunk[-1],
+                jobs=tuple(by_key[key] for key in chunk)).validate())
+        return cls(shards=tuple(out))
 
 
 def _parse_seed(seed) -> int:

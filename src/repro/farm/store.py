@@ -14,11 +14,21 @@ Robustness rules:
   no longer describe what the farm measures);
 * duplicate keys resolve to the *last* record (a ``--force`` re-measure
   simply appends and wins).
+
+The JSONL layout is also the distributed farm's merge format:
+concatenating two stores *is* a last-record-wins merge, and
+:meth:`ResultStore.merge_from` performs exactly that (treating the
+source as the newer writer) when a shard store comes back from a
+worker.  Store rewrites (``compact``/``merge_from``) go through a
+temp-file-plus-:func:`os.replace` so a crash mid-rewrite leaves the old
+file intact instead of a half-written one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
@@ -30,6 +40,14 @@ STORE_SCHEMA = 2
 
 DEFAULT_STORE_DIR = Path("benchmarks") / "results" / "farm"
 _FILENAME = "results.jsonl"
+
+#: Fields that measure the executing machine's wall clock — the only
+#: fields on which two measurements of the same job key may legitimately
+#: differ (everything else is a deterministic function of the key).
+WALL_CLOCK_FIELDS = frozenset({
+    "baseline_s", "package_total_s", "compile_s", "signature_s",
+    "encryption_s", "packaging_s", "wall_s",
+})
 
 
 @dataclass(frozen=True)
@@ -141,6 +159,15 @@ class FarmRecord:
         return json.dumps(asdict(self), sort_keys=True,
                           separators=(",", ":"))
 
+    def stable_dict(self) -> dict:
+        """The record minus :data:`WALL_CLOCK_FIELDS`: two measurements
+        of the same key — whichever machine or shard ran them — compare
+        equal here field for field."""
+        data = asdict(self)
+        for name in WALL_CLOCK_FIELDS:
+            data.pop(name, None)
+        return data
+
     @classmethod
     def from_json(cls, line: str) -> "FarmRecord | None":
         """Parse one store line; None for corrupt or schema-mismatched
@@ -156,6 +183,35 @@ class FarmRecord:
             return cls(**{k: v for k, v in data.items() if k in names})
         except TypeError:
             return None
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """Outcome of one :meth:`ResultStore.merge_from` call."""
+
+    #: records adopted under keys this store did not hold
+    added: int
+    #: records that overwrote an existing key (last wins: the source is
+    #: the newer writer, even when the payloads happen to be identical)
+    replaced: int
+    #: corrupt or schema-mismatched source lines (counted, never fatal —
+    #: a torn final line from a killed worker merges as "one line less")
+    skipped: int
+    #: valid source records left out by the caller's ``keys`` filter
+    ignored: int = 0
+
+    @property
+    def merged(self) -> int:
+        return self.added + self.replaced
+
+    def describe(self) -> str:
+        text = (f"{self.merged} record(s) merged "
+                f"({self.added} new, {self.replaced} replaced)")
+        if self.skipped:
+            text += f", {self.skipped} line(s) skipped"
+        if self.ignored:
+            text += f", {self.ignored} out-of-plan record(s) ignored"
+        return text
 
 
 class ResultStore:
@@ -240,8 +296,81 @@ class ResultStore:
             for key, record in self._records.items():
                 merged.setdefault(key, record)
             self._records = merged
-            records = [merged[k] for k in sorted(merged)]
-            text = "".join(r.to_json() + "\n" for r in records)
-            self.path.write_text(text, encoding="utf-8")
-            self.skipped_lines = 0
-            return len(records)
+            self._rewrite(merged)
+            return len(merged)
+
+    def merge_from(self, path: str | Path,
+                   keys: "set[str] | frozenset[str] | None" = None
+                   ) -> MergeStats:
+        """Last-record-wins merge of another store's file into this one.
+
+        ``path`` is a store directory (its ``results.jsonl`` is read) or
+        a JSONL file directly — e.g. a per-shard store a worker machine
+        shipped back.  The source is treated as the *newer* writer:
+        where both stores hold a key, the source's record wins, exactly
+        as if its lines had been appended after this store's.  Corrupt
+        or schema-mismatched source lines (including the torn final
+        line of a killed worker) are counted in the returned
+        :class:`MergeStats`, never fatal.  The merged file is rewritten
+        atomically (and therefore also compacted).
+
+        ``keys``, when given, restricts the merge to those job keys.
+        The coordinator passes each shard's *planned* key set so a
+        reused shard directory cannot resurrect leftover records from
+        an earlier run — stale lines outside the plan would otherwise
+        win over fresher (e.g. ``--force``-re-measured) main-store
+        records.  Records filtered out are counted as ``ignored``.
+        """
+        source = Path(path)
+        if source.is_dir():
+            source = source / _FILENAME
+        incoming: dict[str, FarmRecord] = {}
+        skipped = 0
+        ignored = 0
+        if source.exists():
+            for line in source.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                record = FarmRecord.from_json(line)
+                if record is None:
+                    skipped += 1
+                elif keys is not None and record.key not in keys:
+                    ignored += 1
+                else:
+                    incoming[record.key] = record
+        with self._lock:
+            merged, _ = self._read_file()
+            for key, record in self._records.items():
+                merged.setdefault(key, record)
+            added = sum(1 for key in incoming if key not in merged)
+            replaced = len(incoming) - added
+            merged.update(incoming)
+            self._records = merged
+            self._rewrite(merged)
+        return MergeStats(added=added, replaced=replaced, skipped=skipped,
+                          ignored=ignored)
+
+    def _rewrite(self, records: dict[str, FarmRecord]) -> None:
+        """Atomically replace the file with one sorted line per key.
+
+        Written to a sibling temp file first and :func:`os.replace`\\ d
+        over the store, so a crash mid-write leaves the previous file
+        intact — never a half-written one.  Caller holds the lock.
+        """
+        text = "".join(records[key].to_json() + "\n"
+                       for key in sorted(records))
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=_FILENAME + ".", suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                tmp.write(text)
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.skipped_lines = 0

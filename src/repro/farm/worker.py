@@ -1,0 +1,101 @@
+"""Worker-side shard execution for the distributed farm.
+
+A worker machine receives one shard spec (JSON written by
+:meth:`repro.farm.spec.ShardSpec.to_spec`), runs its jobs through the
+ordinary :class:`~repro.farm.executor.SimulationFarm` against a local
+:class:`~repro.farm.store.ResultStore`, and ships the store's
+``results.jsonl`` back for the coordinator to
+:meth:`~repro.farm.store.ResultStore.merge_from`.  ``eric worker
+shard.json --store DIR`` is the command-line wrapper; the in-process
+coordinator dispatches the same :func:`run_shard` via a process pool,
+so local and remote shards execute byte-identically.
+
+A worker's store is itself resumable: re-running a shard after a crash
+serves the already-measured keys from the shard store and only
+simulates the remainder.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import EricError
+from repro.farm.executor import FarmReport, SimulationFarm
+from repro.farm.spec import ShardSpec
+from repro.farm.store import ResultStore
+
+
+def load_shard(path: str | Path) -> ShardSpec:
+    """Parse and validate a shard spec file.
+
+    Validation recomputes every job key and checks it against the
+    spec's declared range, so a worker running drifted code (different
+    ``KEY_SCHEMA``, different config semantics) refuses the shard
+    instead of silently measuring the wrong thing.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise EricError(f"shard spec {path} is not valid JSON: "
+                        f"{exc}") from None
+    return ShardSpec.from_spec(data)
+
+
+def run_shard(shard: ShardSpec, store_dir: str | Path, jobs: int = 1,
+              force: bool = False, telemetry=None,
+              progress=None) -> FarmReport:
+    """Execute one shard against its own result store.
+
+    The shard's jobs run exactly like any other matrix — store hits are
+    served, the rest simulate (``jobs`` worker processes) — and every
+    completed record lands in ``store_dir``'s JSONL, ready to be merged
+    into the coordinator's main store.
+    """
+    farm = SimulationFarm(store=ResultStore(store_dir), jobs=jobs,
+                          telemetry=telemetry, progress=progress)
+    return farm.run(shard.jobs, force=force)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``eric worker`` / ``python -m repro.farm.worker`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="eric worker",
+        description="run one distributed-farm shard against a local "
+                    "result store")
+    parser.add_argument("shard", help="shard spec JSON (written by "
+                                      "eric sweep --shards / ShardPlan)")
+    parser.add_argument("--store", required=True,
+                        help="per-shard result-store directory; ship its "
+                             "results.jsonl back for merging")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes on this machine "
+                             "(default 1)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-measure (and re-persist) stored keys")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines")
+    args = parser.parse_args(argv)
+
+    from repro.service.telemetry import StagePrinter
+
+    shard = load_shard(args.shard)
+    telemetry = None if args.quiet else StagePrinter(stages="farm.job")
+    report = run_shard(shard, args.store, jobs=args.jobs,
+                       force=args.force, telemetry=telemetry)
+    print(f"shard {shard.index + 1}/{shard.count}: {report.summary()}")
+    print(f"store: {ResultStore(args.store).path}")
+    return 0 if not report.failures else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    try:
+        raise SystemExit(main())
+    except EricError as exc:
+        print(f"eric: error: {exc}", file=sys.stderr)
+        raise SystemExit(1) from None

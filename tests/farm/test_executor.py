@@ -184,6 +184,36 @@ class TestFarmRun:
         with pytest.raises(EricError, match="broken"):
             report.require_ok()
 
+    def test_errors_carry_a_trimmed_traceback(self):
+        """Regression: errors used to keep only the exception's last
+        line, which made remote shard failures undebuggable.  The
+        single-line error now names the innermost frames, and
+        require_ok surfaces them."""
+        report = SimulationFarm().run(
+            [JobSpec(source=BROKEN, name="broken")])
+        [failure] = report.failures
+        assert "ParseError" in failure.error
+        assert "[at " in failure.error
+        assert ".py:" in failure.error  # file:line of a real frame
+        assert "\n" not in failure.error  # stays one line for summaries
+        with pytest.raises(EricError, match=r"\[at .*\.py:"):
+            report.require_ok()
+
+    def test_total_eric_cycles_sums_only_simulated_records(self, tmp_path):
+        """Regression: `or 0` conflated unsimulated records
+        (eric_cycles is None) with a measured zero; the sum now skips
+        records that were never simulated."""
+        report = SimulationFarm(store=ResultStore(tmp_path)).run([
+            JobSpec(source=HELLO, name="sim"),
+            JobSpec(source=GOODBYE, name="nosim", simulate=False),
+        ])
+        report.require_ok()
+        simulated = [r for r in report.records
+                     if r.eric_cycles is not None]
+        assert len(simulated) == 1  # the simulate=False record is out
+        assert report.total_eric_cycles == simulated[0].eric_cycles
+        assert report.total_eric_cycles > 0
+
     def test_process_pool_fan_out(self, tmp_path):
         report = SimulationFarm(store=ResultStore(tmp_path),
                                 jobs=2).run(hello_matrix())

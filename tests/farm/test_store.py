@@ -1,10 +1,13 @@
 """ResultStore: JSONL persistence, resumability, corruption handling."""
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
-from repro.farm import STORE_SCHEMA, FarmRecord, ResultStore
+from repro.farm import (STORE_SCHEMA, WALL_CLOCK_FIELDS, FarmRecord,
+                        ResultStore)
 
 
 def _record(key: str, **overrides) -> FarmRecord:
@@ -136,6 +139,182 @@ class TestRobustness:
         assert len(reloaded) == 2
 
 
+class TestAtomicRewrite:
+    def test_compact_failure_leaves_the_old_file_intact(self, tmp_path,
+                                                        monkeypatch):
+        """Regression: compact() used to write_text the store in place,
+        so a crash mid-write destroyed every record.  The rewrite now
+        lands in a temp file and os.replace()s it atomically."""
+        store = ResultStore(tmp_path)
+        store.put(_record("k1"))
+        store.put(_record("k2"))
+        before = store.path.read_text()
+
+        def explode(src, dst):
+            raise OSError("simulated crash at replace time")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.compact()
+        monkeypatch.undo()
+        # the original file survived, byte for byte, and no temp litter
+        assert store.path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["results.jsonl"]
+        assert len(ResultStore(tmp_path)) == 2
+
+    def test_merge_failure_leaves_the_old_file_intact(self, tmp_path,
+                                                      monkeypatch):
+        main, shard = ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        main.put(_record("mine"))
+        shard.put(_record("theirs"))
+        before = main.path.read_text()
+        monkeypatch.setattr(
+            os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("crash")))
+        with pytest.raises(OSError):
+            main.merge_from(shard.root)
+        monkeypatch.undo()
+        assert main.path.read_text() == before
+        assert len(ResultStore(tmp_path / "a")) == 1
+
+
+class TestMergeFrom:
+    def test_merge_adds_and_overrides_last_record_wins(self, tmp_path):
+        main = ResultStore(tmp_path / "main")
+        main.put(_record("shared", eric_cycles=1))
+        main.put(_record("only-main"))
+        shard = ResultStore(tmp_path / "shard")
+        shard.put(_record("shared", eric_cycles=2))  # the newer writer
+        shard.put(_record("only-shard"))
+
+        stats = main.merge_from(shard.root)
+        assert stats.added == 1 and stats.replaced == 1
+        assert stats.merged == 2 and stats.skipped == 0
+        assert main.get("shared").eric_cycles == 2
+        assert main.get("only-shard") is not None
+        assert len(main) == 3
+        # persisted, compacted, and reloadable
+        reloaded = ResultStore(tmp_path / "main")
+        assert len(reloaded) == 3
+        assert reloaded.get("shared").eric_cycles == 2
+        assert len(main.path.read_text().strip().splitlines()) == 3
+
+    def test_merge_accepts_a_jsonl_file_path(self, tmp_path):
+        shard = ResultStore(tmp_path / "shard")
+        shard.put(_record("k"))
+        main = ResultStore(tmp_path / "main")
+        assert main.merge_from(shard.path).added == 1
+
+    def test_merge_counts_skipped_lines_and_tolerates_torn_tail(
+            self, tmp_path):
+        """A worker killed mid-append leaves a torn final line; the
+        merge must skip (and count) it, never fail."""
+        shard = ResultStore(tmp_path / "shard")
+        shard.put(_record("good"))
+        with shard.path.open("a") as handle:
+            handle.write(_record("torn").to_json()[:40])  # no newline
+        main = ResultStore(tmp_path / "main")
+        stats = main.merge_from(shard.root)
+        assert stats.added == 1
+        assert stats.skipped == 1
+        assert "skipped" in stats.describe()
+        assert main.get("torn") is None
+
+    def test_merge_keys_filter_ignores_out_of_plan_records(self, tmp_path):
+        """The coordinator's guard: only a shard's *planned* keys may
+        merge, so leftovers in a reused shard directory cannot
+        resurrect over fresher main-store records."""
+        shard = ResultStore(tmp_path / "shard")
+        shard.put(_record("planned"))
+        shard.put(_record("leftover", eric_cycles=777))
+        main = ResultStore(tmp_path / "main")
+        main.put(_record("leftover", eric_cycles=1))  # the fresher record
+
+        stats = main.merge_from(shard.root, keys={"planned"})
+        assert stats.added == 1 and stats.replaced == 0
+        assert stats.ignored == 1
+        assert "out-of-plan" in stats.describe()
+        assert main.get("leftover").eric_cycles == 1  # not resurrected
+        assert main.get("planned") is not None
+
+    def test_merge_of_an_empty_or_absent_store_is_a_no_op(self, tmp_path):
+        main = ResultStore(tmp_path / "main")
+        main.put(_record("k"))
+        empty = ResultStore(tmp_path / "empty")  # dir exists, no file
+        stats = main.merge_from(empty.root)
+        assert stats.merged == 0 and stats.skipped == 0
+        assert main.merge_from(tmp_path / "never-existed").merged == 0
+        assert len(main) == 1
+
+    def test_merge_keeps_records_appended_by_another_process(self,
+                                                             tmp_path):
+        """Like compact(): the on-disk file is re-read before the
+        rewrite, so another writer's appends survive the merge."""
+        ours = ResultStore(tmp_path / "main")
+        ours.put(_record("mine"))
+        other = ResultStore(tmp_path / "main")
+        other.put(_record("concurrent"))
+        shard = ResultStore(tmp_path / "shard")
+        shard.put(_record("theirs"))
+
+        ours.merge_from(shard.root)
+        assert {"mine", "concurrent", "theirs"} == ours.keys()
+
+
+def _append_records(store_dir, prefix, count, shared_value):
+    """Child-process body: hammer a shard store with appends."""
+    store = ResultStore(store_dir)
+    for i in range(count):
+        store.put(_record(f"{prefix}-{i}", eric_cycles=i))
+    store.put(_record("shared", eric_cycles=shared_value))
+
+
+class TestMultiWriter:
+    def test_concurrent_shard_writers_then_merge_and_compact(
+            self, tmp_path):
+        """The distributed-farm write path end to end: two real
+        processes append to their shard stores concurrently, one store
+        gains a torn final line, then both merge into the main store
+        and compact.  Nothing may be lost and last-record-wins must
+        hold throughout."""
+        count = 25
+        writers = [
+            multiprocessing.Process(
+                target=_append_records,
+                args=(tmp_path / f"shard-{n}", f"w{n}", count, n))
+            for n in (0, 1)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+
+        # a killed worker's signature: a torn final line in shard-0
+        with (tmp_path / "shard-0" / "results.jsonl").open("a") as handle:
+            handle.write(_record("torn").to_json()[:25])
+
+        main = ResultStore(tmp_path / "main")
+        stats0 = main.merge_from(tmp_path / "shard-0")
+        stats1 = main.merge_from(tmp_path / "shard-1")
+        assert stats0.skipped == 1  # the torn line, counted not fatal
+        assert stats1.skipped == 0
+
+        # zero lost keys: every appended record made it through
+        expected = ({f"w0-{i}" for i in range(count)}
+                    | {f"w1-{i}" for i in range(count)} | {"shared"})
+        assert main.keys() == expected
+        # last merge wins the contended key
+        assert main.get("shared").eric_cycles == 1
+
+        live = main.compact()
+        assert live == len(expected)
+        reloaded = ResultStore(tmp_path / "main")
+        assert reloaded.keys() == expected
+        assert reloaded.skipped_lines == 0
+        assert reloaded.get("shared").eric_cycles == 1
+
+
 class TestRecordViews:
     def test_overhead_pct(self):
         assert _record("k").overhead_pct == pytest.approx(5.0)
@@ -157,3 +336,12 @@ class TestRecordViews:
         assert _record("k").size_increase_pct == 53.0
         # an empty program image has no meaningful ratio, not an error
         assert _record("k", plain_size=0).size_increase_pct == 0.0
+
+    def test_stable_dict_masks_exactly_the_wall_clock_fields(self):
+        from dataclasses import fields
+
+        fast = _record("k", compile_s=0.001, wall_s=0.1)
+        slow = _record("k", compile_s=9.0, wall_s=99.0)
+        assert fast.stable_dict() == slow.stable_dict()
+        assert set(fast.stable_dict()) \
+            == {f.name for f in fields(FarmRecord)} - WALL_CLOCK_FIELDS

@@ -175,6 +175,67 @@ class TestSweepCommand:
         assert "2 jobs -> 0 store hits, 2 executed" in out
         assert "85C/1.00V" in out and "25C/1.00V" in out
 
+    def test_sweep_sharded_then_unsharded_resume(self, spec_file,
+                                                 tmp_path, capsys):
+        """The distributed acceptance path: a --shards 2 cold sweep
+        merges every shard store into the main store, after which a
+        plain sweep simulates nothing."""
+        store = str(tmp_path / "farm")
+        assert main(["sweep", spec_file, "--store", store,
+                     "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs -> 0 store hits, 4 executed" in out
+        assert "shards=2" in out
+        assert "shard 1/2 merged: 2 record(s) merged" in out
+        assert "shard 2/2 merged: 2 record(s) merged" in out
+        assert "[farm.shard]" in out
+        # the coordinator's shard artifacts live under the store
+        shards = tmp_path / "farm" / "shards"
+        assert (shards / "shard-00" / "shard.json").exists()
+        assert (shards / "shard-01" / "results.jsonl").exists()
+
+        assert main(["sweep", spec_file, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs -> 4 store hits, 0 executed" in out
+        assert "hit rate 100%" in out
+
+    def test_sweep_shards_require_a_store(self, spec_file, capsys):
+        assert main(["sweep", spec_file, "--no-store",
+                     "--shards", "2"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_worker_runs_a_shard_spec(self, spec_file, tmp_path, capsys):
+        """The remote-machine flow: plan locally, run the shard via
+        `eric worker`, merge the shipped-back store."""
+        import json as json_module
+
+        from repro.farm import (FarmCoordinator, JobMatrix, ResultStore)
+
+        matrix = JobMatrix.from_spec(
+            json_module.loads(open(spec_file).read()))
+        coordinator = FarmCoordinator(
+            store=ResultStore(tmp_path / "main"), shards=2,
+            shard_root=tmp_path / "shards")
+        [first, _] = coordinator.write_shard_specs(
+            coordinator.plan(matrix))
+
+        remote = str(tmp_path / "remote")
+        assert main(["worker", str(first), "--store", remote,
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2" in out
+        assert "2 executed" in out
+        stats = ResultStore(tmp_path / "main").merge_from(remote)
+        assert stats.added == 2
+
+    def test_worker_rejects_a_stale_shard_spec(self, tmp_path, capsys):
+        (tmp_path / "shard.json").write_text(json.dumps({
+            "kind": "eric-shard", "key_schema": -1, "index": 0,
+            "count": 1, "start": "0", "stop": "f", "jobs": []}))
+        assert main(["worker", str(tmp_path / "shard.json"),
+                     "--store", str(tmp_path / "store")]) == 1
+        assert "KEY_SCHEMA" in capsys.readouterr().err
+
     def test_sweep_rejects_bad_spec(self, tmp_path, capsys):
         spec = tmp_path / "bad.json"
         spec.write_text(json.dumps({"workloads": ["no-such-workload"]}))
