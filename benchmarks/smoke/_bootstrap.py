@@ -1,0 +1,17 @@
+"""Shared preamble for the smoke scripts.
+
+Each script runs as ``python benchmarks/smoke/<name>.py`` (this
+directory is then ``sys.path[0]``, so ``from _bootstrap import ROOT``
+always resolves); when ``repro`` is not already importable — a local
+run without ``PYTHONPATH=src`` — the checkout's ``src/`` is added.
+"""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+try:
+    import repro  # noqa: F401 — probe only
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))

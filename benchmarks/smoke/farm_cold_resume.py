@@ -1,0 +1,51 @@
+"""CI smoke: a tiny 2x2 matrix sweep completes cold, then resumes with
+100% result-store hits (zero simulations) — the farm's core guarantee.
+
+Runs locally too::
+
+    PYTHONPATH=src python benchmarks/smoke/farm_cold_resume.py
+
+With no ``--store`` a throwaway directory is used, so the cold phase
+is genuinely cold on every run.
+"""
+
+import argparse
+import json
+import tempfile
+
+from _bootstrap import ROOT  # noqa: E402 — wires sys.path
+
+from repro.farm import JobMatrix, ResultStore, SimulationFarm  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store",
+                        help="store directory (default: fresh temp dir)")
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+    store_dir = args.store or tempfile.mkdtemp(prefix="farm-smoke-")
+
+    spec = json.loads(
+        (ROOT / "examples" / "sweep_spec.json").read_text())
+    matrix = JobMatrix.from_spec(spec)
+    assert matrix.job_count == 4, "smoke spec must stay 2x2"
+
+    cold = SimulationFarm(store=ResultStore(store_dir),
+                          jobs=args.jobs).run(matrix)
+    cold.require_ok()
+    assert cold.executed == 4 and cold.hits == 0, cold.summary()
+    print("cold:", cold.summary())
+
+    resumed = SimulationFarm(store=ResultStore(store_dir),
+                             jobs=args.jobs).run(matrix)
+    resumed.require_ok()
+    assert resumed.executed == 0, resumed.summary()
+    assert resumed.hit_rate == 1.0, resumed.summary()
+    print("resumed:", resumed.summary())
+    print("PASS: farm cold/resume smoke")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

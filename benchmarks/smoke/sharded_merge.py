@@ -1,0 +1,57 @@
+"""CI smoke: the distributed farm's guarantee — a cold ``--shards 2``
+sweep of the 2x2 smoke matrix merges every shard store into the main
+store, after which an unsharded resume serves 100% store hits and
+simulates nothing.
+
+The sharded phase goes through the real CLI (``eric sweep --shards``)
+so argument routing and the printed report stay covered.  Runs
+locally::
+
+    PYTHONPATH=src python benchmarks/smoke/sharded_merge.py
+"""
+
+import argparse
+import contextlib
+import io
+import json
+import tempfile
+
+from _bootstrap import ROOT  # noqa: E402 — wires sys.path
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.farm import JobMatrix, ResultStore, SimulationFarm  # noqa: E402
+
+SPEC_PATH = ROOT / "examples" / "sweep_spec.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store",
+                        help="store directory (default: fresh temp dir)")
+    args = parser.parse_args(argv)
+    store_dir = args.store or tempfile.mkdtemp(prefix="farm-dist-")
+
+    # -- cold sharded sweep through the CLI ------------------------------
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = cli_main(["sweep", str(SPEC_PATH), "--shards", "2",
+                         "--store", store_dir])
+    output = stdout.getvalue()
+    print(output, end="")
+    assert code == 0, f"eric sweep --shards 2 exited {code}"
+    assert "4 jobs -> 0 store hits, 4 executed" in output, output
+    assert "shards=2" in output, output
+
+    # -- unsharded warm resume over the merged store ----------------------
+    matrix = JobMatrix.from_spec(json.loads(SPEC_PATH.read_text()))
+    resumed = SimulationFarm(store=ResultStore(store_dir)).run(matrix)
+    resumed.require_ok()
+    assert resumed.executed == 0, resumed.summary()
+    assert resumed.hit_rate == 1.0, resumed.summary()
+    print("resumed over merged store:", resumed.summary())
+    print("PASS: sharded merge smoke")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

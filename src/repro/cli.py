@@ -5,6 +5,7 @@ Subcommands::
     eric describe --config cfg.json       show an encryption configuration
     eric package  prog.c -o prog.eric     compile+sign+encrypt a program
     eric fleet    prog.c --devices 10     compile once, deploy to a fleet
+    eric fleet    prog.c --async          same rollout, asyncio fan-out
     eric run      prog.eric               decrypt+validate+run on a device
     eric inspect  prog.eric               parse a package header
     eric disasm   prog.c                  compile and disassemble (plain)
@@ -12,6 +13,8 @@ Subcommands::
     eric sweep    matrix.json --jobs 4    run a simulation-farm matrix
     eric sweep    matrix.json --shards 4  shard it over coordinated workers
     eric worker   shard.json --store DIR  run one shard (e.g. remotely)
+    eric serve    --fleets fleets.json    schedule many fleets over one farm
+    eric doctor   --store DIR             store health report, no sweep
 
 Device identity is simulated: ``--device-seed`` selects the die.  The
 same seed on ``package`` and ``run`` is the happy path; different seeds
@@ -95,9 +98,27 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # which main() renders as a clean "eric: error:" line
     session = DeploymentSession(_load_config(args.config))
     devices = [Device(device_seed=seed) for seed in seeds]
-    report = session.deploy_fleet(
-        source, devices, max_workers=args.max_workers, name=args.source,
-        max_instructions=args.max_instructions)
+    if args.use_async:
+        import asyncio
+
+        from repro.service.scheduler import AsyncDeploymentSession
+
+        async_session = AsyncDeploymentSession(
+            session, max_concurrency=args.max_workers)
+
+        async def _deploy():
+            try:
+                return await async_session.deploy_fleet(
+                    source, devices, name=args.source,
+                    max_instructions=args.max_instructions)
+            finally:
+                await async_session.aclose()
+
+        report = asyncio.run(_deploy())
+    else:
+        report = session.deploy_fleet(
+            source, devices, max_workers=args.max_workers,
+            name=args.source, max_instructions=args.max_instructions)
     print(report.summary())
     stats = session.cache_stats
     print(f"  compiles     : {stats.compiles} "
@@ -214,6 +235,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not report.failures else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.farm import ResultStore
+    from repro.service.scheduler import FleetScheduler, load_fleet_specs
+    from repro.service.telemetry import StagePrinter
+
+    if args.shards and args.no_store:
+        raise EricError("--shards merges shard stores into the main "
+                        "store; drop --no-store to use it")
+    requests = load_fleet_specs(_load_json(args.fleets, "fleets spec"))
+    store = None if args.no_store else ResultStore(args.store)
+    _warn_skipped_lines(store)
+    scheduler = FleetScheduler(
+        store=store, config=None, jobs=args.jobs, shards=args.shards,
+        shard_root=args.shard_root, max_concurrency=args.max_concurrency,
+        batch_window=args.batch_window)
+    if not args.quiet:
+        scheduler.on_event(StagePrinter(stages="scheduler."))
+    report = scheduler.run(requests, force=args.force)
+    for fleet in report.fleets:
+        print(fleet.summary())
+    print(report.summary())
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} records)")
+    return 0 if report.all_ok else 1
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.farm.doctor import diagnose_store
+
+    diagnosis = diagnose_store(args.store, shard_root=args.shard_root)
+    print(diagnosis.describe())
+    return 0 if diagnosis.healthy else 1
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.farm.worker import main as worker_main
 
@@ -256,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "--devices/--seed-base)")
     p.add_argument("--max-workers", type=int, default=4)
     p.add_argument("--max-instructions", type=int, default=20_000_000)
+    p.add_argument("--async", dest="use_async", action="store_true",
+                   help="fan out over asyncio coroutines instead of a "
+                        "thread pool (same report, single-flight "
+                        "compile)")
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("run", help="decrypt+validate+run a package")
@@ -317,6 +376,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="multiplex many fleet deployments over one farm/store pair")
+    p.add_argument("--fleets", required=True,
+                   help='JSON fleets spec: {"fleets": [{"name": ..., '
+                        "<sweep matrix keys>}, ...]}")
+    p.add_argument("--store", default="benchmarks/results/farm",
+                   help="shared result-store directory "
+                        "(default: benchmarks/results/farm)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="farm worker processes per batch (default 1); "
+                        "with --shards, processes per shard")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run batches through a sharded coordinator "
+                        "(0 = unsharded)")
+    p.add_argument("--shard-root",
+                   help="per-shard store/spec directory "
+                        "(default: <store>/shards)")
+    p.add_argument("--max-concurrency", type=int, default=8,
+                   help="bound on concurrently-running blocking stages "
+                        "(default 8)")
+    p.add_argument("--batch-window", type=float, default=0.02,
+                   help="seconds the batcher lingers so overlapping "
+                        "fleets coalesce into one farm batch "
+                        "(default 0.02)")
+    p.add_argument("--no-store", action="store_true",
+                   help="measure in-memory; skip and persist nothing")
+    p.add_argument("--force", action="store_true",
+                   help="re-measure (and re-persist) stored keys")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-fleet/per-batch progress lines")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "doctor",
+        help="report store health (schema drift, corrupt lines, shard "
+             "leftovers) without running a sweep")
+    p.add_argument("--store", default="benchmarks/results/farm",
+                   help="result-store directory to inspect "
+                        "(default: benchmarks/results/farm)")
+    p.add_argument("--shard-root",
+                   help="shard directory to scan for leftovers "
+                        "(default: <store>/shards)")
+    p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser(
         "worker",

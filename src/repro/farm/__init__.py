@@ -36,6 +36,8 @@ back last-record-wins (:meth:`ResultStore.merge_from`)::
 """
 
 from repro.farm.coordinator import FarmCoordinator, ShardOutcome
+from repro.farm.doctor import (ShardLeftover, StoreDiagnosis,
+                               diagnose_store)
 from repro.farm.executor import (DYNAMIC_ATTACKER_SEEDS,
                                  KEY_STABILITY_READS, FarmJobResult,
                                  FarmReport, SimulationFarm, execute_job)
@@ -61,12 +63,15 @@ __all__ = [
     "PIPELINE_VARIANTS",
     "ResultStore",
     "STORE_SCHEMA",
+    "ShardLeftover",
     "ShardOutcome",
     "ShardPlan",
     "ShardSpec",
     "SimParams",
     "SimulationFarm",
+    "StoreDiagnosis",
     "WALL_CLOCK_FIELDS",
+    "diagnose_store",
     "execute_job",
     "load_shard",
     "run_shard",

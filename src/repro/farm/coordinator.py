@@ -240,6 +240,14 @@ class FarmCoordinator:
                     f"{plan.count} shard(s)")))
         return report
 
+    def run_batch(self, specs, force: bool = False):
+        """Batch-submission entry point, drop-in for
+        :meth:`SimulationFarm.run_batch`: measure a bag of specs and
+        return ``(report, outcomes_by_key)`` — the async scheduler
+        neither knows nor cares whether its backend shards."""
+        report = self.run(tuple(specs), force=force)
+        return report, report.by_key()
+
     def _dispatch(self, plan: ShardPlan, force: bool) -> list[ShardOutcome]:
         """Run every shard of ``plan`` in its own worker process."""
         spec_paths = self.write_shard_specs(plan)

@@ -280,6 +280,20 @@ class FarmReport:
         """Simulation time this run paid (store hits cost ~nothing)."""
         return sum(r.wall_s for r in self.results if not r.from_store)
 
+    def by_key(self) -> dict[str, FarmJobResult]:
+        """One outcome per unique job key — the fan-back currency of
+        batch consumers (the async fleet scheduler resolves every
+        waiting fleet's future from this map).  Where a matrix named a
+        key more than once the leader slot (the one that executed or
+        hit the store) is kept over its ``shared`` followers."""
+        outcomes: dict[str, FarmJobResult] = {}
+        for result in self.results:
+            key = result.spec.key()
+            if key not in outcomes or (outcomes[key].shared
+                                       and not result.shared):
+                outcomes[key] = result
+        return outcomes
+
     def require_ok(self) -> None:
         if self.failures:
             lines = [f"{f.spec.display_name}: {f.error}"
@@ -454,6 +468,20 @@ class SimulationFarm:
             detail=(f"{report.hits} hits / {report.executed} executed / "
                     f"{len(report.failures)} failed")))
         return report
+
+    def run_batch(self, specs, force: bool = False,
+                  ) -> tuple[FarmReport, dict[str, FarmJobResult]]:
+        """Batch-submission entry point: measure an arbitrary bag of
+        specs collected from many requesters (the async scheduler's
+        shared queue) and return ``(report, outcomes_by_key)``.
+
+        Exactly :meth:`run` semantics — store hits served, duplicate
+        keys executed once — plus the key-indexed fan-back map, so a
+        caller multiplexing requests never has to re-correlate slots
+        with submission order.
+        """
+        report = self.run(tuple(specs), force=force)
+        return report, report.by_key()
 
     def _execute(self, specs, pending):
         """Yield (index, record, error, wall_s) as pending jobs finish."""

@@ -176,6 +176,13 @@ class FarmRecord:
             data = json.loads(line)
         except (json.JSONDecodeError, UnicodeDecodeError):
             return None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data) -> "FarmRecord | None":
+        """Revive an already-parsed store line; None when it is not a
+        current-schema record (callers that parse the JSON themselves —
+        the doctor's one-pass scan — skip the second ``json.loads``)."""
         if not isinstance(data, dict) or data.get("schema") != STORE_SCHEMA:
             return None
         names = {f.name for f in fields(cls)}

@@ -5,6 +5,10 @@
   ``deploy_fleet`` and ``package_for``
 * :mod:`repro.service.cache`     — thread-safe LRU of device-independent
   compiled artifacts with hit/miss statistics
+* :mod:`repro.service.scheduler` — the asyncio service layer:
+  :class:`AsyncDeploymentSession` (coroutine session API, single-flight
+  compiles) and :class:`FleetScheduler` (many concurrent fleets
+  multiplexed over one artifact cache and one farm/store pair)
 * :mod:`repro.service.telemetry` — per-stage observability hooks
 
 The split this package rides on lives in
@@ -16,18 +20,46 @@ select, device-independent, cacheable) vs ``package_artifact()``
 from repro.service.cache import ArtifactCache, CacheStats
 from repro.service.session import (ChannelFactory, DeploymentSession,
                                    FleetDeploymentReport,
-                                   FleetDeviceOutcome)
-from repro.service.telemetry import (RecordingTelemetry, TelemetryEvent,
-                                     TelemetryHub)
+                                   FleetDeviceOutcome, build_fleet_report)
+from repro.service.telemetry import (RecordingTelemetry, StagePrinter,
+                                     TelemetryEvent, TelemetryHub)
+
+#: Scheduler names resolve lazily (PEP 562): repro.farm's telemetry
+#: import runs this package's __init__, and the scheduler module
+#: imports repro.farm back — importing it eagerly here would close
+#: that cycle mid-initialization.
+_SCHEDULER_EXPORTS = frozenset({
+    "AsyncDeploymentSession", "AsyncSingleFlight", "FleetRequest",
+    "FleetScheduler", "FleetServiceReport", "SchedulerReport",
+    "load_fleet_specs",
+})
+
+
+def __getattr__(name: str):
+    if name in _SCHEDULER_EXPORTS:
+        from repro.service import scheduler
+        return getattr(scheduler, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ArtifactCache",
+    "AsyncDeploymentSession",
+    "AsyncSingleFlight",
     "CacheStats",
     "ChannelFactory",
     "DeploymentSession",
     "FleetDeploymentReport",
     "FleetDeviceOutcome",
+    "FleetRequest",
+    "FleetScheduler",
+    "FleetServiceReport",
     "RecordingTelemetry",
+    "SchedulerReport",
+    "StagePrinter",
     "TelemetryEvent",
     "TelemetryHub",
+    "build_fleet_report",
+    "load_fleet_specs",
 ]

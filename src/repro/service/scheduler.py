@@ -1,0 +1,746 @@
+"""Async fleet scheduler: many deployments, one farm/store pair.
+
+:class:`DeploymentSession.deploy_fleet` is thread-per-fleet, and every
+fleet measures its own jobs — run ten overlapping fleets and the same
+workload simulates ten times.  This module is the asyncio service layer
+that removes both redundancies:
+
+* :class:`AsyncDeploymentSession` ports the session API to coroutines:
+  blocking pipeline stages run in worker threads under a bounded
+  semaphore, and compilation keeps the compile-once guarantee via
+  :class:`AsyncSingleFlight` — concurrent ``prepare()`` calls for the
+  same artifact coalesce onto one build task, and a waiter being
+  cancelled never cancels (or poisons) the build for everyone else.
+
+* :class:`FleetScheduler` multiplexes many concurrent fleet deployments
+  over a **single** :class:`~repro.service.cache.ArtifactCache` and one
+  farm/store pair.  Every in-flight fleet submits its measurement jobs
+  to a shared batch queue; the batcher dedups them by farm job key,
+  executes each unique job exactly once through
+  :class:`~repro.farm.executor.SimulationFarm` (or a sharded
+  :class:`~repro.farm.coordinator.FarmCoordinator`), and fans the
+  results back to every awaiting fleet.
+
+::
+
+    scheduler = FleetScheduler(store=ResultStore("benchmarks/results/farm"))
+    report = scheduler.run([
+        FleetRequest.from_spec({"name": "alpha", "workloads": ["crc32"]}),
+        FleetRequest.from_spec({"name": "beta", "workloads": ["crc32",
+                                                              "fft"]}),
+    ])
+    print(report.summary())   # crc32 simulated once, not twice
+
+``eric serve --fleets spec.json`` is the command-line wrapper;
+``eric fleet --async`` routes a single fleet through
+:class:`AsyncDeploymentSession`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Awaitable, Callable, Sequence
+
+from repro.core.compiler_driver import CompiledArtifact, source_digest
+from repro.core.config import EricConfig
+from repro.core.device import Device
+from repro.errors import ConfigError, EricError, ProvisioningError
+from repro.farm.coordinator import FarmCoordinator
+from repro.farm.executor import FarmJobResult, FarmReport, SimulationFarm
+from repro.farm.spec import JobMatrix, JobSpec
+from repro.farm.store import ResultStore
+from repro.service.cache import CacheStats
+from repro.service.session import (DeploymentSession, FleetDeploymentReport,
+                                   build_fleet_report)
+from repro.service.telemetry import TelemetryEvent, TelemetryHub
+
+
+class AsyncSingleFlight:
+    """Coalesce concurrent builds of the same key onto one task.
+
+    The asyncio port of the :class:`~repro.service.cache.ArtifactCache`
+    build-lock semantics: the first ``run()`` for a key launches the
+    build as its **own** task, later callers attach to it, and every
+    waiter awaits through :func:`asyncio.shield` — so cancelling a
+    waiting fleet neither cancels the build nor leaves a poisoned
+    (cancelled) future behind for the next caller.  A build that fails
+    retires its entry, and the exception propagates to every waiter;
+    the next ``run()`` retries from scratch.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[object, asyncio.Task] = {}
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    async def run(self, key, build: Callable[[], Awaitable]):
+        task = self._tasks.get(key)
+        if task is None or task.done():
+            task = asyncio.ensure_future(self._build(key, build()))
+            self._tasks[key] = task
+        return await asyncio.shield(task)
+
+    async def _build(self, key, awaitable):
+        try:
+            return await awaitable
+        finally:
+            self._tasks.pop(key, None)
+
+    async def drain(self) -> None:
+        """Await every in-flight build (success or failure) — shutdown
+        hygiene so no build task outlives its event loop."""
+        tasks = list(self._tasks.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+class AsyncDeploymentSession:
+    """asyncio front end over one :class:`DeploymentSession`.
+
+    Every blocking stage (compile, enroll, encrypt, simulate) runs in a
+    worker thread; ``max_concurrency`` bounds how many run at once.  The
+    artifact cache stays compile-once under concurrency: ``prepare()``
+    goes through :class:`AsyncSingleFlight` *on top of* the session's
+    thread-safe cache, so coalescing happens at the coroutine layer and
+    concurrent fleets never even queue worker threads on the cache's
+    per-key build lock.
+
+    One instance serves one event loop at a time (loop-bound primitives
+    are re-created when a new loop first uses the session, so sequential
+    ``asyncio.run()`` calls may reuse it).
+    """
+
+    def __init__(self, session: DeploymentSession | None = None, *,
+                 config: EricConfig | None = None,
+                 max_concurrency: int = 8, telemetry=None) -> None:
+        if session is not None and config is not None:
+            raise ConfigError(
+                "pass either an existing session or a config, not both")
+        if max_concurrency < 1:
+            raise ConfigError("max_concurrency must be at least 1")
+        self.session = session or DeploymentSession(config)
+        self.max_concurrency = max_concurrency
+        self._flight = AsyncSingleFlight()
+        self._semaphore: asyncio.Semaphore | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        if telemetry is not None:
+            self.session.on_event(telemetry)
+
+    def on_event(self, sink) -> None:
+        """Register a telemetry sink on the underlying session."""
+        self.session.on_event(sink)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.session.cache_stats
+
+    async def _call(self, func, *args, **kwargs):
+        """Run one blocking stage in a worker thread, semaphore-bounded."""
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            # first use on this loop (or a fresh asyncio.run): rebind
+            self._loop = loop
+            self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        async with self._semaphore:
+            return await loop.run_in_executor(
+                None, partial(func, *args, **kwargs))
+
+    # -- the compile-once stage -------------------------------------------
+
+    async def prepare(self, source: str, name: str = "program",
+                      config: EricConfig | None = None) -> CompiledArtifact:
+        """Fetch or build the device-independent artifact, single-flight."""
+        artifact, _ = await self.prepare_traced(source, name, config)
+        return artifact
+
+    async def prepare_traced(self, source: str, name: str = "program",
+                             config: EricConfig | None = None,
+                             ) -> tuple[CompiledArtifact, bool]:
+        """As :meth:`prepare`, also reporting whether this call (or the
+        in-flight build it joined) compiled rather than hit the cache."""
+        config = config or self.session.config
+        key = (source_digest(source), name, config)
+        return await self._flight.run(
+            key, lambda: self._call(self.session.prepare_for_config,
+                                    source, name, config))
+
+    # -- deployment -------------------------------------------------------
+
+    async def deploy(self, source: str, device: Device,
+                     name: str = "program",
+                     max_instructions: int = 20_000_000):
+        """Async :meth:`DeploymentSession.deploy`: the full per-device
+        flow, with the compile stage single-flighted."""
+        await self.prepare(source, name)  # warm the cache, coalesced
+        return await self._call(self.session.deploy, source, device,
+                                None, name, max_instructions)
+
+    async def deploy_fleet(self, source: str, devices: Sequence[Device],
+                           *, name: str = "program",
+                           max_instructions: int = 20_000_000,
+                           ) -> FleetDeploymentReport:
+        """Async fleet rollout: one coalesced compile, per-device
+        encrypt/ship/run fanned out as bounded concurrent coroutines.
+
+        Same contract as the thread-pool
+        :meth:`DeploymentSession.deploy_fleet` — per-device failures
+        land in outcomes, the report's stage accounting is shared code.
+        """
+        if not devices:
+            raise ProvisioningError("deploy_fleet needs at least one device")
+        fleet_start = time.perf_counter()
+        artifact, compiled = await self.prepare_traced(source, name)
+        # enrollment stays serial: the registry is the trusted vendor DB
+        keys = await self._call(
+            lambda: [self.session.registry.ensure_enrolled(device)
+                     for device in devices])
+        outcomes = await asyncio.gather(*(
+            self._call(self.session.deploy_one_prepared, artifact,
+                       device, key, max_instructions=max_instructions)
+            for device, key in zip(devices, keys)))
+        wall_s = time.perf_counter() - fleet_start
+        report = build_fleet_report(
+            name, artifact, outcomes, wall_s,
+            cache_hit=not compiled, cache_stats=self.session.cache.stats)
+        self.session._emit(
+            "fleet", wall_s, program=name, ok=report.all_ok,
+            detail=f"{len(report.succeeded)}/{len(outcomes)} ok [async]")
+        return report
+
+    async def aclose(self) -> None:
+        """Await outstanding single-flight builds (shutdown hygiene)."""
+        await self._flight.drain()
+
+
+@dataclass(frozen=True)
+class FleetRequest:
+    """One named fleet: the measurement jobs its deployment needs.
+
+    ``jobs`` is a fully-expanded, validated spec tuple — one farm job
+    per (program, config, device) the fleet serves.  Requests are the
+    scheduler's unit of multiplexing; overlapping jobs across requests
+    are exactly what the batch queue dedups.
+    """
+
+    name: str
+    jobs: tuple[JobSpec, ...]
+
+    def validate(self) -> "FleetRequest":
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError(
+                f"fleet name must be a non-empty string, got {self.name!r}")
+        if not self.jobs:
+            raise ConfigError(f"fleet {self.name!r} carries no jobs")
+        for job in self.jobs:
+            job.validate()
+        return self
+
+    @classmethod
+    def from_matrix(cls, name: str,
+                    matrix: JobMatrix | Sequence[JobSpec]) -> "FleetRequest":
+        specs = (matrix.jobs() if isinstance(matrix, JobMatrix)
+                 else tuple(matrix))
+        return cls(name=name, jobs=specs).validate()
+
+    @classmethod
+    def from_spec(cls, entry: dict) -> "FleetRequest":
+        """Parse one ``eric serve`` fleet entry: ``{"name": ...}`` plus
+        the ``eric sweep`` matrix dialect (see
+        :meth:`repro.farm.spec.JobMatrix.from_spec`)."""
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ConfigError(
+                'each fleet needs {"name": ..., <sweep matrix keys>}')
+        options = dict(entry)
+        return cls.from_matrix(options.pop("name"),
+                               JobMatrix.from_spec(options))
+
+
+def load_fleet_specs(spec: dict) -> tuple[FleetRequest, ...]:
+    """Parse the ``eric serve --fleets`` JSON document::
+
+        {"fleets": [
+          {"name": "alpha", "workloads": ["crc32"],
+           "device_seeds": [1, 2]},
+          {"name": "beta", "workloads": ["crc32", "fft"]}
+        ]}
+
+    Fleet names must be unique — they key the per-fleet report lines.
+    """
+    if not isinstance(spec, dict):
+        raise ConfigError("fleets spec must be a JSON object")
+    unknown = set(spec) - {"fleets"}
+    if unknown:
+        raise ConfigError(f"unknown fleets-spec keys {sorted(unknown)}; "
+                          f"expected only 'fleets'")
+    entries = spec.get("fleets")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigError("fleets must be a non-empty list of fleet objects")
+    requests = tuple(FleetRequest.from_spec(entry) for entry in entries)
+    names = [request.name for request in requests]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ConfigError(f"duplicate fleet name(s): {sorted(duplicates)}")
+    return requests
+
+
+@dataclass(frozen=True)
+class FleetServiceReport:
+    """One fleet's trip through the scheduler."""
+
+    name: str
+    #: farm outcomes aligned with the request's job order.  A job another
+    #: in-flight fleet executed first arrives here as the same shared
+    #: outcome — per-fleet "executed" counts would double-count, so the
+    #: authoritative execution tally lives in :class:`SchedulerReport`.
+    results: tuple[FarmJobResult, ...]
+    wall_s: float
+    #: unique compiled artifacts the fleet's jobs ride on (the
+    #: compile-once half; the session's cache stats count actual builds)
+    artifacts: int
+
+    @property
+    def records(self):
+        return tuple(r.record for r in self.results
+                     if r.record is not None)
+
+    @property
+    def failures(self) -> tuple[FarmJobResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+    @property
+    def store_hits(self) -> int:
+        return sum(1 for r in self.results if r.from_store)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def require_ok(self) -> None:
+        if self.failures:
+            lines = [f"{f.spec.display_name}: {f.error}"
+                     for f in self.failures]
+            raise EricError(f"fleet {self.name!r}: "
+                            f"{len(self.failures)} job(s) failed: "
+                            + "; ".join(lines))
+
+    def summary(self) -> str:
+        return (f"fleet {self.name!r}: {len(self.results)} job(s), "
+                f"{self.store_hits} store hit(s), "
+                f"{len(self.failures)} failed in "
+                f"{self.wall_s * 1e3:.1f} ms")
+
+
+@dataclass(frozen=True)
+class SchedulerReport:
+    """Aggregate of one :meth:`FleetScheduler.serve` call."""
+
+    fleets: tuple[FleetServiceReport, ...]
+    #: one :class:`FarmReport` per batch the shared queue executed
+    batches: tuple[FarmReport, ...]
+    wall_s: float
+    cache_stats: CacheStats
+    store_path: str | None
+
+    @property
+    def requested(self) -> int:
+        """Job requests across all fleets (with duplicates)."""
+        return sum(len(fleet.results) for fleet in self.fleets)
+
+    @property
+    def unique_jobs(self) -> int:
+        return len(self._own_keys())
+
+    def _own_keys(self) -> set:
+        return {r.spec.key() for fleet in self.fleets
+                for r in fleet.results}
+
+    def _batch_keys(self, predicate) -> set:
+        """Keys of *this serve's* jobs whose batch outcome matches
+        ``predicate``.  Batches are shared scheduler state: when two
+        concurrent ``serve()`` calls ride the same batch, each report
+        counts only its own keys — never the co-tenant's work."""
+        own = self._own_keys()
+        matched = set()
+        for batch in self.batches:
+            for result in batch.results:
+                key = result.spec.key()
+                if key in own and predicate(result):
+                    matched.add(key)
+        return matched
+
+    @property
+    def executed(self) -> int:
+        """Unique jobs of this serve the farm actually simulated — the
+        number the dedup guarantee bounds by :attr:`unique_jobs` no
+        matter how many fleets (or concurrent serves) overlap."""
+        return len(self._batch_keys(
+            lambda r: r.ok and not r.from_store and not r.shared))
+
+    @property
+    def store_hits(self) -> int:
+        return len(self._batch_keys(lambda r: r.from_store))
+
+    @property
+    def failures(self) -> tuple[tuple[str, FarmJobResult], ...]:
+        return tuple((fleet.name, result) for fleet in self.fleets
+                     for result in fleet.failures)
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.failures
+
+    def require_ok(self) -> None:
+        if self.failures:
+            lines = [f"{name}/{r.spec.display_name}: {r.error}"
+                     for name, r in self.failures]
+            raise EricError(f"{len(self.failures)} scheduled job(s) "
+                            f"failed: " + "; ".join(lines))
+
+    def summary(self) -> str:
+        return (f"scheduler: {len(self.fleets)} fleet(s), "
+                f"{self.requested} job request(s) -> "
+                f"{self.unique_jobs} unique, {self.executed} executed, "
+                f"{self.store_hits} store hit(s) over "
+                f"{len(self.batches)} batch(es) in "
+                f"{self.wall_s * 1e3:.1f} ms; "
+                f"compiles={self.cache_stats.compiles}")
+
+
+class FleetScheduler:
+    """Multiplex concurrent fleet deployments over one farm/store pair.
+
+    Args:
+        store: the shared result store (None measures in-memory).
+        session: deployment session whose artifact cache every fleet
+            shares; a fresh one if not given.
+        config: packaging config for the fresh session (exclusive with
+            ``session``).
+        jobs: farm worker processes per batch (with ``shards``,
+            processes per shard).
+        shards: >0 runs batches through a sharded
+            :class:`FarmCoordinator` (requires ``store``).
+        shard_root: per-shard store/spec directory (coordinator only).
+        max_concurrency: bound on concurrently-running blocking stages.
+        batch_window: seconds the batcher lingers after a request so
+            overlapping fleets coalesce into one farm batch.  0 batches
+            whatever is queued when the loop gets around to draining.
+        telemetry: optional initial sink (``scheduler.*`` spans plus
+            the session's and farm's own stages).
+
+    The dedup guarantee does **not** depend on batching luck: a job key
+    is tracked from first request to fan-back, so a fleet asking for a
+    key that is queued or mid-execution attaches to the same future,
+    and a key measured by an earlier batch is a store hit for every
+    later one (with no store, a scheduler-side memo stands in).  N
+    overlapping fleets cost one simulation per unique key and one
+    compile per unique artifact — period.  Forced re-measures are
+    isolated: forced jobs batch separately, never attach to un-forced
+    work, and never drag other fleets' un-forced jobs into a
+    re-measure (see :meth:`measure`).
+    """
+
+    def __init__(self, store: ResultStore | None = None, *,
+                 session: DeploymentSession | None = None,
+                 config: EricConfig | None = None, jobs: int = 1,
+                 shards: int = 0, shard_root=None,
+                 max_concurrency: int = 8, batch_window: float = 0.02,
+                 telemetry=None) -> None:
+        if batch_window < 0:
+            raise ConfigError("batch_window must be non-negative")
+        if shards:
+            if store is None:
+                raise ConfigError("sharded scheduling merges shard "
+                                  "stores into a main store; pass store=")
+            self.farm = FarmCoordinator(store=store, shards=shards,
+                                        jobs_per_shard=jobs,
+                                        shard_root=shard_root)
+        else:
+            self.farm = SimulationFarm(store=store, jobs=jobs)
+        self.store = store
+        self.batch_window = batch_window
+        self.async_session = AsyncDeploymentSession(
+            session=session, config=config,
+            max_concurrency=max_concurrency)
+        self._telemetry = TelemetryHub()
+        if telemetry is not None:
+            self.on_event(telemetry)
+        #: every batch the shared queue has executed (all serves)
+        self.batch_reports: list[FarmReport] = []
+        #: resolved outcomes by job key when there is no store — the
+        #: in-memory stand-in that keeps the exactly-once guarantee
+        #: for keys whose batch already came and went
+        self._done: dict[str, FarmJobResult] = {}
+        # per-event-loop state, (re)created by _ensure_started.
+        # In-flight work is keyed by (job key, forced): a forced
+        # request must never attach to un-forced work (which may
+        # resolve to a stale store hit), and vice versa.
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wakeup: asyncio.Event | None = None
+        self._batcher: asyncio.Task | None = None
+        self._pending: list[tuple[tuple[str, bool], JobSpec]] = []
+        self._inflight: dict[tuple[str, bool], asyncio.Future] = {}
+
+    def on_event(self, sink) -> None:
+        """Register a sink for scheduler spans *and* the underlying
+        session/farm stages — one hook observes the whole stack."""
+        self._telemetry.add(sink)
+        self.async_session.on_event(sink)
+        self.farm.on_event(sink)
+
+    def _emit(self, stage: str, seconds: float = 0.0, *,
+              program: str | None = None, ok: bool = True,
+              detail: str = "") -> None:
+        self._telemetry.emit(TelemetryEvent(
+            stage=stage, seconds=seconds, program=program, ok=ok,
+            detail=detail))
+
+    # -- the shared batch queue -------------------------------------------
+
+    def _ensure_started(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is loop and self._batcher is not None \
+                and not self._batcher.done():
+            return
+        # first use on this loop (or a fresh asyncio.run): any state
+        # from a previous, now-dead loop is unusable by construction
+        self._loop = loop
+        self._wakeup = asyncio.Event()
+        self._pending = []
+        self._inflight = {}
+        self._batcher = loop.create_task(self._batch_loop())
+
+    async def measure(self, specs: Sequence[JobSpec],
+                      force: bool = False) -> tuple[FarmJobResult, ...]:
+        """Submit jobs to the shared queue; await fanned-back outcomes.
+
+        Results align with ``specs``.  Keys already queued or executing
+        (for *any* fleet) attach to the in-flight future instead of
+        resubmitting — the exactly-once half of the scheduler contract.
+        With no store, keys resolved by an earlier batch are served
+        from the scheduler's own memo, so the guarantee holds across
+        batches too.
+
+        ``force`` requests a fresh measurement: forced jobs skip the
+        memo, never attach to un-forced work (which may resolve to a
+        store hit), and are batched separately so they never drag other
+        fleets' un-forced jobs into a re-measure.  Concurrent *forced*
+        requests for the same key still coalesce onto one execution.
+        """
+        # validate everything before touching shared state: a bad spec
+        # must raise cleanly, not leave an orphaned in-flight future
+        # that deadlocks the next request for the same key
+        for spec in specs:
+            spec.validate()
+        self._ensure_started()
+        loop = asyncio.get_running_loop()
+        slots: list[FarmJobResult | asyncio.Future] = []
+        queued = False
+        for spec in specs:
+            key = spec.key()
+            if not force and self.store is None:
+                done = self._done.get(key)
+                if done is not None:
+                    slots.append(done)
+                    continue
+            flight = (key, force)
+            future = self._inflight.get(flight)
+            if future is None:
+                future = loop.create_future()
+                self._inflight[flight] = future
+                self._pending.append((flight, spec))
+                queued = True
+            slots.append(future)
+        if queued:
+            self._wakeup.set()
+
+        async def resolve(slot):
+            if isinstance(slot, asyncio.Future):
+                return await asyncio.shield(slot)
+            return slot
+
+        return tuple(await asyncio.gather(*(resolve(s) for s in slots)))
+
+    async def _batch_loop(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            if self.batch_window > 0:
+                # linger so fleets submitting "at the same time" land
+                # in the same farm batch (pure wall-clock economy; the
+                # dedup guarantee holds for any batching)
+                await asyncio.sleep(self.batch_window)
+            self._wakeup.clear()
+            batch, self._pending = self._pending, []
+            if not batch:
+                continue
+            # forced jobs run as their own farm batch: one fleet's
+            # --force must not re-measure (and re-persist over) other
+            # fleets' un-forced jobs that happened to share the drain
+            for forced in (False, True):
+                group = [(flight, spec) for flight, spec in batch
+                         if flight[1] == forced]
+                if group:
+                    await self._run_batch(group, forced)
+
+    async def _run_batch(self,
+                         batch: list[tuple[tuple[str, bool], JobSpec]],
+                         force: bool) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        specs = [spec for _, spec in batch]
+        try:
+            report, outcomes = await loop.run_in_executor(
+                None, partial(self.farm.run_batch, specs, force))
+        except Exception as exc:  # farm/store failure: fail the batch,
+            error = EricError(                # never the batcher itself
+                f"farm batch of {len(batch)} job(s) failed: "
+                f"{type(exc).__name__}: {exc}")
+            for flight, _ in batch:
+                future = self._inflight.pop(flight, None)
+                if future is not None and not future.done():
+                    future.set_exception(error)
+            return
+        self.batch_reports.append(report)
+        self._emit("scheduler.batch", time.perf_counter() - start,
+                   ok=not report.failures,
+                   detail=(f"{len(batch)} unique job(s): {report.hits} "
+                           f"hit(s), {report.executed} executed, "
+                           f"{len(report.failures)} failed"
+                           + (" [forced]" if force else "")))
+        for flight, spec in batch:
+            key = flight[0]
+            future = self._inflight.pop(flight, None)
+            outcome = outcomes.get(key)
+            if outcome is not None and outcome.ok and self.store is None:
+                # ok outcomes only: a failed job must retry on the next
+                # request, exactly as the store-backed path does (failed
+                # jobs are never persisted)
+                self._done[key] = outcome
+            if future is None or future.done():
+                continue
+            if outcome is None:
+                future.set_exception(EricError(
+                    f"farm batch returned no outcome for "
+                    f"{spec.display_name!r} (key {key[:12]})"))
+            else:
+                future.set_result(outcome)
+
+    # -- fleets -----------------------------------------------------------
+
+    async def deploy_fleet(self, request: FleetRequest,
+                           force: bool = False) -> FleetServiceReport:
+        """Serve one fleet: prepare its artifacts (coalesced across all
+        in-flight fleets), then measure its jobs through the shared
+        batch queue."""
+        request.validate()
+        start = time.perf_counter()
+        self._emit("scheduler.fleet.begin", program=request.name,
+                   detail=f"{len(request.jobs)} job(s)")
+        artifacts = await self._prepare_artifacts(request, force)
+        results = await self.measure(request.jobs, force=force)
+        wall_s = time.perf_counter() - start
+        report = FleetServiceReport(
+            name=request.name, results=results, wall_s=wall_s,
+            artifacts=artifacts)
+        self._emit("scheduler.fleet.end", wall_s, program=request.name,
+                   ok=report.ok,
+                   detail=(f"{report.store_hits} store hit(s), "
+                           f"{len(report.failures)} failed"))
+        return report
+
+    def _is_measured(self, spec: JobSpec) -> bool:
+        key = spec.key()
+        if self.store is not None:
+            return key in self.store
+        return key in self._done
+
+    async def _prepare_artifacts(self, request: FleetRequest,
+                                 force: bool) -> int:
+        """The compile-once half: at most one ``prepare()`` per unique
+        (source, name, config) across *all* concurrent fleets — the
+        async single-flight plus the shared artifact cache make the
+        per-digest guarantee, this just enumerates what to warm.
+
+        An artifact whose every job is already measured (store or memo)
+        is not compiled at all: a fully-warm serve must cost ~nothing,
+        exactly like a warm farm resume.  Returns the number of unique
+        artifacts the fleet rides on (warmed or already served).
+        """
+        wanted: dict[tuple, list] = {}
+        for spec in request.jobs:
+            source, _ = spec.resolve_source()
+            key = (source_digest(source), spec.display_name, spec.config)
+            entry = wanted.setdefault(
+                key, [source, spec.display_name, spec.config, False])
+            if force or not self._is_measured(spec):
+                entry[3] = True  # at least one job will really measure
+        await asyncio.gather(*(
+            self.async_session.prepare(source, name, config)
+            for source, name, config, needed in wanted.values()
+            if needed))
+        return len(wanted)
+
+    async def serve(self, requests: Sequence[FleetRequest],
+                    force: bool = False) -> SchedulerReport:
+        """Deploy every fleet concurrently; aggregate one report.
+
+        The report's ``batches`` cover exactly this call, so
+        ``report.executed`` vs ``report.unique_jobs`` states the dedup
+        guarantee for these fleets alone even when the scheduler is
+        reused.
+        """
+        requests = tuple(requests)
+        if not requests:
+            raise ConfigError("serve needs at least one fleet request")
+        self._ensure_started()
+        first_batch = len(self.batch_reports)
+        start = time.perf_counter()
+        fleets = await asyncio.gather(*(
+            self.deploy_fleet(request, force=force)
+            for request in requests))
+        wall_s = time.perf_counter() - start
+        report = SchedulerReport(
+            fleets=tuple(fleets),
+            batches=tuple(self.batch_reports[first_batch:]),
+            wall_s=wall_s,
+            cache_stats=self.async_session.cache_stats,
+            store_path=(str(self.store.path) if self.store is not None
+                        else None))
+        self._emit("scheduler.serve", wall_s, ok=report.all_ok,
+                   detail=(f"{len(fleets)} fleet(s): "
+                           f"{report.requested} requested, "
+                           f"{report.executed} executed, "
+                           f"{report.store_hits} store hit(s)"))
+        return report
+
+    async def aclose(self) -> None:
+        """Stop the batcher and release in-flight futures."""
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        for future in self._inflight.values():
+            if not future.done():
+                future.cancel()
+        self._inflight = {}
+        self._pending = []
+        await self.async_session.aclose()
+
+    def run(self, requests: Sequence[FleetRequest],
+            force: bool = False) -> SchedulerReport:
+        """Synchronous convenience: serve the fleets on a fresh event
+        loop and shut the scheduler down (the ``eric serve`` path)."""
+
+        async def _serve() -> SchedulerReport:
+            try:
+                return await self.serve(requests, force=force)
+            finally:
+                await self.aclose()
+
+        return asyncio.run(_serve())

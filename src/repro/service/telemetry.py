@@ -10,6 +10,7 @@ raise are swallowed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -46,12 +47,21 @@ class StagePrinter:
     """A sink that renders events as one-line progress messages.
 
     Used by ``eric sweep`` to narrate farm jobs as they land; any
-    emitter (deployment sessions, the simulation farm) can share it.
-    ``stages`` limits output to a stage prefix (e.g. ``"farm."``).
+    emitter (deployment sessions, the simulation farm, the async fleet
+    scheduler) can share it.  ``stages`` limits output to a stage
+    prefix (e.g. ``"farm."``).
+
+    Line-atomic under concurrency: events arrive from scheduler tasks,
+    fleet worker threads, and farm callbacks at once, so each event is
+    rendered to one string and written with a single locked ``write``
+    call — interleaved half-lines would corrupt the narration (and any
+    log a CI run greps).
     """
 
     stream: object = None  # default: sys.stdout at call time
     stages: str = ""
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False, compare=False)
 
     def __call__(self, event: TelemetryEvent) -> None:
         import sys
@@ -62,13 +72,21 @@ class StagePrinter:
         subject = f" {event.program}" if event.program else ""
         detail = f": {event.detail}" if event.detail else ""
         flag = "" if event.ok else " [FAILED]"
-        print(f"  [{event.stage}]{subject}{detail} "
-              f"({event.seconds * 1e3:.1f} ms){flag}", file=stream)
+        line = (f"  [{event.stage}]{subject}{detail} "
+                f"({event.seconds * 1e3:.1f} ms){flag}\n")
+        with self._lock:
+            stream.write(line)
 
 
 @dataclass
 class TelemetryHub:
-    """Fan-out to zero or more sinks; failures in sinks are isolated."""
+    """Fan-out to zero or more sinks; failures in sinks are isolated.
+
+    ``emit`` iterates a snapshot of the sink list, so registering a
+    sink from one thread while another emits never trips over a
+    mutating list (each event reaches the sinks present when it was
+    emitted).
+    """
 
     sinks: list = field(default_factory=list)
 
@@ -76,7 +94,7 @@ class TelemetryHub:
         self.sinks.append(sink)
 
     def emit(self, event: TelemetryEvent) -> None:
-        for sink in self.sinks:
+        for sink in tuple(self.sinks):
             try:
                 sink(event)
             except Exception:

@@ -1,0 +1,135 @@
+"""Store diagnostics: counts, schema drift, shard leftovers — no sweep."""
+
+import json
+
+from repro.farm import KEY_SCHEMA, STORE_SCHEMA, FarmRecord
+from repro.farm.doctor import diagnose_store
+
+
+def make_record(key: str, **overrides) -> FarmRecord:
+    fields = dict(
+        key=key, name="probe", workload=None, source_digest="d" * 64,
+        config={}, params={}, simulate=False, analyze=False, repeats=1,
+        plain_size=10, package_size=12, signed_bytes=10,
+        baseline_s=0.0, package_total_s=0.0, compile_s=0.0,
+        signature_s=0.0, encryption_s=0.0, packaging_s=0.0,
+    )
+    fields.update(overrides)
+    return FarmRecord(**fields)
+
+
+def write_store(root, lines) -> None:
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "results.jsonl").write_text(
+        "".join(line + "\n" for line in lines), encoding="utf-8")
+
+
+class TestDiagnoseStore:
+    def test_missing_store_is_healthy_and_empty(self, tmp_path):
+        diagnosis = diagnose_store(tmp_path / "nowhere")
+        assert not diagnosis.exists
+        assert diagnosis.total_lines == 0
+        assert diagnosis.healthy
+        assert "nothing measured yet" in diagnosis.describe()
+
+    def test_live_and_superseded_counts(self, tmp_path):
+        write_store(tmp_path, [
+            make_record("k1").to_json(),
+            make_record("k1", package_size=99).to_json(),  # supersedes
+            make_record("k2").to_json(),
+        ])
+        diagnosis = diagnose_store(tmp_path)
+        assert diagnosis.total_lines == 3
+        assert diagnosis.live_records == 2
+        assert diagnosis.superseded == 1
+        assert diagnosis.healthy
+        assert "--compact" in diagnosis.describe()
+
+    def test_corrupt_and_foreign_schema_lines(self, tmp_path):
+        write_store(tmp_path, [
+            make_record("k1").to_json(),
+            "{not json",
+            json.dumps({"schema": 1, "key": "old-world"}),
+            json.dumps(["schema-less", "array"]),
+        ])
+        diagnosis = diagnose_store(tmp_path)
+        assert diagnosis.corrupt == 2
+        assert diagnosis.foreign_schema == 1
+        assert diagnosis.schema_counts == {1: 1, STORE_SCHEMA: 1}
+        assert not diagnosis.healthy
+        assert "NEEDS ATTENTION" in diagnosis.describe()
+
+    def test_valid_json_missing_record_fields_counts_corrupt(self,
+                                                             tmp_path):
+        # current-schema line that does not revive as a FarmRecord
+        write_store(tmp_path, [json.dumps({"schema": STORE_SCHEMA,
+                                           "key": "k1"})])
+        diagnosis = diagnose_store(tmp_path)
+        assert diagnosis.corrupt == 1
+        assert diagnosis.live_records == 0
+
+    def test_shard_leftovers_reported(self, tmp_path):
+        write_store(tmp_path, [make_record("k1").to_json()])
+        clean = tmp_path / "shards" / "shard-00"
+        write_store(clean, [make_record("k1").to_json()])
+        (clean / "shard.json").write_text(json.dumps(
+            {"kind": "eric-shard", "key_schema": KEY_SCHEMA,
+             "jobs": [{}, {}]}), encoding="utf-8")
+        bare = tmp_path / "shards" / "shard-01"
+        bare.mkdir(parents=True)
+
+        diagnosis = diagnose_store(tmp_path)
+        assert len(diagnosis.shard_leftovers) == 2
+        first, second = diagnosis.shard_leftovers
+        assert first.records == 1
+        assert first.spec_key_schema == KEY_SCHEMA
+        assert first.spec_jobs == 2
+        assert not first.drifted
+        assert second.spec_key_schema is None
+        assert not second.drifted
+        assert diagnosis.healthy
+
+    def test_drifted_shard_spec_flags_unhealthy(self, tmp_path):
+        write_store(tmp_path, [make_record("k1").to_json()])
+        stale = tmp_path / "shards" / "shard-00"
+        stale.mkdir(parents=True)
+        (stale / "shard.json").write_text(json.dumps(
+            {"kind": "eric-shard", "key_schema": KEY_SCHEMA - 1,
+             "jobs": []}), encoding="utf-8")
+        diagnosis = diagnose_store(tmp_path)
+        assert diagnosis.drifted_shards
+        assert not diagnosis.healthy
+        assert "DRIFTED" in diagnosis.describe()
+
+    def test_non_object_shard_spec_reports_as_unreadable(self, tmp_path):
+        write_store(tmp_path, [make_record("k1").to_json()])
+        mangled = tmp_path / "shards" / "shard-00"
+        mangled.mkdir(parents=True)
+        (mangled / "shard.json").write_text("[1, 2, 3]",
+                                            encoding="utf-8")
+        diagnosis = diagnose_store(tmp_path)  # must not crash
+        leftover = diagnosis.shard_leftovers[0]
+        assert leftover.spec_key_schema is None
+        assert not leftover.drifted
+        assert "no shard.json" in diagnosis.describe()
+
+    def test_explicit_shard_root(self, tmp_path):
+        write_store(tmp_path / "store", [make_record("k1").to_json()])
+        elsewhere = tmp_path / "elsewhere" / "shard-07"
+        write_store(elsewhere, [make_record("k2").to_json()])
+        diagnosis = diagnose_store(tmp_path / "store",
+                                   shard_root=tmp_path / "elsewhere")
+        assert len(diagnosis.shard_leftovers) == 1
+        assert diagnosis.shard_leftovers[0].records == 1
+
+    def test_committed_store_is_healthy(self):
+        import pathlib
+        committed = (pathlib.Path(__file__).resolve().parents[2]
+                     / "benchmarks" / "results" / "farm")
+        diagnosis = diagnose_store(committed)
+        assert diagnosis.exists
+        assert diagnosis.live_records == 149
+        assert diagnosis.superseded == 0
+        assert diagnosis.corrupt == 0
+        assert diagnosis.foreign_schema == 0
+        assert diagnosis.healthy

@@ -77,6 +77,89 @@ class TestFleetCommand:
         out = capsys.readouterr().out
         assert "2/2 devices ok" in out
 
+    def test_fleet_async_path(self, source_file, capsys):
+        assert main(["fleet", source_file, "--devices", "3",
+                     "--async"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 devices ok" in out
+        assert "compiles     : 1" in out
+
+
+class TestServeCommand:
+    FLEETS = {"fleets": [
+        {"name": "alpha", "programs": [{"name": "probe",
+                                        "source": SOURCE}],
+         "device_seeds": [1, 2]},
+        {"name": "beta", "programs": [{"name": "probe",
+                                       "source": SOURCE}],
+         "device_seeds": [2, 3]},
+    ]}
+
+    @pytest.fixture
+    def fleets_file(self, tmp_path):
+        path = tmp_path / "fleets.json"
+        path.write_text(json.dumps(self.FLEETS))
+        return str(path)
+
+    def test_serve_then_warm_resume(self, fleets_file, tmp_path, capsys):
+        store = str(tmp_path / "farm")
+        assert main(["serve", "--fleets", fleets_file,
+                     "--store", store, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet 'alpha'" in out and "fleet 'beta'" in out
+        assert "4 job request(s) -> 3 unique, 3 executed" in out
+
+        assert main(["serve", "--fleets", fleets_file,
+                     "--store", store, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "3 unique, 0 executed, 3 store hit(s)" in out
+
+    def test_serve_narrates_scheduler_stages(self, fleets_file,
+                                             tmp_path, capsys):
+        assert main(["serve", "--fleets", fleets_file,
+                     "--store", str(tmp_path / "farm")]) == 0
+        out = capsys.readouterr().out
+        assert "[scheduler.fleet.begin]" in out
+        assert "[scheduler.batch]" in out
+
+    def test_serve_rejects_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "fleets.json"
+        path.write_text(json.dumps({"fleets": [{"workloads": ["crc32"]}]}))
+        assert main(["serve", "--fleets", str(path), "--no-store"]) == 1
+        assert "eric: error:" in capsys.readouterr().err
+
+    def test_serve_shards_require_a_store(self, fleets_file, capsys):
+        assert main(["serve", "--fleets", fleets_file, "--shards", "2",
+                     "--no-store"]) == 1
+        assert "drop --no-store" in capsys.readouterr().err
+
+
+class TestDoctorCommand:
+    def test_doctor_healthy_store(self, tmp_path, capsys):
+        from repro.farm import JobMatrix, ResultStore, SimulationFarm
+
+        store = tmp_path / "farm"
+        SimulationFarm(store=ResultStore(store)).run(
+            JobMatrix(programs=(("probe", SOURCE),), simulate=False))
+        assert main(["doctor", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 live record(s)" in out
+        assert "verdict: healthy" in out
+
+    def test_doctor_flags_junk(self, tmp_path, capsys):
+        store = tmp_path / "farm"
+        store.mkdir()
+        (store / "results.jsonl").write_text(
+            '{"schema": 1, "key": "old"}\nnot json\n')
+        assert main(["doctor", "--store", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "NEEDS ATTENTION" in out
+        assert "1 corrupt, 1 foreign-schema" in out
+
+    def test_doctor_empty_store_dir(self, tmp_path, capsys):
+        assert main(["doctor", "--store", str(tmp_path)]) == 0
+        assert "nothing measured yet" in capsys.readouterr().out
+
 
 class TestSweepCommand:
     SPEC = {
