@@ -14,7 +14,11 @@ Subcommands::
     eric sweep    matrix.json --shards 4  shard it over coordinated workers
     eric worker   shard.json --store DIR  run one shard (e.g. remotely)
     eric serve    --fleets fleets.json    schedule many fleets over one farm
+    eric daemon   --journal DIR           durable serve loop (submit/resume)
+    eric submit   spec.json --journal DIR journal fleet requests for a daemon
+    eric status   --journal DIR           journal state, no daemon needed
     eric doctor   --store DIR             store health report, no sweep
+    eric doctor   --journal DIR           ... plus request-journal health
 
 Device identity is simulated: ``--device-seed`` selects the die.  The
 same seed on ``package`` and ``run`` is the happy path; different seeds
@@ -255,10 +259,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     report = scheduler.run(requests, force=args.force)
     for fleet in report.fleets:
         print(fleet.summary())
+        # failed jobs exit nonzero below; name each one so the
+        # operator does not have to re-run with telemetry on
+        for failure in fleet.failures:
+            print(f"  FAILED {fleet.name}/"
+                  f"{failure.spec.display_name}: {failure.error}")
     print(report.summary())
     if store is not None:
         print(f"store: {store.path} ({len(store)} records)")
     return 0 if report.all_ok else 1
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.farm import ResultStore
+    from repro.service.daemon import (AdmissionPolicy, JournalStore,
+                                      ServeDaemon, submit_fleets)
+    from repro.service.telemetry import StagePrinter
+
+    if args.shards and args.no_store:
+        raise EricError("--shards merges shard stores into the main "
+                        "store; drop --no-store to use it")
+    journal = JournalStore(args.journal)
+    _warn_skipped_lines(journal)
+    if args.fleets:
+        records = submit_fleets(
+            journal, _load_json(args.fleets, "fleets spec"),
+            tenant=args.tenant, priority=args.priority)
+        for record in records:
+            print(f"submitted {record.request_id}: fleet "
+                  f"{record.fleet_name!r} ({record.total_jobs} job(s))")
+    store = None if args.no_store else ResultStore(args.store)
+    _warn_skipped_lines(store)
+    daemon = ServeDaemon(
+        journal, store=store,
+        policy=AdmissionPolicy(
+            max_pending_jobs=args.max_pending_jobs,
+            tenant_quota=args.tenant_quota, overflow=args.overflow,
+            retry_after_s=args.retry_after),
+        jobs=args.jobs, shards=args.shards, shard_root=args.shard_root,
+        max_active=args.max_active,
+        checkpoint_every=args.checkpoint_every,
+        poll_interval=args.poll_interval)
+    if not args.quiet:
+        daemon.on_event(StagePrinter(stages="daemon."))
+
+    async def _run():
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum,
+                                        daemon.request_shutdown)
+            except (NotImplementedError, ValueError):
+                # non-main thread or exotic loop: the sync handler
+                # still only flips a flag, which is signal-safe
+                signal.signal(signum,
+                              lambda *_: daemon.request_shutdown())
+        return await daemon.run(once=args.once)
+
+    report = asyncio.run(_run())
+    print(report.summary())
+    print(f"journal: {journal.path} ({len(journal)} request(s))")
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} records)")
+    return 0 if report.all_ok else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.daemon import JournalStore, submit_fleets
+
+    journal = JournalStore(args.journal)
+    _warn_skipped_lines(journal)
+    records = submit_fleets(
+        journal, _load_json(args.spec, "submission spec"),
+        tenant=args.tenant, priority=args.priority)
+    for record in records:
+        print(f"submitted {record.request_id}: fleet "
+              f"{record.fleet_name!r} ({record.total_jobs} job(s), "
+              f"tenant {record.tenant}, priority {record.priority})")
+    print(f"journal: {journal.path} ({len(journal)} request(s))")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.daemon import JournalStore, format_status
+
+    journal = JournalStore(args.journal)
+    if args.compact:
+        print(f"journal compacted: {journal.compact()} request "
+              f"line(s)")
+    print(format_status(journal))
+    return 0
 
 
 def _cmd_doctor(args: argparse.Namespace) -> int:
@@ -266,7 +359,15 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
 
     diagnosis = diagnose_store(args.store, shard_root=args.shard_root)
     print(diagnosis.describe())
-    return 0 if diagnosis.healthy else 1
+    healthy = diagnosis.healthy
+    if args.journal:
+        from repro.service.daemon import diagnose_journal
+
+        journal_diagnosis = diagnose_journal(
+            args.journal, stale_after_s=args.stale_after)
+        print(journal_diagnosis.describe())
+        healthy = healthy and journal_diagnosis.healthy
+    return 0 if healthy else 1
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -411,6 +512,88 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
+        "daemon",
+        help="serve a durable journaled fleet queue (admission "
+             "control, priorities, crash-safe resume)")
+    p.add_argument("--journal", required=True,
+                   help="request-journal directory (journal.jsonl)")
+    p.add_argument("--fleets",
+                   help="optional fleets spec to submit before serving "
+                        "(same format as eric serve --fleets)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant for --fleets submissions "
+                        "(default: default)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="priority for --fleets submissions; higher "
+                        "dispatches first (default 0)")
+    p.add_argument("--store", default="benchmarks/results/farm",
+                   help="shared result-store directory "
+                        "(default: benchmarks/results/farm)")
+    p.add_argument("--no-store", action="store_true",
+                   help="measure in-memory; resume loses progress")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="farm worker processes per batch (default 1)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run batches through a sharded coordinator "
+                        "(0 = unsharded)")
+    p.add_argument("--shard-root",
+                   help="per-shard store/spec directory "
+                        "(default: <store>/shards)")
+    p.add_argument("--max-active", type=int, default=4,
+                   help="fleet requests served concurrently "
+                        "(default 4)")
+    p.add_argument("--max-pending-jobs", type=int, default=256,
+                   help="admission watermark: pending-job bound across "
+                        "admitted+running requests (default 256)")
+    p.add_argument("--tenant-quota", type=int, default=8,
+                   help="live requests allowed per tenant (default 8)")
+    p.add_argument("--overflow", choices=("defer", "reject"),
+                   default="defer",
+                   help="watermark overflow: defer (leave submitted) "
+                        "or reject with retry-after (default defer)")
+    p.add_argument("--retry-after", type=float, default=30.0,
+                   help="retry hint attached to rejections "
+                        "(default 30s)")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="jobs measured between journal checkpoints "
+                        "(default 8); smaller = finer-grained resume")
+    p.add_argument("--poll-interval", type=float, default=0.25,
+                   help="idle seconds between journal polls "
+                        "(default 0.25)")
+    p.add_argument("--once", action="store_true",
+                   help="drain the journal and exit instead of "
+                        "serving forever")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress daemon progress lines")
+    p.set_defaults(func=_cmd_daemon)
+
+    p = sub.add_parser(
+        "submit",
+        help="journal fleet requests for a (possibly not yet running) "
+             "daemon")
+    p.add_argument("spec",
+                   help="JSON spec: one fleet object or "
+                        '{"fleets": [...]}')
+    p.add_argument("--journal", required=True,
+                   help="request-journal directory")
+    p.add_argument("--tenant", default="default",
+                   help="tenant the requests count against "
+                        "(default: default)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher dispatches first (default 0)")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "status",
+        help="show journaled request states without running a daemon")
+    p.add_argument("--journal", required=True,
+                   help="request-journal directory")
+    p.add_argument("--compact", action="store_true",
+                   help="first rewrite the journal with one line per "
+                        "request (drops superseded and corrupt lines)")
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
         "doctor",
         help="report store health (schema drift, corrupt lines, shard "
              "leftovers) without running a sweep")
@@ -420,6 +603,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-root",
                    help="shard directory to scan for leftovers "
                         "(default: <store>/shards)")
+    p.add_argument("--journal",
+                   help="also diagnose a request journal (live/"
+                        "terminal/corrupt counts, stuck-running "
+                        "detection)")
+    p.add_argument("--stale-after", type=float, default=600.0,
+                   help="seconds before a running request with no "
+                        "journal activity counts as stuck "
+                        "(default 600)")
     p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser(

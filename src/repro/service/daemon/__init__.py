@@ -1,0 +1,52 @@
+"""repro.service.daemon — the durable serve daemon.
+
+The "millions of users" layer on top of the async fleet scheduler:
+many tenants submit fleet specs against one farm/store pair, and the
+daemon owes them an answer even across crashes and restarts.
+
+* :mod:`~repro.service.daemon.journal`   — :class:`JournalStore`: the
+  append-only JSONL request journal (last-wins replay, corrupt-tail
+  tolerance, atomic compaction — the
+  :class:`~repro.farm.store.ResultStore` discipline for requests)
+* :mod:`~repro.service.daemon.admission` — per-tenant quotas and the
+  pending-jobs watermark (defer or reject-with-retry-after)
+* :mod:`~repro.service.daemon.daemon`    — :class:`ServeDaemon`: the
+  journal-replaying, priority-dispatching serve loop with graceful
+  shutdown checkpoints
+* :mod:`~repro.service.daemon.client`    — out-of-process submission
+  and status (``eric submit`` / ``eric status``)
+* :mod:`~repro.service.daemon.doctor`    — read-only journal health
+  checks (``eric doctor --journal``)
+"""
+
+from repro.service.daemon.admission import (AdmissionController,
+                                            AdmissionDecision,
+                                            AdmissionPolicy)
+from repro.service.daemon.client import (fleet_entries, format_status,
+                                         submit_fleets)
+from repro.service.daemon.daemon import DaemonReport, ServeDaemon
+from repro.service.daemon.doctor import (JournalDiagnosis, StuckRequest,
+                                         diagnose_journal)
+from repro.service.daemon.journal import (JOURNAL_SCHEMA, LIVE_STATES,
+                                          STATES, TERMINAL_STATES,
+                                          JournalRecord, JournalStore)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "DaemonReport",
+    "JOURNAL_SCHEMA",
+    "JournalDiagnosis",
+    "JournalRecord",
+    "JournalStore",
+    "LIVE_STATES",
+    "STATES",
+    "ServeDaemon",
+    "StuckRequest",
+    "TERMINAL_STATES",
+    "diagnose_journal",
+    "fleet_entries",
+    "format_status",
+    "submit_fleets",
+]

@@ -1,0 +1,87 @@
+"""Out-of-process journal access: submission and inspection.
+
+``eric submit`` and ``eric status`` are thin wrappers over this module.
+Submission appends ``submitted`` records to the journal file — the
+running daemon's poll loop picks them up on its next pass, and a daemon
+started later replays them; either way the request survives every
+process involved.  Specs are validated (parsed all the way to expanded
+jobs) *before* they are journaled, so a bad spec fails at the
+submitter's prompt instead of crash-looping inside the daemon.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.service.daemon.journal import (LIVE_STATES, STATES,
+                                          JournalRecord, JournalStore)
+from repro.service.scheduler import FleetRequest
+
+
+def fleet_entries(spec: dict) -> tuple[dict, ...]:
+    """Accept either one fleet entry (``{"name": ..., <matrix keys>}``)
+    or a full ``eric serve`` document (``{"fleets": [...]}``)."""
+    if not isinstance(spec, dict):
+        raise ConfigError("submission spec must be a JSON object")
+    if "fleets" in spec:
+        unknown = set(spec) - {"fleets"}
+        if unknown:
+            raise ConfigError(
+                f"unknown submission keys {sorted(unknown)}; a "
+                f'"fleets" document carries only "fleets"')
+        entries = spec["fleets"]
+        if not isinstance(entries, list) or not entries:
+            raise ConfigError(
+                "fleets must be a non-empty list of fleet objects")
+        return tuple(entries)
+    return (spec,)
+
+
+def submit_fleets(journal: JournalStore, spec: dict, *,
+                  tenant: str = "default",
+                  priority: int = 0) -> tuple[JournalRecord, ...]:
+    """Validate and journal every fleet of ``spec`` as one request
+    each; returns the journaled records (state ``submitted``)."""
+    entries = fleet_entries(spec)
+    # validate everything before journaling anything: a bad third
+    # fleet must not leave the first two half-submitted
+    requests = [FleetRequest.from_spec(entry) for entry in entries]
+    names = [request.name for request in requests]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ConfigError(
+            f"duplicate fleet name(s) in one submission: "
+            f"{sorted(duplicates)}")
+    return tuple(
+        journal.submit(entry, tenant=tenant, priority=priority,
+                       total_jobs=len(request.jobs))
+        for entry, request in zip(entries, requests))
+
+
+def format_status(journal: JournalStore) -> str:
+    """Human-readable journal summary (the ``eric status`` body)."""
+    records = journal.records()
+    by_state = {state: [r for r in records if r.state == state]
+                for state in STATES}
+    lines = [f"journal: {journal.path}"]
+    lines.append("  " + ", ".join(
+        f"{len(by_state[state])} {state}" for state in STATES))
+    live = [r for r in records if r.state in LIVE_STATES]
+    shown = live if live else records
+    if not records:
+        lines.append("  no requests journaled yet")
+    elif not live:
+        lines.append("  no live requests; latest terminal states:")
+    for record in shown:
+        progress = (f"{record.done_jobs}/{record.total_jobs}"
+                    if record.total_jobs else "?")
+        line = (f"  {record.request_id}  {record.state:<9} "
+                f"p{record.priority:<3} {record.tenant}/"
+                f"{record.fleet_name}  {progress} job(s)"
+                f"  attempt {record.attempts}")
+        if record.error:
+            line += f"  [{record.error}]"
+        lines.append(line)
+    warning = journal.skipped_warning()
+    if warning:
+        lines.append(f"  warning: {warning}")
+    return "\n".join(lines)

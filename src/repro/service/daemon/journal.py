@@ -1,0 +1,324 @@
+"""The durable fleet-request journal.
+
+Every request the serve daemon accepts is an append-only JSONL record
+under a journal directory — one line per state change, keyed by
+``request_id``, exactly the :class:`~repro.farm.store.ResultStore`
+discipline applied to *requests* instead of measurements:
+
+* a truncated/corrupt line (killed process mid-append) is skipped, not
+  fatal;
+* records written under a different :data:`JOURNAL_SCHEMA` are ignored;
+* duplicate ``request_id`` lines resolve to the *last* record — a state
+  transition simply appends the updated record and wins.
+
+The append-only layout is what makes the daemon durable: submitters
+(``eric submit``) and the daemon append to the same file from different
+processes, a crash mid-serve loses at most one torn line, and replaying
+the file after a restart reconstructs every request's latest state.
+
+Request lifecycle::
+
+    submitted --> admitted --> running --> done | failed
+        |             ^            |
+        |             +------------+   (shutdown checkpoint)
+        +--> cancelled (admission reject / operator)
+
+``running -> admitted`` is the graceful-shutdown checkpoint: the daemon
+re-journals in-flight requests as admitted-but-not-running so the next
+daemon resumes them; a hard crash leaves them ``running`` and the
+replay resumes those too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+
+from repro.errors import ConfigError, EricError
+
+#: Journal record layout version; lines under any other version are
+#: skipped at load (they no longer describe what the daemon serves).
+JOURNAL_SCHEMA = 1
+
+_FILENAME = "journal.jsonl"
+
+#: States a request moves through, in lifecycle order.
+LIVE_STATES = ("submitted", "admitted", "running")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+STATES = LIVE_STATES + TERMINAL_STATES
+
+#: Legal state transitions (see module docstring for the diagram).
+_TRANSITIONS = {
+    "submitted": {"admitted", "cancelled"},
+    "admitted": {"running", "cancelled"},
+    "running": {"admitted", "running", "done", "failed", "cancelled"},
+    "done": set(),
+    "failed": set(),
+    "cancelled": set(),
+}
+
+
+def new_request_id() -> str:
+    """A fresh journal request id (random, submitter-side unique)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One request's latest journaled state.
+
+    ``fleet`` is the raw ``eric serve`` fleet entry (``{"name": ...}``
+    plus sweep-matrix keys) — stored as submitted, parsed into a
+    :class:`~repro.service.scheduler.FleetRequest` only when the daemon
+    serves it, so the journal never depends on spec-expansion code
+    staying frozen.
+    """
+
+    request_id: str
+    fleet: dict
+    tenant: str = "default"
+    #: higher dispatches first; ties break on submission time then id
+    priority: int = 0
+    state: str = "submitted"
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    #: times a daemon started running this request (resume counting)
+    attempts: int = 0
+    #: jobs measured by the current attempt's last checkpoint
+    done_jobs: int = 0
+    #: fully-expanded job count (recorded at submit time)
+    total_jobs: int = 0
+    error: str | None = None
+    #: outcome summary on ``done``/``failed`` (jobs/hits/failures/wall)
+    result: dict | None = None
+    schema: int = JOURNAL_SCHEMA
+
+    @property
+    def fleet_name(self) -> str:
+        name = self.fleet.get("name") if isinstance(self.fleet, dict) \
+            else None
+        return name if isinstance(name, str) and name else "?"
+
+    @property
+    def live(self) -> bool:
+        return self.state in LIVE_STATES
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def validate(self) -> "JournalRecord":
+        if not isinstance(self.request_id, str) or not self.request_id:
+            raise ConfigError(
+                f"request_id must be a non-empty string, "
+                f"got {self.request_id!r}")
+        if not isinstance(self.fleet, dict) or "name" not in self.fleet:
+            raise ConfigError(
+                f"request {self.request_id}: fleet must be an object "
+                f'with a "name" (the eric serve fleet dialect)')
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ConfigError(
+                f"request {self.request_id}: tenant must be a "
+                f"non-empty string, got {self.tenant!r}")
+        if not isinstance(self.priority, int) \
+                or isinstance(self.priority, bool):
+            raise ConfigError(
+                f"request {self.request_id}: priority must be an "
+                f"integer, got {self.priority!r}")
+        if self.state not in STATES:
+            raise ConfigError(
+                f"request {self.request_id}: unknown state "
+                f"{self.state!r}; expected one of {sorted(STATES)}")
+        return self
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalRecord | None":
+        """Parse one journal line; None for corrupt or
+        schema-mismatched records (the caller skips them)."""
+        try:
+            data = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data) -> "JournalRecord | None":
+        if not isinstance(data, dict) \
+                or data.get("schema") != JOURNAL_SCHEMA:
+            return None
+        names = {f.name for f in fields(cls)}
+        try:
+            record = cls(**{k: v for k, v in data.items() if k in names})
+            record.validate()
+        except (TypeError, ConfigError):
+            return None
+        return record
+
+
+class JournalStore:
+    """Keyed JSONL persistence of request records, last-line-wins.
+
+    Thread-safe in-process; cross-process safety rests on appends being
+    single ``write`` calls of one line (the submitter/daemon contract)
+    and on :meth:`reload` tolerating a torn tail.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / _FILENAME
+        self._lock = threading.Lock()
+        self._records: dict[str, JournalRecord]
+        self._records, self.skipped_lines = self._read_file()
+
+    def _read_file(self) -> tuple[dict[str, JournalRecord], int]:
+        records: dict[str, JournalRecord] = {}
+        skipped = 0
+        if self.path.exists():
+            for line in self.path.read_text(
+                    encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                record = JournalRecord.from_json(line)
+                if record is None:
+                    skipped += 1
+                else:
+                    records[record.request_id] = record
+        return records, skipped
+
+    def skipped_warning(self) -> str | None:
+        """One-line operator warning when the journal carried corrupt
+        or schema-mismatched lines; None when it loaded clean."""
+        if not self.skipped_lines:
+            return None
+        return (f"{self.path} has {self.skipped_lines} corrupt or "
+                f"schema-mismatched line(s); they are skipped at load "
+                f"and dropped by compaction")
+
+    def reload(self) -> None:
+        """Re-read the file, picking up records appended by other
+        processes (``eric submit`` while the daemon runs).  Every
+        in-process mutation writes through to disk first, so the file
+        is always at least as new as memory."""
+        with self._lock:
+            self._records, self.skipped_lines = self._read_file()
+
+    def get(self, request_id: str) -> JournalRecord | None:
+        with self._lock:
+            return self._records.get(request_id)
+
+    def __contains__(self, request_id: str) -> bool:
+        with self._lock:
+            return request_id in self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def records(self) -> tuple[JournalRecord, ...]:
+        """Every request's latest record, oldest submission first."""
+        with self._lock:
+            records = list(self._records.values())
+        return tuple(sorted(
+            records, key=lambda r: (r.submitted_at, r.request_id)))
+
+    def by_state(self, *states: str) -> tuple[JournalRecord, ...]:
+        for state in states:
+            if state not in STATES:
+                raise ConfigError(f"unknown journal state {state!r}")
+        return tuple(r for r in self.records() if r.state in states)
+
+    def live(self) -> tuple[JournalRecord, ...]:
+        """Requests a daemon still owes work: submitted, admitted, or
+        running (the replay set after a restart)."""
+        return tuple(r for r in self.records() if r.live)
+
+    def append(self, record: JournalRecord) -> JournalRecord:
+        """Validate, remember, and append one record (write-through)."""
+        record.validate()
+        with self._lock:
+            self._records[record.request_id] = record
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+        return record
+
+    def submit(self, fleet: dict, *, tenant: str = "default",
+               priority: int = 0, total_jobs: int = 0,
+               request_id: str | None = None) -> JournalRecord:
+        """Journal a fresh request in state ``submitted``."""
+        now = time.time()
+        record = JournalRecord(
+            request_id=request_id or new_request_id(), fleet=fleet,
+            tenant=tenant, priority=priority, submitted_at=now,
+            updated_at=now, total_jobs=total_jobs)
+        if record.request_id in self:
+            raise EricError(
+                f"request {record.request_id} is already journaled")
+        return self.append(record)
+
+    def transition(self, request_id: str, state: str, *,
+                   error: str | None = None, result: dict | None = None,
+                   done_jobs: int | None = None,
+                   attempts: int | None = None) -> JournalRecord:
+        """Append the request's record under a new (legal) state."""
+        record = self.get(request_id)
+        if record is None:
+            raise EricError(f"request {request_id} is not journaled")
+        if state not in _TRANSITIONS.get(record.state, set()):
+            raise EricError(
+                f"request {request_id}: illegal transition "
+                f"{record.state} -> {state}")
+        updated = replace(
+            record, state=state, updated_at=time.time(), error=error,
+            result=result if result is not None else record.result,
+            done_jobs=(done_jobs if done_jobs is not None
+                       else record.done_jobs),
+            attempts=(attempts if attempts is not None
+                      else record.attempts))
+        return self.append(updated)
+
+    def compact(self) -> int:
+        """Atomically rewrite the file with one line per request
+        (sorted by submission), dropping superseded state lines and
+        corrupt tails; returns the line count.
+
+        The file is re-read first, so records appended by another
+        process up to that point merge in rather than vanish (the same
+        small lost-append window :meth:`ResultStore.compact` documents:
+        compact while other writers are quiescent).
+        """
+        with self._lock:
+            merged, _ = self._read_file()
+            for request_id, record in self._records.items():
+                merged.setdefault(request_id, record)
+            self._records = merged
+            ordered = sorted(merged.values(),
+                             key=lambda r: (r.submitted_at,
+                                            r.request_id))
+            text = "".join(r.to_json() + "\n" for r in ordered)
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=_FILENAME + ".", suffix=".tmp")
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                    tmp.write(text)
+                    tmp.flush()
+                    os.fsync(tmp.fileno())
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.skipped_lines = 0
+            return len(merged)

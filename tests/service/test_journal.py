@@ -1,0 +1,147 @@
+"""Durable request journal: records, transitions, replay, compaction."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError, EricError
+from repro.service.daemon import (JOURNAL_SCHEMA, JournalRecord,
+                                  JournalStore)
+
+FLEET = {"name": "alpha",
+         "programs": [{"name": "probe",
+                       "source": "int main() { return 0; }"}],
+         "device_seeds": [1, 2]}
+
+
+class TestJournalRecord:
+    def test_round_trips_through_json(self):
+        record = JournalRecord(request_id="abc", fleet=FLEET,
+                              tenant="team-a", priority=3,
+                              submitted_at=10.0, updated_at=11.0,
+                              total_jobs=2)
+        again = JournalRecord.from_json(record.to_json())
+        assert again == record
+        assert again.fleet_name == "alpha"
+        assert again.live and not again.terminal
+
+    def test_corrupt_and_foreign_lines_parse_to_none(self):
+        assert JournalRecord.from_json("{truncated") is None
+        assert JournalRecord.from_json('"a string"') is None
+        record = JournalRecord(request_id="abc", fleet=FLEET)
+        foreign = json.loads(record.to_json())
+        foreign["schema"] = JOURNAL_SCHEMA + 1
+        assert JournalRecord.from_json(json.dumps(foreign)) is None
+
+    def test_validate_rejects_bad_shapes(self):
+        good = JournalRecord(request_id="abc", fleet=FLEET)
+        with pytest.raises(ConfigError, match="request_id"):
+            replace(good, request_id="").validate()
+        with pytest.raises(ConfigError, match="fleet"):
+            replace(good, fleet={"programs": []}).validate()
+        with pytest.raises(ConfigError, match="tenant"):
+            replace(good, tenant="").validate()
+        with pytest.raises(ConfigError, match="priority"):
+            replace(good, priority=True).validate()
+        with pytest.raises(ConfigError, match="unknown state"):
+            replace(good, state="paused").validate()
+
+
+class TestJournalStore:
+    def test_submit_and_reload_across_instances(self, tmp_path):
+        store = JournalStore(tmp_path)
+        record = store.submit(FLEET, tenant="team-a", priority=2,
+                              total_jobs=2)
+        assert record.state == "submitted"
+        # a second instance (another process) sees the same record
+        other = JournalStore(tmp_path)
+        assert other.get(record.request_id) == record
+        assert len(other) == 1
+
+    def test_duplicate_request_id_rejected(self, tmp_path):
+        store = JournalStore(tmp_path)
+        record = store.submit(FLEET, request_id="fixed")
+        with pytest.raises(EricError, match="already journaled"):
+            store.submit(FLEET, request_id=record.request_id)
+
+    def test_transitions_follow_the_lifecycle(self, tmp_path):
+        store = JournalStore(tmp_path)
+        record = store.submit(FLEET, total_jobs=2)
+        rid = record.request_id
+        with pytest.raises(EricError, match="illegal transition"):
+            store.transition(rid, "running")  # must be admitted first
+        store.transition(rid, "admitted")
+        store.transition(rid, "running", attempts=1)
+        # shutdown checkpoint: running -> admitted keeps progress
+        checkpoint = store.transition(rid, "admitted", done_jobs=1)
+        assert checkpoint.done_jobs == 1 and checkpoint.attempts == 1
+        store.transition(rid, "running", attempts=2)
+        done = store.transition(rid, "done",
+                                result={"jobs": 2}, done_jobs=2)
+        assert done.terminal and done.result == {"jobs": 2}
+        with pytest.raises(EricError, match="illegal transition"):
+            store.transition(rid, "running")  # done is terminal
+        with pytest.raises(EricError, match="not journaled"):
+            store.transition("ghost", "admitted")
+
+    def test_last_line_wins_on_reload(self, tmp_path):
+        store = JournalStore(tmp_path)
+        rid = store.submit(FLEET).request_id
+        store.transition(rid, "admitted")
+        store.transition(rid, "running", attempts=1)
+        assert len(store.path.read_text().splitlines()) == 3
+        again = JournalStore(tmp_path)
+        assert len(again) == 1
+        assert again.get(rid).state == "running"
+
+    def test_corrupt_tail_is_skipped_not_fatal(self, tmp_path):
+        store = JournalStore(tmp_path)
+        rid = store.submit(FLEET).request_id
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"request_id": "torn", "fle')  # killed mid-append
+        again = JournalStore(tmp_path)
+        assert again.get(rid) is not None
+        assert again.skipped_lines == 1
+        assert "skipped at load" in again.skipped_warning()
+        assert store.skipped_warning() is None
+
+    def test_records_sorted_and_state_queries(self, tmp_path):
+        store = JournalStore(tmp_path)
+        first = store.submit(dict(FLEET, name="a"))
+        second = store.submit(dict(FLEET, name="b"))
+        store.transition(second.request_id, "admitted")
+        assert [r.fleet_name for r in store.records()] == ["a", "b"]
+        assert [r.fleet_name for r in store.by_state("admitted")] == ["b"]
+        assert len(store.live()) == 2
+        store.transition(first.request_id, "cancelled")
+        assert len(store.live()) == 1
+        with pytest.raises(ConfigError, match="unknown journal state"):
+            store.by_state("paused")
+
+    def test_compact_drops_superseded_and_corrupt_lines(self, tmp_path):
+        store = JournalStore(tmp_path)
+        rid = store.submit(FLEET).request_id
+        store.transition(rid, "admitted")
+        store.transition(rid, "running", attempts=1)
+        store.transition(rid, "done", done_jobs=2)
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        store = JournalStore(tmp_path)
+        assert store.skipped_lines == 1
+        assert store.compact() == 1
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 1
+        assert JournalRecord.from_json(lines[0]).state == "done"
+        assert store.skipped_warning() is None
+
+    def test_compact_merges_concurrent_appends(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.submit(dict(FLEET, name="mine"), request_id="mine")
+        # another process appends a record this instance never loaded
+        other = JournalStore(tmp_path)
+        other.submit(dict(FLEET, name="theirs"), request_id="theirs")
+        assert store.compact() == 2
+        merged = JournalStore(tmp_path)
+        assert {r.request_id for r in merged.records()} == \
+            {"mine", "theirs"}

@@ -1,0 +1,159 @@
+"""AsyncSingleFlight under real concurrency: waiter storms, failures.
+
+The base single-waiter behaviors live in test_scheduler.py; these tests
+put many concurrent waiters on one flight and check that failures
+propagate to all of them, that a failed entry retires (so a later call
+rebuilds), and that cancellation storms neither poison the build nor
+leak results to the cancelled.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.scheduler import AsyncSingleFlight
+
+
+class TestConcurrentFailure:
+    def test_failure_propagates_to_every_waiter_then_retries(self):
+        flight = AsyncSingleFlight()
+        attempts = []
+        release = None
+
+        async def build():
+            attempts.append(len(attempts) + 1)
+            await release.wait()
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return "artifact"
+
+        async def waiter():
+            try:
+                return await flight.run("key", build)
+            except RuntimeError as exc:
+                return f"raised: {exc}"
+
+        async def go():
+            nonlocal release
+            release = asyncio.Event()
+            first = [asyncio.ensure_future(waiter())
+                     for _ in range(5)]
+            await asyncio.sleep(0.01)  # all five join one in-flight build
+            release.set()
+            storm = await asyncio.gather(*first)
+            # the failure retired the entry: the next wave rebuilds
+            second = await asyncio.gather(*(flight.run("key", build)
+                                            for _ in range(3)))
+            return storm, second
+
+        storm, second = asyncio.run(go())
+        assert storm == ["raised: transient"] * 5
+        assert second == ["artifact"] * 3
+        assert len(attempts) == 2  # one failed build, one retry
+
+    def test_failure_in_one_key_leaves_other_keys_alone(self):
+        flight = AsyncSingleFlight()
+
+        async def bad():
+            raise RuntimeError("boom")
+
+        async def good():
+            await asyncio.sleep(0.01)
+            return "fine"
+
+        async def go():
+            results = await asyncio.gather(
+                flight.run("bad", bad), flight.run("good", good),
+                return_exceptions=True)
+            # the bad key retried independently of the good one
+            retry = await flight.run("good", good)
+            return results, retry
+
+        results, retry = asyncio.run(go())
+        assert isinstance(results[0], RuntimeError)
+        assert results[1] == "fine" and retry == "fine"
+
+
+class TestCancellationStorm:
+    def test_surviving_waiters_get_the_result(self):
+        flight = AsyncSingleFlight()
+        builds = []
+        release = None
+
+        async def build():
+            builds.append(1)
+            await release.wait()
+            return "artifact"
+
+        async def go():
+            nonlocal release
+            release = asyncio.Event()
+            tasks = [asyncio.ensure_future(flight.run("key", build))
+                     for _ in range(6)]
+            await asyncio.sleep(0.01)
+            for task in tasks[:4]:  # cancel most of the storm
+                task.cancel()
+            release.set()
+            settled = await asyncio.gather(*tasks,
+                                           return_exceptions=True)
+            return settled
+
+        settled = asyncio.run(go())
+        assert all(isinstance(r, asyncio.CancelledError)
+                   for r in settled[:4])
+        assert settled[4:] == ["artifact", "artifact"]
+        assert len(builds) == 1  # the storm never restarted the build
+
+    def test_cancelling_every_waiter_keeps_the_flight_usable(self):
+        flight = AsyncSingleFlight()
+        builds = []
+        release = None
+
+        async def build():
+            builds.append(1)
+            await release.wait()
+            return f"artifact-{len(builds)}"
+
+        async def go():
+            nonlocal release
+            release = asyncio.Event()
+            tasks = [asyncio.ensure_future(flight.run("key", build))
+                     for _ in range(3)]
+            await asyncio.sleep(0.01)
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            # a late waiter still gets an answer: either the shielded
+            # original build or a fresh one, never a stuck flight
+            release.set()
+            return await asyncio.wait_for(flight.run("key", build),
+                                          timeout=1.0)
+
+        result = asyncio.run(go())
+        assert result.startswith("artifact-")
+        assert len(builds) >= 1
+
+
+class TestDistinctKeysRunConcurrently:
+    def test_two_keys_overlap_in_time(self):
+        flight = AsyncSingleFlight()
+        started = []
+        both_started = None
+
+        async def build(tag):
+            started.append(tag)
+            if len(started) == 2:
+                both_started.set()
+            # deadlocks unless the other key's build runs concurrently
+            await asyncio.wait_for(both_started.wait(), timeout=1.0)
+            return tag
+
+        async def go():
+            nonlocal both_started
+            both_started = asyncio.Event()
+            return await asyncio.gather(
+                flight.run("a", lambda: build("a")),
+                flight.run("b", lambda: build("b")))
+
+        assert asyncio.run(go()) == ["a", "b"]
+        assert sorted(started) == ["a", "b"]

@@ -133,6 +133,130 @@ class TestServeCommand:
                      "--no-store"]) == 1
         assert "drop --no-store" in capsys.readouterr().err
 
+    def test_serve_names_failed_jobs_and_exits_nonzero(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "fleets.json"
+        # "starved" compiles but blows its simulator budget at run
+        # time, so the failure surfaces as a per-job result
+        path.write_text(json.dumps({"fleets": [
+            {"name": "good", "programs": [{"name": "probe",
+                                           "source": SOURCE}]},
+            {"name": "bad", "programs": [{"name": "starved",
+                                          "source": SOURCE}],
+             "max_instructions": 5},
+        ]}))
+        assert main(["serve", "--fleets", str(path), "--no-store",
+                     "--quiet"]) == 1
+        out = capsys.readouterr().out
+        # the summary names each failed job so the operator does not
+        # have to re-run with telemetry on
+        assert "FAILED bad/starved:" in out
+        assert "FAILED good" not in out
+
+
+class TestDaemonCommands:
+    FLEETS = {"fleets": [
+        {"name": "alpha", "programs": [{"name": "probe",
+                                        "source": SOURCE}],
+         "device_seeds": [1, 2]},
+        {"name": "beta", "programs": [{"name": "probe",
+                                       "source": SOURCE}],
+         "device_seeds": [2, 3]},
+    ]}
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "fleets.json"
+        path.write_text(json.dumps(self.FLEETS))
+        return str(path)
+
+    def test_submit_daemon_status_round_trip(self, spec_file, tmp_path,
+                                             capsys):
+        journal = str(tmp_path / "journal")
+        store = str(tmp_path / "farm")
+        assert main(["submit", spec_file, "--journal", journal,
+                     "--priority", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("submitted ") == 2
+
+        assert main(["status", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "2 submitted" in out and "p2" in out
+
+        assert main(["daemon", "--journal", journal, "--store", store,
+                     "--once", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 admitted" in out and "2 done" in out
+
+        assert main(["status", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out and "no live requests" in out
+
+    def test_daemon_submits_fleets_and_narrates(self, spec_file,
+                                                tmp_path, capsys):
+        assert main(["daemon", "--journal", str(tmp_path / "journal"),
+                     "--fleets", spec_file, "--store",
+                     str(tmp_path / "farm"), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[daemon.admit]" in out
+        assert "[daemon.request]" in out
+
+    def test_daemon_shards_require_a_store(self, tmp_path, capsys):
+        assert main(["daemon", "--journal", str(tmp_path / "journal"),
+                     "--shards", "2", "--no-store", "--once"]) == 1
+        assert "drop --no-store" in capsys.readouterr().err
+
+    def test_submit_rejects_bad_spec_without_journaling(self, tmp_path,
+                                                        capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"fleets": [
+            {"name": "ok", "programs": [{"name": "p",
+                                         "source": SOURCE}]},
+            {"workloads": ["crc32"]},
+        ]}))
+        journal = tmp_path / "journal"
+        assert main(["submit", str(path),
+                     "--journal", str(journal)]) == 1
+        assert "eric: error:" in capsys.readouterr().err
+        # the valid first fleet was not half-submitted
+        assert not (journal / "journal.jsonl").exists()
+
+    def test_status_compact_rewrites_the_journal(self, spec_file,
+                                                 tmp_path, capsys):
+        journal = str(tmp_path / "journal")
+        store = str(tmp_path / "farm")
+        main(["submit", spec_file, "--journal", journal])
+        main(["daemon", "--journal", journal, "--store", store,
+              "--once", "--quiet"])
+        capsys.readouterr()
+        assert main(["status", "--journal", journal,
+                     "--compact"]) == 0
+        assert "journal compacted: 2" in capsys.readouterr().out
+        lines = (tmp_path / "journal" /
+                 "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_doctor_reports_stuck_running_requests(self, tmp_path,
+                                                   capsys):
+        from dataclasses import replace
+
+        from repro.service.daemon import JournalStore
+
+        journal = JournalStore(tmp_path / "journal")
+        record = journal.submit(self.FLEETS["fleets"][0], total_jobs=2)
+        stale = replace(record, state="running",
+                        updated_at=record.updated_at - 3600.0)
+        journal.append(stale)
+        assert main(["doctor", "--store", str(tmp_path / "farm"),
+                     "--journal", str(tmp_path / "journal")]) == 1
+        out = capsys.readouterr().out
+        assert "STUCK" in out and "restart the daemon" in out
+        assert "NEEDS ATTENTION" in out
+        # a generous staleness window clears the verdict
+        assert main(["doctor", "--store", str(tmp_path / "farm"),
+                     "--journal", str(tmp_path / "journal"),
+                     "--stale-after", "7200"]) == 0
+
 
 class TestDoctorCommand:
     def test_doctor_healthy_store(self, tmp_path, capsys):
