@@ -1,0 +1,117 @@
+"""Interpreter profiling baseline — the number the ROADMAP's
+fast-SoC-interpreter item must beat.
+
+A fresh (never store-served) mini-sweep simulates three MiBench
+workloads and records, per workload: instructions retired, simulated
+cycles, interpreter wall seconds, simulated-cycles-per-second
+throughput, and ERIC-run L1 hit rates.  The committed baseline lives
+in ``benchmarks/results/BENCH_interp.json``; it is written only when
+missing (delete the file to re-baseline on a new machine or after an
+interpreter change), so routine benchmark runs leave the committed
+numbers untouched.  The ``.txt`` table is regenerated every run with
+wall-clock cells Volatile-masked, like every other recorded table.
+"""
+
+import json
+import pathlib
+
+from repro.eval.report import Volatile, format_table
+from repro.farm import JobMatrix, ResultStore, SimulationFarm
+
+PROFILE_WORKLOADS = ("basicmath", "crc32", "fft")
+BASELINE_PATH = (pathlib.Path(__file__).parent / "results"
+                 / "BENCH_interp.json")
+
+
+def _profile(store_dir):
+    farm = SimulationFarm(store=ResultStore(store_dir), jobs=1)
+    report = farm.run(JobMatrix(workloads=PROFILE_WORKLOADS))
+    report.require_ok()
+    return report
+
+
+def test_profile_interp_baseline(benchmark, record, tmp_path):
+    report = benchmark.pedantic(lambda: _profile(tmp_path / "farm"),
+                                rounds=1, iterations=1)
+
+    headers = ["workload", "instret", "sim cycles", "wall s",
+               "Mcyc/s", "icache", "dcache"]
+    rows, baseline = [], {}
+    for result in report.results:
+        rec = result.record
+        rates = rec.cache_hit_rates()
+        rows.append([
+            rec.workload, rec.instructions_retired, rec.sim_cycles,
+            Volatile(f"{rec.sim_wall_s:.3f}"),
+            Volatile(f"{rec.sim_cycles_per_sec / 1e6:.2f}"),
+            f"{rates['icache']:.3f}", f"{rates['dcache']:.3f}"])
+        baseline[rec.workload] = {
+            "instructions_retired": rec.instructions_retired,
+            "sim_cycles": rec.sim_cycles,
+            "sim_wall_s": round(rec.sim_wall_s, 4),
+            "sim_cycles_per_sec": round(rec.sim_cycles_per_sec),
+            "cache_hit_rates": {k: round(v, 4)
+                                for k, v in rates.items()},
+        }
+
+    title = (f"Interpreter profile: {len(PROFILE_WORKLOADS)} workloads, "
+             "fresh simulation at jobs=1")
+    table = format_table(headers, rows, title=title)
+    record("profile_interp",
+           table + "\n" + report.profile_summary(),
+           stable=format_table(headers, rows, title=title, stable=True)
+           + "\nprofile: (volatile, see BENCH_interp.json)")
+
+    if not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(
+            {"schema": 1, "jobs": 1,
+             "workloads": baseline,
+             "aggregate": {
+                 "sim_cycles": report.sim_cycles,
+                 "sim_wall_s": round(report.sim_wall_s, 4),
+                 "sim_cycles_per_sec":
+                     round(report.sim_cycles_per_sec),
+             }},
+            indent=2, sort_keys=True) + "\n")
+
+    # every record carries full profiling data
+    assert len(report.records) == len(PROFILE_WORKLOADS)
+    for rec in report.records:
+        assert rec.instructions_retired > 0
+        assert rec.sim_cycles > rec.instructions_retired * 0.5
+        assert rec.sim_wall_s > 0
+        assert rec.sim_cycles_per_sec > 0
+        rates = rec.cache_hit_rates()
+        assert 0.0 < rates["icache"] <= 1.0
+        assert 0.0 < rates["dcache"] <= 1.0
+    assert report.sim_cycles_per_sec > 0
+    assert "Mcycles/s" in report.profile_summary()
+
+    # the committed baseline stays structurally comparable
+    committed = json.loads(BASELINE_PATH.read_text())
+    assert committed["schema"] == 1
+    for workload in PROFILE_WORKLOADS:
+        entry = committed["workloads"][workload]
+        assert entry["sim_cycles"] > 0
+        assert entry["sim_cycles_per_sec"] > 0
+        # cycle and instruction counts are deterministic: a fresh run
+        # must reproduce the committed counts exactly
+        fresh = baseline[workload]
+        assert fresh["sim_cycles"] == entry["sim_cycles"]
+        assert fresh["instructions_retired"] \
+            == entry["instructions_retired"]
+
+
+def test_profile_survives_store_round_trip(record, tmp_path):
+    """sim_wall_s persists with the record: a store-served rerun still
+    reports interpreter throughput (from the measuring machine)."""
+    store = ResultStore(tmp_path / "farm")
+    SimulationFarm(store=store, jobs=1).run(
+        JobMatrix(workloads=("crc32",))).require_ok()
+    resumed = SimulationFarm(store=ResultStore(store.root), jobs=1).run(
+        JobMatrix(workloads=("crc32",)))
+    resumed.require_ok()
+    assert resumed.hits == 1
+    assert resumed.sim_cycles_per_sec > 0
+    (rec,) = resumed.records
+    assert rec.sim_wall_s > 0

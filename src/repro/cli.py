@@ -202,6 +202,7 @@ def _warn_skipped_lines(store) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.farm import (FarmCoordinator, JobMatrix, ResultStore,
                             SimulationFarm)
+    from repro.obs import METRICS, Tracer
     from repro.service.telemetry import StagePrinter
 
     if args.compact and args.no_store:
@@ -210,24 +211,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.shards and args.no_store:
         raise EricError("--shards merges shard stores into the main "
                         "store; drop --no-store to use it")
+    if (args.trace or args.metrics) and args.no_store:
+        raise EricError("--trace/--metrics persist next to the result "
+                        "store; drop --no-store to use them")
     matrix = JobMatrix.from_spec(_load_json(args.spec, "sweep spec"))
     store = None if args.no_store else ResultStore(args.store)
     _warn_skipped_lines(store)
+    tracer = Tracer(store.root) if args.trace else None
     if args.shards:
         farm = FarmCoordinator(store=store, shards=args.shards,
                                jobs_per_shard=args.jobs,
-                               shard_root=args.shard_root)
+                               shard_root=args.shard_root,
+                               tracer=tracer)
         if not args.quiet:
             # per-job events stay inside the worker processes; narrate
             # shard completions instead
             farm.on_event(StagePrinter(stages="farm.shard"))
     else:
-        farm = SimulationFarm(store=store, jobs=args.jobs)
+        farm = SimulationFarm(store=store, jobs=args.jobs,
+                              tracer=tracer)
         if not args.quiet:
             farm.on_event(StagePrinter(stages="farm.job"))
     report = farm.run(matrix, force=args.force)
     print(report.render())
     print(report.summary())
+    print(report.profile_summary())
     if args.shards:
         for index, stats in enumerate(farm.last_merge):
             print(f"shard {index + 1}/{len(farm.last_merge)} merged: "
@@ -236,24 +244,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.compact:
             print(f"store compacted: {store.compact()} live record(s)")
         print(f"store: {store.path} ({len(store)} records)")
+    if tracer is not None:
+        print(f"trace: {tracer.path}")
+    if args.metrics:
+        print(f"metrics: {METRICS.dump(store.root)}")
     return 0 if not report.failures else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.farm import ResultStore
+    from repro.obs import METRICS, Tracer
     from repro.service.scheduler import FleetScheduler, load_fleet_specs
     from repro.service.telemetry import StagePrinter
 
     if args.shards and args.no_store:
         raise EricError("--shards merges shard stores into the main "
                         "store; drop --no-store to use it")
+    if (args.trace or args.metrics) and args.no_store:
+        raise EricError("--trace/--metrics persist next to the result "
+                        "store; drop --no-store to use them")
     requests = load_fleet_specs(_load_json(args.fleets, "fleets spec"))
     store = None if args.no_store else ResultStore(args.store)
     _warn_skipped_lines(store)
+    tracer = Tracer(store.root) if args.trace else None
     scheduler = FleetScheduler(
         store=store, config=None, jobs=args.jobs, shards=args.shards,
         shard_root=args.shard_root, max_concurrency=args.max_concurrency,
-        batch_window=args.batch_window)
+        batch_window=args.batch_window, tracer=tracer)
     if not args.quiet:
         scheduler.on_event(StagePrinter(stages="scheduler."))
     report = scheduler.run(requests, force=args.force)
@@ -267,6 +284,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(report.summary())
     if store is not None:
         print(f"store: {store.path} ({len(store)} records)")
+    if tracer is not None:
+        print(f"trace: {tracer.path}")
+    if args.metrics:
+        print(f"metrics: {METRICS.dump(store.root)}")
     return 0 if report.all_ok else 1
 
 
@@ -282,6 +303,8 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     if args.shards and args.no_store:
         raise EricError("--shards merges shard stores into the main "
                         "store; drop --no-store to use it")
+    from repro.obs import Tracer
+
     journal = JournalStore(args.journal)
     _warn_skipped_lines(journal)
     if args.fleets:
@@ -293,6 +316,7 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
                   f"{record.fleet_name!r} ({record.total_jobs} job(s))")
     store = None if args.no_store else ResultStore(args.store)
     _warn_skipped_lines(store)
+    tracer = Tracer(journal.root) if args.trace else None
     daemon = ServeDaemon(
         journal, store=store,
         policy=AdmissionPolicy(
@@ -302,7 +326,8 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
         jobs=args.jobs, shards=args.shards, shard_root=args.shard_root,
         max_active=args.max_active,
         checkpoint_every=args.checkpoint_every,
-        poll_interval=args.poll_interval)
+        poll_interval=args.poll_interval, tracer=tracer,
+        metrics_interval=args.metrics_interval)
     if not args.quiet:
         daemon.on_event(StagePrinter(stages="daemon."))
 
@@ -324,6 +349,8 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     print(f"journal: {journal.path} ({len(journal)} request(s))")
     if store is not None:
         print(f"store: {store.path} ({len(store)} records)")
+    if tracer is not None:
+        print(f"trace: {tracer.path}")
     return 0 if report.all_ok else 1
 
 
@@ -367,7 +394,31 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
             args.journal, stale_after_s=args.stale_after)
         print(journal_diagnosis.describe())
         healthy = healthy and journal_diagnosis.healthy
+    if args.trace:
+        from repro.obs import diagnose_trace
+
+        trace_diagnosis = diagnose_trace(args.trace)
+        print(trace_diagnosis.describe())
+        healthy = healthy and trace_diagnosis.healthy
     return 0 if healthy else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_traces
+
+    print(render_traces(args.dir, trace_id=args.trace_id))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import load_metrics, render_snapshot
+
+    try:
+        snapshot = load_metrics(args.dir)
+    except ValueError as exc:
+        raise EricError(str(exc)) from None
+    print(render_snapshot(snapshot), end="")
+    return 0
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -476,6 +527,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "corrupt lines)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
+    p.add_argument("--trace", action="store_true",
+                   help="record a span per sweep/shard/job into "
+                        "<store>/trace.jsonl (see eric trace)")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump the run's metrics registry to "
+                        "<store>/metrics.json (see eric metrics)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -509,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-measure (and re-persist) stored keys")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-fleet/per-batch progress lines")
+    p.add_argument("--trace", action="store_true",
+                   help="record fleet/batch/farm/job spans into "
+                        "<store>/trace.jsonl (see eric trace)")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump the run's metrics registry to "
+                        "<store>/metrics.json (see eric metrics)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -565,6 +628,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "serving forever")
     p.add_argument("--quiet", action="store_true",
                    help="suppress daemon progress lines")
+    p.add_argument("--trace", action="store_true",
+                   help="record one connected trace per served request "
+                        "into <journal>/trace.jsonl (see eric trace)")
+    p.add_argument("--metrics-interval", type=float, default=5.0,
+                   help="seconds between metrics.json dumps into the "
+                        "journal directory (default 5)")
     p.set_defaults(func=_cmd_daemon)
 
     p = sub.add_parser(
@@ -611,7 +680,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds before a running request with no "
                         "journal activity counts as stuck "
                         "(default 600)")
+    p.add_argument("--trace",
+                   help="also diagnose a trace directory (dangling "
+                        "parents, unfinished root spans, corrupt "
+                        "metrics.json)")
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "trace",
+        help="render recorded traces as waterfalls with critical paths")
+    p.add_argument("dir",
+                   help="directory holding trace.jsonl (a store or "
+                        "journal dir swept with --trace), or the file "
+                        "itself")
+    p.add_argument("--trace-id",
+                   help="render only the trace whose ID starts with "
+                        "this prefix")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="render a dumped metrics.json Prometheus-style")
+    p.add_argument("dir",
+                   help="directory holding metrics.json (or the file "
+                        "itself)")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
         "worker",

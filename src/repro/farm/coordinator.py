@@ -38,6 +38,9 @@ from repro.farm.executor import (FarmJobResult, FarmReport, expand_specs,
                                  share_follower_outcomes)
 from repro.farm.spec import JobMatrix, JobSpec, ShardPlan, ShardSpec
 from repro.farm.store import MergeStats, ResultStore
+from repro.obs.metrics import METRICS
+from repro.obs.trace import (TRACE_FILENAME, TraceContext, Tracer,
+                             merge_trace_files)
 from repro.service.telemetry import TelemetryEvent, TelemetryHub
 
 SHARD_SPEC_FILENAME = "shard.json"
@@ -66,10 +69,11 @@ def _run_shard(spec_path: str, store_dir: str, jobs: int,
     taking specs in-memory so the in-process path exercises exactly
     what a remote ``eric worker`` would.
     """
-    from repro.farm.worker import load_shard, run_shard
+    from repro.farm.worker import load_shard, read_shard_trace, run_shard
 
     shard = load_shard(spec_path)
-    report = run_shard(shard, store_dir, jobs=jobs, force=force)
+    report = run_shard(shard, store_dir, jobs=jobs, force=force,
+                       trace=read_shard_trace(spec_path))
     return ShardOutcome(
         index=shard.index,
         store_dir=store_dir,
@@ -104,12 +108,18 @@ class FarmCoordinator:
         progress: optional ``callback(done, total, result)``, fired per
             job for main-store hits and per merged job once a shard
             completes.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; a run
+            becomes a ``farm.sweep`` span whose context rides into
+            every shard.json, and each worker's shard-store trace file
+            is merged back next to the records (so the assembled
+            waterfall spans the process boundary).
     """
 
     def __init__(self, store: ResultStore, shards: int = 2,
                  jobs_per_shard: int = 1,
                  shard_root: str | Path | None = None,
-                 telemetry=None, progress=None) -> None:
+                 telemetry=None, progress=None,
+                 tracer: Tracer | None = None) -> None:
         if store is None:
             raise ConfigError(
                 "FarmCoordinator needs a main store to merge shard "
@@ -124,6 +134,7 @@ class FarmCoordinator:
         self.shard_root = (Path(shard_root) if shard_root is not None
                            else store.root / "shards")
         self.progress = progress
+        self.tracer = tracer
         self._telemetry = TelemetryHub()
         if telemetry is not None:
             self._telemetry.add(telemetry)
@@ -147,16 +158,26 @@ class FarmCoordinator:
             return ShardPlan(shards=())
         return ShardPlan.partition(pending, self.shards)
 
-    def write_shard_specs(self, plan: ShardPlan) -> list[Path]:
+    def write_shard_specs(self, plan: ShardPlan,
+                          trace: dict | None = None) -> list[Path]:
         """Materialize one ``shard.json`` (plus store dir) per shard
-        under ``shard_root`` — the files ``eric worker`` consumes."""
+        under ``shard_root`` — the files ``eric worker`` consumes.
+
+        ``trace`` (a :meth:`TraceContext.to_wire` dict) is written
+        under the spec's ``"trace"`` key so a worker — local pool or
+        remote machine — parents its spans under this run.
+        ``ShardSpec.from_spec`` ignores unknown keys, so traced specs
+        stay readable by pre-tracing workers and vice versa."""
         paths = []
         for shard in plan.shards:
             shard_dir = self._shard_dir(shard)
             shard_dir.mkdir(parents=True, exist_ok=True)
             path = shard_dir / SHARD_SPEC_FILENAME
+            spec = shard.to_spec()
+            if trace is not None:
+                spec["trace"] = trace
             path.write_text(
-                json.dumps(shard.to_spec(), indent=2, sort_keys=True)
+                json.dumps(spec, indent=2, sort_keys=True)
                 + "\n", encoding="utf-8")
             paths.append(path)
         return paths
@@ -166,7 +187,8 @@ class FarmCoordinator:
 
     # ------------------------------------------------------------------
     def run(self, matrix: JobMatrix | tuple[JobSpec, ...] | list[JobSpec],
-            force: bool = False) -> FarmReport:
+            force: bool = False,
+            trace_parent: TraceContext | None = None) -> FarmReport:
         """Measure ``matrix``: serve main-store hits, shard the rest
         over worker processes, merge, and aggregate one report."""
         specs = expand_specs(matrix)
@@ -174,6 +196,10 @@ class FarmCoordinator:
         keys = [spec.key() for spec in specs]
         results: list[FarmJobResult | None] = [None] * len(specs)
         total = len(specs)
+        span = (self.tracer.start("farm.sweep", parent=trace_parent,
+                                  attrs={"jobs": total,
+                                         "shards": self.shards})
+                if self.tracer is not None else None)
 
         # -- phase 1: serve main-store hits; dedupe within the matrix --
         pending, followers, done = serve_store_hits(
@@ -183,7 +209,15 @@ class FarmCoordinator:
         plan = ShardPlan.partition([specs[i] for i in pending],
                                    self.shards) if pending \
             else ShardPlan(shards=())
-        outcomes = self._dispatch(plan, force) if plan.shards else []
+        # untraced runs keep the two-arg _dispatch call so stand-in
+        # dispatchers (tests) need not grow the trace parameter
+        trace = span.context.to_wire() if span is not None else None
+        if not plan.shards:
+            outcomes = []
+        elif trace is not None:
+            outcomes = self._dispatch(plan, force, trace)
+        else:
+            outcomes = self._dispatch(plan, force)
 
         # -- phase 3: merge shard stores into the main store, each
         # restricted to its *planned* keys: a reused shard directory
@@ -195,6 +229,14 @@ class FarmCoordinator:
             self.store.merge_from(outcome.store_dir,
                                   keys=planned[outcome.index])
             for outcome in sorted(outcomes, key=lambda o: o.index))
+        if span is not None and self.tracer.path is not None and outcomes:
+            # shard workers traced into their own store dirs; pull
+            # those spans back so the main waterfall crosses the
+            # process boundary (concatenation is the merge)
+            merge_trace_files(
+                self.tracer.path,
+                [Path(outcome.store_dir) / TRACE_FILENAME
+                 for outcome in outcomes])
 
         # -- phase 4: aggregate — every pending key is now either in the
         # merged store or carries a worker-reported error ---------------
@@ -233,24 +275,32 @@ class FarmCoordinator:
             results=tuple(results), wall_s=wall_s,
             jobs=self.jobs_per_shard, store_path=str(self.store.path),
             shards=self.shards)
+        detail = (f"{report.hits} hits / {report.executed} executed / "
+                  f"{len(report.failures)} failed across "
+                  f"{plan.count} shard(s)")
+        if span is not None:
+            span.finish(ok=not report.failures, detail=detail)
         self._telemetry.emit(TelemetryEvent(
             stage="farm.sweep", seconds=wall_s, ok=not report.failures,
-            detail=(f"{report.hits} hits / {report.executed} executed / "
-                    f"{len(report.failures)} failed across "
-                    f"{plan.count} shard(s)")))
+            detail=detail,
+            trace_id=span.trace_id if span else None,
+            span_id=span.span_id if span else None))
         return report
 
-    def run_batch(self, specs, force: bool = False):
+    def run_batch(self, specs, force: bool = False,
+                  trace_parent: TraceContext | None = None):
         """Batch-submission entry point, drop-in for
         :meth:`SimulationFarm.run_batch`: measure a bag of specs and
         return ``(report, outcomes_by_key)`` — the async scheduler
         neither knows nor cares whether its backend shards."""
-        report = self.run(tuple(specs), force=force)
+        report = self.run(tuple(specs), force=force,
+                          trace_parent=trace_parent)
         return report, report.by_key()
 
-    def _dispatch(self, plan: ShardPlan, force: bool) -> list[ShardOutcome]:
+    def _dispatch(self, plan: ShardPlan, force: bool,
+                  trace: dict | None = None) -> list[ShardOutcome]:
         """Run every shard of ``plan`` in its own worker process."""
-        spec_paths = self.write_shard_specs(plan)
+        spec_paths = self.write_shard_specs(plan, trace=trace)
         tasks = [(shard, str(path), str(self._shard_dir(shard)))
                  for shard, path in zip(plan.shards, spec_paths)]
         outcomes: list[ShardOutcome] = []
@@ -301,6 +351,17 @@ class FarmCoordinator:
 
     def _announce(self, done: int, total: int,
                   result: FarmJobResult) -> None:
+        # the coordinator is the authoritative metrics emitter: shard
+        # farms run with metrics=False, so these counts never double
+        if result.from_store:
+            METRICS.inc("store.hits")
+        elif result.shared:
+            METRICS.inc("farm.shared")
+        elif not result.ok:
+            METRICS.inc("farm.failed")
+        else:
+            METRICS.inc("farm.executed")
+            METRICS.observe("farm.job.wall_s", result.wall_s)
         self._telemetry.emit(TelemetryEvent(
             stage="farm.job", seconds=result.wall_s,
             program=result.spec.display_name, ok=result.ok,

@@ -28,6 +28,8 @@ from repro.core.device import Device
 from repro.errors import ConfigError, EricError
 from repro.farm.spec import JobMatrix, JobSpec, SimParams
 from repro.farm.store import FarmRecord, ResultStore
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TraceContext, Tracer
 from repro.puf.arbiter import PufArray
 from repro.puf.key_generator import PufKeyGenerator
 from repro.puf.metrics import key_failure_probability
@@ -129,6 +131,7 @@ def execute_job(spec: JobSpec) -> FarmRecord:
                                  max_instructions=params.max_instructions)
         eric = device.load_and_run(result.package_bytes,
                                    max_instructions=params.max_instructions)
+        record["sim_wall_s"] = plain.wall_s + eric.run.wall_s
         record.update(
             plain_cycles=plain.counters.cycles,
             hde_cycles=eric.hde.total_cycles,
@@ -196,14 +199,46 @@ def _format_error(exc: BaseException) -> str:
     return f"{head} [at {trail}]"
 
 
-def _execute_safe(spec: JobSpec) -> tuple[FarmRecord | None, str | None]:
+def _job_span(spec: JobSpec, trace: dict | None):
+    """Open a ``farm.job`` span from a cross-process trace payload
+    (``{"trace_id", "span_id", "dir"}``): the worker subprocess appends
+    to the *same* trace.jsonl as the dispatching farm — whole-line
+    appends interleave safely across processes.  None when the payload
+    is absent or unusable (tracing must never fail a job)."""
+    if not isinstance(trace, dict) or not trace.get("dir"):
+        return None
+    parent = TraceContext.from_wire(trace)
+    if parent is None:
+        return None
+    try:
+        tracer = Tracer(trace["dir"])
+        return tracer.start("farm.job", parent=parent,
+                            attrs={"program": spec.display_name,
+                                   "key": spec.key()[:12]})
+    except OSError:
+        return None
+
+
+def _execute_safe(spec: JobSpec, trace: dict | None = None,
+                  ) -> tuple[FarmRecord | None, str | None]:
     """Worker wrapper: never raises on job errors, returns
     (record, error).  KeyboardInterrupt/SystemExit still propagate — an
     interactive abort must stop the sweep, not count as a job failure."""
+    span = _job_span(spec, trace)
     try:
-        return execute_job(spec), None
+        record = execute_job(spec)
     except Exception as exc:  # noqa: BLE001 — isolation boundary
-        return None, _format_error(exc)
+        error = _format_error(exc)
+        if span is not None:
+            span.finish(ok=False, detail=error)
+        return None, error
+    if span is not None:
+        if record.sim_cycles is not None:
+            span.attrs.update(
+                sim_cycles=record.sim_cycles,
+                instructions_retired=record.instructions_retired)
+        span.finish()
+    return record, None
 
 
 @dataclass(frozen=True)
@@ -280,6 +315,40 @@ class FarmReport:
         """Simulation time this run paid (store hits cost ~nothing)."""
         return sum(r.wall_s for r in self.results if not r.from_store)
 
+    # -- interpreter profiling (aggregated over simulated records) --------
+
+    @property
+    def sim_cycles(self) -> int:
+        """Simulated cycles across records carrying profiling data."""
+        return sum(r.sim_cycles for r in self.records
+                   if r.sim_cycles is not None and r.sim_wall_s)
+
+    @property
+    def sim_wall_s(self) -> float:
+        """Interpreter wall seconds behind those cycles (whichever
+        machine originally measured each record)."""
+        return sum(r.sim_wall_s for r in self.records
+                   if r.sim_cycles is not None and r.sim_wall_s)
+
+    @property
+    def sim_cycles_per_sec(self) -> float | None:
+        """Aggregate interpreter throughput; None when no record
+        carries profiling data (simulate=False, or pre-profiling
+        store records)."""
+        wall = self.sim_wall_s
+        if not wall:
+            return None
+        return self.sim_cycles / wall
+
+    def profile_summary(self) -> str:
+        """One line of interpreter-throughput accounting."""
+        rate = self.sim_cycles_per_sec
+        if rate is None:
+            return "profile: no simulated records with profiling data"
+        return (f"profile: {self.sim_cycles} simulated cycle(s) in "
+                f"{self.sim_wall_s:.3f} s of interpreter time "
+                f"({rate / 1e6:.2f} Mcycles/s)")
+
     def by_key(self) -> dict[str, FarmJobResult]:
         """One outcome per unique job key — the fan-back currency of
         batch consumers (the async fleet scheduler resolves every
@@ -310,11 +379,16 @@ class FarmReport:
                 f"(hit rate {self.hit_rate:.0%}, jobs={self.jobs}"
                 f"{sharding})")
 
-    def render(self) -> str:
-        """Sorted per-job table (stable across runs for stable stores)."""
+    def render(self, stable: bool = False) -> str:
+        """Sorted per-job table (stable across runs for stable stores).
+
+        The ``Mcyc/s`` column is interpreter throughput — wall-clock
+        derived, so it is a :class:`~repro.eval.report.Volatile` cell
+        masked under ``stable=True`` (the same mechanism that keeps
+        benchmark ``.txt`` outputs byte-stable)."""
         # local import: repro.eval pulls in the fig modules, which in
         # turn import repro.farm — a cycle at module-import time
-        from repro.eval.report import format_table
+        from repro.eval.report import Volatile, format_table
 
         rows = []
         for result in sorted(
@@ -329,6 +403,7 @@ class FarmReport:
             spec, record = result.spec, result.record
             status = ("hit" if result.from_store
                       else "ok" if result.ok else "FAILED")
+            rate = record.sim_cycles_per_sec if record else None
             rows.append([
                 spec.display_name,
                 spec.config.mode.value,
@@ -339,12 +414,14 @@ class FarmReport:
                 record.package_size if record else "-",
                 (record.eric_cycles
                  if record and record.eric_cycles is not None else "-"),
+                (Volatile(f"{rate / 1e6:.2f}") if rate is not None
+                 else "-"),
                 status,
             ])
         return format_table(
             ["job", "mode", "pipeline", "seed", "env", "hde",
-             "package B", "ERIC cycles", "status"],
-            rows, title="Simulation-farm sweep")
+             "package B", "ERIC cycles", "Mcyc/s", "status"],
+            rows, title="Simulation-farm sweep", stable=stable)
 
 
 def expand_specs(matrix) -> tuple[JobSpec, ...]:
@@ -410,15 +487,26 @@ class SimulationFarm:
         telemetry: optional initial telemetry sink.
         progress: optional ``callback(done, total, result)`` fired once
             per job as outcomes land (store hits first).
+        tracer: optional :class:`~repro.obs.trace.Tracer`; every run
+            becomes a ``farm.sweep`` span with per-job ``farm.job``
+            children — written by the worker *subprocesses* themselves
+            when the tracer is file-backed.
+        metrics: feed the process-wide registry (``store.hits``,
+            ``farm.executed``, …).  Shard workers run with False so a
+            coordinator dispatching a shard in-process never counts a
+            job twice.
     """
 
     def __init__(self, store: ResultStore | None = None, jobs: int = 1,
-                 telemetry=None, progress=None) -> None:
+                 telemetry=None, progress=None, tracer: Tracer | None = None,
+                 metrics: bool = True) -> None:
         if jobs < 1:
             raise ConfigError("jobs must be at least 1")
         self.store = store
         self.jobs = jobs
         self.progress = progress
+        self.tracer = tracer
+        self._metrics = metrics
         self._telemetry = TelemetryHub()
         if telemetry is not None:
             self._telemetry.add(telemetry)
@@ -428,25 +516,36 @@ class SimulationFarm:
         self._telemetry.add(sink)
 
     def run(self, matrix: JobMatrix | tuple[JobSpec, ...] | list[JobSpec],
-            force: bool = False) -> FarmReport:
+            force: bool = False,
+            trace_parent: TraceContext | None = None) -> FarmReport:
         """Measure every job of ``matrix``, resuming from the store.
 
         ``force`` re-measures (and re-persists) even stored keys.
         Duplicate keys inside one matrix execute once and share the
-        record.  Results keep matrix submission order.
+        record.  Results keep matrix submission order.  With a tracer,
+        the whole run is a ``farm.sweep`` span parented under
+        ``trace_parent`` (e.g. a scheduler batch span).
         """
         specs = expand_specs(matrix)
         start = time.perf_counter()
         keys = [spec.key() for spec in specs]
         results: list[FarmJobResult | None] = [None] * len(specs)
         total = len(specs)
+        span = (self.tracer.start("farm.sweep", parent=trace_parent,
+                                  attrs={"jobs": total})
+                if self.tracer is not None else None)
 
         # -- phase 1: serve store hits; dedupe within the matrix ----------
         pending, followers, done = serve_store_hits(
             specs, keys, self.store, force, results, self._announce)
 
         # -- phase 2: execute the rest ------------------------------------
-        for i, record, error, wall_s in self._execute(specs, pending):
+        trace = None
+        if span is not None and self.tracer.path is not None:
+            trace = {**span.context.to_wire(),
+                     "dir": str(self.tracer.path.parent)}
+        for i, record, error, wall_s in self._execute(specs, pending,
+                                                      trace):
             if record is not None and self.store is not None:
                 self.store.put(record)
             results[i] = FarmJobResult(spec=specs[i], record=record,
@@ -463,13 +562,19 @@ class SimulationFarm:
         report = FarmReport(
             results=tuple(results), wall_s=wall_s, jobs=self.jobs,
             store_path=str(self.store.path) if self.store else None)
+        detail = (f"{report.hits} hits / {report.executed} executed / "
+                  f"{len(report.failures)} failed")
+        if span is not None:
+            span.finish(ok=not report.failures, detail=detail)
         self._telemetry.emit(TelemetryEvent(
             stage="farm.sweep", seconds=wall_s, ok=not report.failures,
-            detail=(f"{report.hits} hits / {report.executed} executed / "
-                    f"{len(report.failures)} failed")))
+            detail=detail,
+            trace_id=span.trace_id if span else None,
+            span_id=span.span_id if span else None))
         return report
 
     def run_batch(self, specs, force: bool = False,
+                  trace_parent: TraceContext | None = None,
                   ) -> tuple[FarmReport, dict[str, FarmJobResult]]:
         """Batch-submission entry point: measure an arbitrary bag of
         specs collected from many requesters (the async scheduler's
@@ -480,17 +585,18 @@ class SimulationFarm:
         caller multiplexing requests never has to re-correlate slots
         with submission order.
         """
-        report = self.run(tuple(specs), force=force)
+        report = self.run(tuple(specs), force=force,
+                          trace_parent=trace_parent)
         return report, report.by_key()
 
-    def _execute(self, specs, pending):
+    def _execute(self, specs, pending, trace: dict | None = None):
         """Yield (index, record, error, wall_s) as pending jobs finish."""
         if not pending:
             return
         if self.jobs == 1 or len(pending) == 1:
             for i in pending:
                 job_start = time.perf_counter()
-                record, error = _execute_safe(specs[i])
+                record, error = _execute_safe(specs[i], trace)
                 yield i, record, error, time.perf_counter() - job_start
             return
         workers = min(self.jobs, len(pending))
@@ -499,7 +605,8 @@ class SimulationFarm:
             started = {}
             for i in pending:
                 started[i] = time.perf_counter()
-                submitted[pool.submit(_execute_safe, specs[i])] = i
+                submitted[pool.submit(_execute_safe, specs[i],
+                                      trace)] = i
             outstanding = set(submitted)
             while outstanding:
                 finished, outstanding = wait(outstanding,
@@ -516,6 +623,16 @@ class SimulationFarm:
 
     def _announce(self, done: int, total: int,
                   result: FarmJobResult) -> None:
+        if self._metrics:
+            if result.from_store:
+                METRICS.inc("store.hits")
+            elif result.shared:
+                METRICS.inc("farm.shared")
+            elif not result.ok:
+                METRICS.inc("farm.failed")
+            else:
+                METRICS.inc("farm.executed")
+                METRICS.observe("farm.job.wall_s", result.wall_s)
         self._telemetry.emit(TelemetryEvent(
             stage="farm.job", seconds=result.wall_s,
             program=result.spec.display_name, ok=result.ok,

@@ -46,7 +46,7 @@ _FILENAME = "results.jsonl"
 #: differ (everything else is a deterministic function of the key).
 WALL_CLOCK_FIELDS = frozenset({
     "baseline_s", "package_total_s", "compile_s", "signature_s",
-    "encryption_s", "packaging_s", "wall_s",
+    "encryption_s", "packaging_s", "wall_s", "sim_wall_s",
 })
 
 
@@ -107,6 +107,12 @@ class FarmRecord:
     #: compare digests across device seeds without storing keys raw
     key_digest: str | None = None
 
+    #: host wall seconds the interpreter spent inside the SoC run loop
+    #: (plain + ERIC runs); a wall-clock field like ``wall_s``, and the
+    #: denominator of :attr:`sim_cycles_per_sec`.  None for records
+    #: that predate profiling or carry ``simulate=False``.
+    sim_wall_s: float | None = None
+
     wall_s: float = 0.0
     schema: int = STORE_SCHEMA
 
@@ -130,6 +136,55 @@ class FarmRecord:
         if self.plain_size == 0:
             return 0.0
         return 100.0 * (self.package_size - self.plain_size) / self.plain_size
+
+    # -- interpreter profiling (derived; all None-safe) -------------------
+
+    @property
+    def sim_cycles(self) -> int | None:
+        """Simulated cycles this job cost the interpreter (baseline
+        plus ERIC run); None for simulate=False records."""
+        if self.plain_cycles is None or self.eric_cycles is None:
+            return None
+        return self.plain_cycles + self.eric_cycles
+
+    @property
+    def instructions_retired(self) -> int | None:
+        """Instructions the interpreter retired across both runs."""
+        total = 0
+        for run in (self.plain_run, self.eric_run):
+            if not isinstance(run, dict):
+                return None
+            counters = run.get("counters")
+            if not isinstance(counters, dict):
+                return None
+            total += counters.get("instret", 0)
+        return total
+
+    @property
+    def sim_cycles_per_sec(self) -> float | None:
+        """Interpreter throughput for this job — the baseline number
+        the ROADMAP's fast-interpreter item must beat.  Wall-clock
+        derived, hence volatile across machines."""
+        cycles = self.sim_cycles
+        if cycles is None or not self.sim_wall_s:
+            return None
+        return cycles / self.sim_wall_s
+
+    def cache_hit_rates(self) -> dict | None:
+        """ERIC-run L1 hit rates, ``{"icache": ..., "dcache": ...}``;
+        None when the record was not simulated (or predates them)."""
+        if not isinstance(self.eric_run, dict):
+            return None
+        counters = self.eric_run.get("counters")
+        if not isinstance(counters, dict):
+            return None
+        rates = {}
+        for label in ("icache", "dcache"):
+            hits = counters.get(f"{label}_hits", 0)
+            misses = counters.get(f"{label}_misses", 0)
+            total = hits + misses
+            rates[label] = hits / total if total else 0.0
+        return rates
 
     @property
     def stdout(self) -> str | None:

@@ -24,6 +24,19 @@ from repro.errors import EricError
 from repro.farm.executor import FarmReport, SimulationFarm
 from repro.farm.spec import ShardSpec
 from repro.farm.store import ResultStore
+from repro.obs.trace import TraceContext, Tracer
+
+
+def read_shard_trace(path: str | Path) -> dict | None:
+    """The optional ``"trace"`` wire context a coordinator wrote into a
+    shard spec file.  Returns None when absent or unreadable — a shard
+    written before tracing (or hand-edited) still runs."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    trace = data.get("trace") if isinstance(data, dict) else None
+    return trace if isinstance(trace, dict) else None
 
 
 def load_shard(path: str | Path) -> ShardSpec:
@@ -45,17 +58,43 @@ def load_shard(path: str | Path) -> ShardSpec:
 
 def run_shard(shard: ShardSpec, store_dir: str | Path, jobs: int = 1,
               force: bool = False, telemetry=None,
-              progress=None) -> FarmReport:
+              progress=None, trace: dict | None = None) -> FarmReport:
     """Execute one shard against its own result store.
 
     The shard's jobs run exactly like any other matrix — store hits are
     served, the rest simulate (``jobs`` worker processes) — and every
     completed record lands in ``store_dir``'s JSONL, ready to be merged
     into the coordinator's main store.
+
+    With a ``trace`` wire context (the coordinator's ``"trace"`` key in
+    shard.json), the shard runs under a ``worker.shard`` span written
+    to ``store_dir``'s own trace.jsonl — shipped/merged back alongside
+    the results exactly like the records themselves.  The farm runs
+    with ``metrics=False``: job counts belong to the coordinator's
+    process-wide registry, not to each shard's.
     """
+    parent = TraceContext.from_wire(trace) if trace else None
+    tracer = Tracer(store_dir) if parent is not None else None
+    span = (tracer.start("worker.shard", parent=parent,
+                         attrs={"shard": shard.index,
+                                "shards": shard.count,
+                                "jobs": len(shard.jobs)})
+            if tracer is not None else None)
     farm = SimulationFarm(store=ResultStore(store_dir), jobs=jobs,
-                          telemetry=telemetry, progress=progress)
-    return farm.run(shard.jobs, force=force)
+                          telemetry=telemetry, progress=progress,
+                          tracer=tracer, metrics=False)
+    try:
+        report = farm.run(shard.jobs, force=force,
+                          trace_parent=span.context if span else None)
+    except BaseException as exc:
+        if span is not None:
+            span.finish(ok=False, detail=f"{type(exc).__name__}: {exc}")
+        raise
+    if span is not None:
+        span.finish(ok=not report.failures,
+                    detail=f"{report.executed} executed, "
+                           f"{len(report.failures)} failed")
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,7 +124,8 @@ def main(argv: list[str] | None = None) -> int:
     shard = load_shard(args.shard)
     telemetry = None if args.quiet else StagePrinter(stages="farm.job")
     report = run_shard(shard, args.store, jobs=args.jobs,
-                       force=args.force, telemetry=telemetry)
+                       force=args.force, telemetry=telemetry,
+                       trace=read_shard_trace(args.shard))
     print(f"shard {shard.index + 1}/{shard.count}: {report.summary()}")
     print(f"store: {ResultStore(args.store).path}")
     return 0 if not report.failures else 1

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.compiler_driver import CompiledArtifact
 from repro.core.config import EricConfig
+from repro.obs.metrics import METRICS
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,7 @@ class ArtifactCache:
             artifact = self._entries.get(key)
             if artifact is not None:
                 self._hits += 1
+                METRICS.inc("cache.hits")
                 self._entries.move_to_end(key)
                 return artifact
             build_lock = self._building.setdefault(key, threading.Lock())
@@ -84,6 +86,7 @@ class ArtifactCache:
                     if artifact is not None:
                         # someone built it while we waited on the lock
                         self._hits += 1
+                        METRICS.inc("cache.hits")
                         self._entries.move_to_end(key)
                         return artifact
                     # a failed build retires its lock from _building;
@@ -100,11 +103,13 @@ class ArtifactCache:
                         raise
                     with self._lock:
                         self._misses += 1
+                        METRICS.inc("cache.misses")
                         self._entries[key] = artifact
                         if (self.max_entries is not None
                                 and len(self._entries) > self.max_entries):
                             self._entries.popitem(last=False)
                             self._evictions += 1
+                            METRICS.inc("cache.evictions")
                         self._building.pop(key, None)
                     return artifact
             # lost ownership while waiting: retry under the live lock

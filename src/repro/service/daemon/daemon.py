@@ -41,9 +41,12 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError, EricError
 from repro.farm.store import ResultStore
+from repro.obs.metrics import METRICS
+from repro.obs.trace import Tracer
 from repro.service.daemon.admission import (REJECT, AdmissionController,
                                             AdmissionPolicy)
-from repro.service.daemon.journal import JournalRecord, JournalStore
+from repro.service.daemon.journal import (LIVE_STATES, TERMINAL_STATES,
+                                          JournalRecord, JournalStore)
 from repro.service.scheduler import FleetRequest, FleetScheduler
 from repro.service.telemetry import TelemetryEvent, TelemetryHub
 
@@ -129,6 +132,16 @@ class ServeDaemon:
             the out-of-process submission pickup latency.
         telemetry: optional initial sink for ``daemon.*`` spans plus
             the scheduler's own stages.
+        tracer: optional :class:`~repro.obs.trace.Tracer` shared with
+            the built-in scheduler; every served request becomes a
+            **root** ``daemon.request`` span whose context flows down
+            scheduler → farm → worker subprocesses (one connected
+            trace per request).  Exclusive with ``scheduler`` — an
+            explicit scheduler brings its own tracer.
+        metrics_interval: seconds between periodic
+            :meth:`~repro.obs.metrics.MetricsRegistry.dump` snapshots
+            into the journal directory (``metrics.json``); a final
+            dump always happens at loop exit.
     """
 
     def __init__(self, journal: JournalStore, *,
@@ -136,25 +149,32 @@ class ServeDaemon:
                  policy: AdmissionPolicy | None = None, jobs: int = 1,
                  shards: int = 0, shard_root=None, max_active: int = 4,
                  checkpoint_every: int = 8, poll_interval: float = 0.25,
-                 telemetry=None) -> None:
-        if scheduler is not None and (store is not None or shards):
+                 telemetry=None, tracer: Tracer | None = None,
+                 metrics_interval: float = 5.0) -> None:
+        if scheduler is not None and (store is not None or shards
+                                      or tracer is not None):
             raise ConfigError(
-                "pass either an existing scheduler or store/shard "
-                "knobs, not both")
+                "pass either an existing scheduler or store/shard/"
+                "tracer knobs, not both")
         if max_active < 1:
             raise ConfigError("max_active must be at least 1")
         if checkpoint_every < 1:
             raise ConfigError("checkpoint_every must be at least 1")
         if poll_interval <= 0:
             raise ConfigError("poll_interval must be positive")
+        if metrics_interval <= 0:
+            raise ConfigError("metrics_interval must be positive")
         self.journal = journal
         self.scheduler = scheduler if scheduler is not None else \
             FleetScheduler(store=store, jobs=jobs, shards=shards,
-                           shard_root=shard_root)
+                           shard_root=shard_root, tracer=tracer)
+        self.tracer = tracer if scheduler is None \
+            else getattr(scheduler, "tracer", None)
         self.admission = AdmissionController(policy)
         self.max_active = max_active
         self.checkpoint_every = checkpoint_every
         self.poll_interval = poll_interval
+        self.metrics_interval = metrics_interval
         self._telemetry = TelemetryHub()
         if telemetry is not None:
             self.on_event(telemetry)
@@ -163,6 +183,11 @@ class ServeDaemon:
         self._stop_flag = False
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
+        # also (re)initialized per run(); set here so helpers that
+        # read them are safe before the first run
+        self._active: dict[str, asyncio.Task] = {}
+        self._deferred_seen: set[str] = set()
+        self._counts: dict[str, int] = {}
 
     @property
     def _stopping(self) -> bool:
@@ -170,9 +195,6 @@ class ServeDaemon:
         # (set via call_soon_threadsafe) may lag until the loop yields
         return self._stop_flag \
             or (self._stop is not None and self._stop.is_set())
-        self._active: dict[str, asyncio.Task] = {}
-        self._deferred_seen: set[str] = set()
-        self._counts: dict[str, int] = {}
 
     def on_event(self, sink) -> None:
         """Register a sink for daemon spans *and* the scheduler's
@@ -218,6 +240,24 @@ class ServeDaemon:
         self.peak_pending_jobs = max(self.peak_pending_jobs,
                                      self._pending_jobs())
 
+    def _dump_metrics(self) -> None:
+        """Gauge the journal's state distribution and persist the
+        process-wide registry next to it (``<journal>/metrics.json``,
+        atomic replace).  Best-effort: a full disk must not take down
+        the serve loop."""
+        counts = {state: 0 for state in LIVE_STATES + TERMINAL_STATES}
+        for record in self.journal.records():
+            if record.state in counts:
+                counts[record.state] += 1
+        for state, count in counts.items():
+            METRICS.set_gauge(f"journal.{state}", count)
+        METRICS.set_gauge("daemon.active_requests", len(self._active))
+        METRICS.set_gauge("daemon.pending_jobs", self._pending_jobs())
+        try:
+            METRICS.dump(self.journal.root)
+        except OSError:
+            pass
+
     # -- the serve loop ----------------------------------------------------
 
     async def run(self, *, once: bool = False) -> DaemonReport:
@@ -241,11 +281,15 @@ class ServeDaemon:
         self.journal.reload()
         self._replay()
         stop_waiter = loop.create_task(self._stop.wait())
+        last_dump = time.monotonic()
         try:
             while not self._stopping:
                 self.journal.reload()
                 self._admit()
                 self._dispatch(loop)
+                if time.monotonic() - last_dump >= self.metrics_interval:
+                    self._dump_metrics()
+                    last_dump = time.monotonic()
                 if once and not self._active \
                         and not self.journal.live():
                     break
@@ -261,6 +305,7 @@ class ServeDaemon:
                                      return_exceptions=True)
             self._active = {}
             await self.scheduler.aclose()
+            self._dump_metrics()
         wall_s = time.perf_counter() - start
         batches = self.scheduler.batch_reports[batch_base:]
         report = DaemonReport(
@@ -328,6 +373,7 @@ class ServeDaemon:
             if decision.admitted:
                 self.journal.transition(record.request_id, "admitted")
                 self._count("admitted")
+                METRICS.inc("admission.admitted")
                 pending += max(record.total_jobs - record.done_jobs, 0)
                 tenant_live[record.tenant] = \
                     tenant_live.get(record.tenant, 0) + 1
@@ -343,6 +389,7 @@ class ServeDaemon:
                     record.request_id, "cancelled",
                     error=f"rejected: {decision.describe()}")
                 self._count("rejected")
+                METRICS.inc("admission.rejected")
                 self._emit("daemon.reject", program=record.fleet_name,
                            ok=False,
                            detail=(f"request {record.request_id} "
@@ -350,6 +397,7 @@ class ServeDaemon:
             else:  # deferred: stays submitted, reconsidered next pass
                 if record.request_id not in self._deferred_seen:
                     self._deferred_seen.add(record.request_id)
+                    METRICS.inc("admission.deferred")
                     self._emit("daemon.reject",
                                program=record.fleet_name,
                                detail=(f"request {record.request_id} "
@@ -368,6 +416,16 @@ class ServeDaemon:
     async def _serve_request(self, request_id: str) -> None:
         record = self.journal.get(request_id)
         start = time.perf_counter()
+        # the request's ROOT span: everything below — scheduler fleet
+        # batches, farm sweeps, worker-subprocess jobs — parents under
+        # this context, so one submission is one connected trace
+        span = (self.tracer.start("daemon.request",
+                                  attrs={"request_id": request_id,
+                                         "fleet": record.fleet_name,
+                                         "tenant": record.tenant,
+                                         "priority": record.priority})
+                if self.tracer is not None else None)
+        ctx = span.context if span is not None else None
         try:
             request = FleetRequest.from_spec(record.fleet)
         except EricError as exc:
@@ -375,7 +433,8 @@ class ServeDaemon:
             # crash-loop of re-admissions would never get further
             self.journal.transition(request_id, "running",
                                     attempts=record.attempts + 1)
-            self._finish(request_id, (), error=str(exc), start=start)
+            self._finish(request_id, (), error=str(exc), start=start,
+                         span=span)
             return
         record = self.journal.transition(
             request_id, "running", done_jobs=0,
@@ -388,6 +447,10 @@ class ServeDaemon:
                     self.journal.transition(request_id, "admitted",
                                             done_jobs=len(results))
                     self._count("checkpointed")
+                    if span is not None:
+                        span.finish(detail=(
+                            f"checkpointed at {len(results)}/"
+                            f"{len(jobs)} job(s)"))
                     self._emit(
                         "daemon.checkpoint", program=record.fleet_name,
                         detail=(f"request {request_id} journaled for "
@@ -395,7 +458,13 @@ class ServeDaemon:
                                 f"{len(jobs)} job(s)"))
                     return
                 chunk = jobs[at:at + self.checkpoint_every]
-                results.extend(await self.scheduler.measure(chunk))
+                # trace_parent passed only when tracing: stand-in
+                # schedulers (tests) need not grow the keyword
+                measured = await (
+                    self.scheduler.measure(chunk, trace_parent=ctx)
+                    if ctx is not None
+                    else self.scheduler.measure(chunk))
+                results.extend(measured)
                 if len(results) < len(jobs):
                     self.journal.transition(request_id, "running",
                                             done_jobs=len(results))
@@ -406,15 +475,15 @@ class ServeDaemon:
         except Exception as exc:  # batch-level failure: this request
             self._finish(request_id, results,  # fails, the loop lives
                          error=f"{type(exc).__name__}: {exc}",
-                         start=start)
+                         start=start, span=span)
             return
         failures = tuple(r for r in results if not r.ok)
         self._finish(request_id, results,
                      error=_failure_summary(failures) if failures
-                     else None, start=start)
+                     else None, start=start, span=span)
 
     def _finish(self, request_id: str, results, *, error: str | None,
-                start: float) -> None:
+                start: float, span=None) -> None:
         record = self.journal.get(request_id)
         wall_s = time.perf_counter() - start
         summary = {
@@ -427,6 +496,12 @@ class ServeDaemon:
         self.journal.transition(request_id, state, error=error,
                                 result=summary, done_jobs=len(results))
         self._count("failed" if error is not None else "completed")
+        METRICS.inc(f"daemon.requests_{state}")
+        if span is not None:
+            span.finish(ok=error is None,
+                        detail=(f"{state}: {summary['jobs']} job(s), "
+                                f"{summary['store_hits']} store "
+                                f"hit(s), {summary['failures']} failed"))
         self._emit("daemon.request", wall_s, program=record.fleet_name,
                    ok=error is None,
                    detail=(f"request {request_id} {state}: "

@@ -52,6 +52,8 @@ from repro.farm.coordinator import FarmCoordinator
 from repro.farm.executor import FarmJobResult, FarmReport, SimulationFarm
 from repro.farm.spec import JobMatrix, JobSpec
 from repro.farm.store import ResultStore
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TraceContext, Tracer
 from repro.service.cache import CacheStats
 from repro.service.session import (DeploymentSession, FleetDeploymentReport,
                                    build_fleet_report)
@@ -82,6 +84,9 @@ class AsyncSingleFlight:
         if task is None or task.done():
             task = asyncio.ensure_future(self._build(key, build()))
             self._tasks[key] = task
+            METRICS.inc("singleflight.builds")
+        else:
+            METRICS.inc("singleflight.coalesced")
         return await asyncio.shield(task)
 
     async def _build(self, key, awaitable):
@@ -430,6 +435,11 @@ class FleetScheduler:
             whatever is queued when the loop gets around to draining.
         telemetry: optional initial sink (``scheduler.*`` spans plus
             the session's and farm's own stages).
+        tracer: optional :class:`~repro.obs.trace.Tracer` shared with
+            the farm backend; each executed batch becomes a
+            ``scheduler.batch`` span parented under the first
+            requester's context, with the farm sweep (and its jobs,
+            across process boundaries) beneath it.
 
     The dedup guarantee does **not** depend on batching luck: a job key
     is tracked from first request to fan-back, so a fleet asking for a
@@ -448,18 +458,21 @@ class FleetScheduler:
                  config: EricConfig | None = None, jobs: int = 1,
                  shards: int = 0, shard_root=None,
                  max_concurrency: int = 8, batch_window: float = 0.02,
-                 telemetry=None) -> None:
+                 telemetry=None, tracer: Tracer | None = None) -> None:
         if batch_window < 0:
             raise ConfigError("batch_window must be non-negative")
+        self.tracer = tracer
         if shards:
             if store is None:
                 raise ConfigError("sharded scheduling merges shard "
                                   "stores into a main store; pass store=")
             self.farm = FarmCoordinator(store=store, shards=shards,
                                         jobs_per_shard=jobs,
-                                        shard_root=shard_root)
+                                        shard_root=shard_root,
+                                        tracer=tracer)
         else:
-            self.farm = SimulationFarm(store=store, jobs=jobs)
+            self.farm = SimulationFarm(store=store, jobs=jobs,
+                                       tracer=tracer)
         self.store = store
         self.batch_window = batch_window
         self.async_session = AsyncDeploymentSession(
@@ -481,7 +494,10 @@ class FleetScheduler:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wakeup: asyncio.Event | None = None
         self._batcher: asyncio.Task | None = None
-        self._pending: list[tuple[tuple[str, bool], JobSpec]] = []
+        # pending entries carry the requester's trace context so the
+        # batch span can parent under whoever triggered the batch
+        self._pending: list[tuple[tuple[str, bool], JobSpec,
+                                  TraceContext | None]] = []
         self._inflight: dict[tuple[str, bool], asyncio.Future] = {}
 
     def on_event(self, sink) -> None:
@@ -514,7 +530,9 @@ class FleetScheduler:
         self._batcher = loop.create_task(self._batch_loop())
 
     async def measure(self, specs: Sequence[JobSpec],
-                      force: bool = False) -> tuple[FarmJobResult, ...]:
+                      force: bool = False,
+                      trace_parent: TraceContext | None = None,
+                      ) -> tuple[FarmJobResult, ...]:
         """Submit jobs to the shared queue; await fanned-back outcomes.
 
         Results align with ``specs``.  Keys already queued or executing
@@ -551,8 +569,10 @@ class FleetScheduler:
             if future is None:
                 future = loop.create_future()
                 self._inflight[flight] = future
-                self._pending.append((flight, spec))
+                self._pending.append((flight, spec, trace_parent))
                 queued = True
+            else:
+                METRICS.inc("scheduler.coalesced")
             slots.append(future)
         if queued:
             self._wakeup.set()
@@ -580,37 +600,56 @@ class FleetScheduler:
             # --force must not re-measure (and re-persist over) other
             # fleets' un-forced jobs that happened to share the drain
             for forced in (False, True):
-                group = [(flight, spec) for flight, spec in batch
-                         if flight[1] == forced]
+                group = [entry for entry in batch
+                         if entry[0][1] == forced]
                 if group:
                     await self._run_batch(group, forced)
 
     async def _run_batch(self,
-                         batch: list[tuple[tuple[str, bool], JobSpec]],
+                         batch: list[tuple[tuple[str, bool], JobSpec,
+                                           TraceContext | None]],
                          force: bool) -> None:
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
-        specs = [spec for _, spec in batch]
+        specs = [spec for _, spec, _ in batch]
+        span = None
+        if self.tracer is not None:
+            # parent under the first requester that carried a context —
+            # a batch mixing traced and untraced requesters still gets
+            # one span (the co-tenants show up in its job count)
+            parent = next((ctx for _, _, ctx in batch
+                           if ctx is not None), None)
+            span = self.tracer.start("scheduler.batch", parent=parent,
+                                     attrs={"jobs": len(batch),
+                                            "forced": force})
+        # untraced runs keep the two-arg run_batch call so stand-in
+        # farms (tests) need not grow the trace parameter
+        call = (partial(self.farm.run_batch, specs, force, span.context)
+                if span is not None
+                else partial(self.farm.run_batch, specs, force))
         try:
-            report, outcomes = await loop.run_in_executor(
-                None, partial(self.farm.run_batch, specs, force))
+            report, outcomes = await loop.run_in_executor(None, call)
         except Exception as exc:  # farm/store failure: fail the batch,
             error = EricError(                # never the batcher itself
                 f"farm batch of {len(batch)} job(s) failed: "
                 f"{type(exc).__name__}: {exc}")
-            for flight, _ in batch:
+            if span is not None:
+                span.finish(ok=False, detail=str(error))
+            for flight, _, _ in batch:
                 future = self._inflight.pop(flight, None)
                 if future is not None and not future.done():
                     future.set_exception(error)
             return
         self.batch_reports.append(report)
+        detail = (f"{len(batch)} unique job(s): {report.hits} "
+                  f"hit(s), {report.executed} executed, "
+                  f"{len(report.failures)} failed"
+                  + (" [forced]" if force else ""))
+        if span is not None:
+            span.finish(ok=not report.failures, detail=detail)
         self._emit("scheduler.batch", time.perf_counter() - start,
-                   ok=not report.failures,
-                   detail=(f"{len(batch)} unique job(s): {report.hits} "
-                           f"hit(s), {report.executed} executed, "
-                           f"{len(report.failures)} failed"
-                           + (" [forced]" if force else "")))
-        for flight, spec in batch:
+                   ok=not report.failures, detail=detail)
+        for flight, spec, _ in batch:
             key = flight[0]
             future = self._inflight.pop(flight, None)
             outcome = outcomes.get(key)
@@ -631,20 +670,40 @@ class FleetScheduler:
     # -- fleets -----------------------------------------------------------
 
     async def deploy_fleet(self, request: FleetRequest,
-                           force: bool = False) -> FleetServiceReport:
+                           force: bool = False,
+                           trace_parent: TraceContext | None = None,
+                           ) -> FleetServiceReport:
         """Serve one fleet: prepare its artifacts (coalesced across all
         in-flight fleets), then measure its jobs through the shared
-        batch queue."""
+        batch queue.  With a tracer the fleet is a ``scheduler.fleet``
+        span — parented under ``trace_parent`` (e.g. a daemon request's
+        root span) — whose context rides into the shared batch."""
         request.validate()
         start = time.perf_counter()
+        span = (self.tracer.start("scheduler.fleet", parent=trace_parent,
+                                  attrs={"fleet": request.name,
+                                         "jobs": len(request.jobs)})
+                if self.tracer is not None else None)
         self._emit("scheduler.fleet.begin", program=request.name,
                    detail=f"{len(request.jobs)} job(s)")
-        artifacts = await self._prepare_artifacts(request, force)
-        results = await self.measure(request.jobs, force=force)
+        try:
+            artifacts = await self._prepare_artifacts(request, force)
+            results = await self.measure(
+                request.jobs, force=force,
+                trace_parent=span.context if span else trace_parent)
+        except BaseException as exc:
+            if span is not None:
+                span.finish(ok=False,
+                            detail=f"{type(exc).__name__}: {exc}")
+            raise
         wall_s = time.perf_counter() - start
         report = FleetServiceReport(
             name=request.name, results=results, wall_s=wall_s,
             artifacts=artifacts)
+        if span is not None:
+            span.finish(ok=report.ok,
+                        detail=(f"{report.store_hits} store hit(s), "
+                                f"{len(report.failures)} failed"))
         self._emit("scheduler.fleet.end", wall_s, program=request.name,
                    ok=report.ok,
                    detail=(f"{report.store_hits} store hit(s), "

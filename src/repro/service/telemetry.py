@@ -5,13 +5,22 @@ pipeline stage (compile, package, transfer, execute, …) to every
 registered sink.  A sink is any callable taking the event — a logger, a
 metrics exporter, or the bundled :class:`RecordingTelemetry` used by
 tests and reports.  Sinks must never break a deployment: exceptions they
-raise are swallowed.
+raise are swallowed (and counted on the process-wide
+``telemetry.sink_errors`` metric, so a silently-broken sink still shows
+up in ``eric metrics``).
+
+Events optionally carry trace coordinates (``trace_id``/``span_id``,
+see :mod:`repro.obs.trace`) and free-form ``attrs`` — emitters that
+run inside a span stamp them so a log line can be joined back to its
+waterfall; emitters that predate tracing simply leave them None.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import METRICS, format_duration
 
 
 @dataclass(frozen=True)
@@ -24,19 +33,38 @@ class TelemetryEvent:
     program: str | None = None
     ok: bool = True
     detail: str = ""
+    #: trace coordinates of the span this stage ran under (optional)
+    trace_id: str | None = None
+    span_id: str | None = None
+    #: free-form structured payload (optional; never rendered by
+    #: StagePrinter, preserved verbatim by RecordingTelemetry)
+    attrs: dict | None = None
 
 
 class RecordingTelemetry:
-    """A sink that keeps every event (tests, reports, debugging)."""
+    """A sink that keeps every event (tests, reports, debugging).
+
+    Thread-safe: scheduler tasks, fleet worker threads, and farm
+    callbacks all append concurrently, and ``list.append`` alone would
+    let a reader iterate a list mid-growth.  Readers go through
+    :meth:`snapshot`, which copies under the same lock.
+    """
 
     def __init__(self) -> None:
         self.events: list[TelemetryEvent] = []
+        self._lock = threading.Lock()
 
     def __call__(self, event: TelemetryEvent) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
+
+    def snapshot(self) -> tuple[TelemetryEvent, ...]:
+        """A consistent copy of everything recorded so far."""
+        with self._lock:
+            return tuple(self.events)
 
     def stages(self, stage: str) -> list[TelemetryEvent]:
-        return [e for e in self.events if e.stage == stage]
+        return [e for e in self.snapshot() if e.stage == stage]
 
     def total_seconds(self, stage: str) -> float:
         return sum(e.seconds for e in self.stages(stage))
@@ -49,7 +77,9 @@ class StagePrinter:
     Used by ``eric sweep`` to narrate farm jobs as they land; any
     emitter (deployment sessions, the simulation farm, the async fleet
     scheduler) can share it.  ``stages`` limits output to a stage
-    prefix (e.g. ``"farm."``).
+    prefix (e.g. ``"farm."``).  Durations render adaptively —
+    milliseconds under 10 s, whole seconds above — so hour-long sweep
+    lines stay readable.
 
     Line-atomic under concurrency: events arrive from scheduler tasks,
     fleet worker threads, and farm callbacks at once, so each event is
@@ -73,7 +103,7 @@ class StagePrinter:
         detail = f": {event.detail}" if event.detail else ""
         flag = "" if event.ok else " [FAILED]"
         line = (f"  [{event.stage}]{subject}{detail} "
-                f"({event.seconds * 1e3:.1f} ms){flag}\n")
+                f"({format_duration(event.seconds)}){flag}\n")
         with self._lock:
             stream.write(line)
 
@@ -98,5 +128,6 @@ class TelemetryHub:
             try:
                 sink(event)
             except Exception:
-                # Observability must never take down a deployment.
-                pass
+                # Observability must never take down a deployment —
+                # but a broken sink must not fail silently either.
+                METRICS.inc("telemetry.sink_errors")

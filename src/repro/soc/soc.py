@@ -18,6 +18,7 @@ a7     effect
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.asm.loader import load_program
@@ -53,6 +54,11 @@ class RunResult:
     exit_code: int
     console: bytes
     counters: PerfCounters
+    #: host wall seconds the interpreter spent producing this result —
+    #: a property of the simulating machine, NOT of the simulated
+    #: program, so it is deliberately excluded from :meth:`to_record`
+    #: (two measurements of one job key must stay byte-comparable)
+    wall_s: float = 0.0
 
     @property
     def stdout(self) -> str:
@@ -61,6 +67,14 @@ class RunResult:
     @property
     def cycles(self) -> int:
         return self.counters.cycles
+
+    @property
+    def sim_cycles_per_sec(self) -> float:
+        """Interpreter throughput: simulated cycles per host second —
+        the headline the fast-interpreter work optimizes."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.counters.cycles / self.wall_s
 
     def wall_time_at_clock(self, mhz: float = CLOCK_MHZ) -> float:
         """Seconds this run would take at the prototype's clock."""
@@ -124,6 +138,7 @@ class RocketLikeSoC:
         return self._run_loop(max_instructions)
 
     def _run_loop(self, max_instructions: int) -> RunResult:
+        loop_start = time.perf_counter()
         cpu = self.cpu
         memory = self.memory
         regs = cpu.regs
@@ -241,9 +256,11 @@ class RocketLikeSoC:
                     counters.cycles = cycles
                     counters.instret = instret
                     cpu.pc = pc
-                    return RunResult(exit_code=regs[10] & 0xFF,
-                                     console=bytes(console),
-                                     counters=counters)
+                    return RunResult(
+                        exit_code=regs[10] & 0xFF,
+                        console=bytes(console),
+                        counters=counters,
+                        wall_s=time.perf_counter() - loop_start)
                 if a7 == SYS_PUTCHAR:
                     console.append(regs[10] & 0xFF)
                 elif a7 == SYS_WRITE:

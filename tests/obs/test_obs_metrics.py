@@ -1,0 +1,123 @@
+"""MetricsRegistry: counters, gauges, histograms, persistence."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (METRICS_FILENAME, MetricsRegistry,
+                               format_duration, load_metrics,
+                               render_snapshot)
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("store.hits")
+        registry.inc("store.hits", by=2)
+        assert registry.counter("store.hits") == 3
+        assert registry.counter("never.touched") == 0
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("journal.running", 4)
+        registry.set_gauge("journal.running", 1)
+        assert registry.gauge("journal.running") == 1
+        assert registry.gauge("missing") is None
+
+    def test_histogram_quantiles_nearest_rank(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("wall_s", float(value))
+        snapshot = registry.snapshot()["histograms"]["wall_s"]
+        assert snapshot["count"] == 100
+        assert snapshot["sum"] == pytest.approx(5050.0)
+        assert snapshot["p50"] == 50.0
+        assert snapshot["p95"] == 95.0
+        assert snapshot["p99"] == 99.0
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                registry.inc("n")
+                registry.observe("h", 1.0)
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n") == 8000
+        assert registry.snapshot()["histograms"]["h"]["count"] == 8000
+
+    def test_reset_forgets_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 1)
+        registry.observe("c", 1.0)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+
+class TestPersistence:
+    def test_dump_and_load_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits", by=5)
+        path = registry.dump(tmp_path)
+        assert path == tmp_path / METRICS_FILENAME
+        data = load_metrics(tmp_path)  # directory form
+        assert data["counters"]["cache.hits"] == 5
+        assert load_metrics(path) == data  # file form
+
+    def test_dump_replaces_atomically_leaving_no_temp(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.dump(tmp_path)
+        registry.inc("x")
+        registry.dump(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name != METRICS_FILENAME]
+        assert leftovers == []
+
+    def test_load_missing_or_corrupt_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no metrics snapshot"):
+            load_metrics(tmp_path)
+        (tmp_path / METRICS_FILENAME).write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_metrics(tmp_path)
+        (tmp_path / METRICS_FILENAME).write_text(
+            json.dumps({"schema": 999}))
+        with pytest.raises(ValueError, match="unsupported schema"):
+            load_metrics(tmp_path)
+
+
+class TestRendering:
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits", by=2)
+        registry.set_gauge("journal.running", 3)
+        registry.observe("farm.job.wall_s", 0.5)
+        text = registry.render()
+        assert "# TYPE eric_cache_hits counter\neric_cache_hits 2" in text
+        assert ("# TYPE eric_journal_running gauge\n"
+                "eric_journal_running 3") in text
+        assert "# TYPE eric_farm_job_wall_s summary" in text
+        assert 'eric_farm_job_wall_s{quantile="0.5"} 0.5' in text
+        assert "eric_farm_job_wall_s_count 1" in text
+
+    def test_render_snapshot_of_empty_registry_is_empty(self):
+        assert render_snapshot(MetricsRegistry().snapshot()) == ""
+
+
+class TestFormatDuration:
+    def test_milliseconds_below_ten_seconds(self):
+        assert format_duration(0.0123) == "12.3 ms"
+        assert format_duration(9.99) == "9990.0 ms"
+
+    def test_seconds_from_ten_seconds_up(self):
+        assert format_duration(10.0) == "10.0 s"
+        assert format_duration(3600.12) == "3600.1 s"

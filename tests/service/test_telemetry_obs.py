@@ -1,0 +1,78 @@
+"""Telemetry observability hooks: sink errors, snapshots, units."""
+
+import io
+import threading
+
+from repro.obs.metrics import METRICS
+from repro.service.telemetry import (RecordingTelemetry, StagePrinter,
+                                     TelemetryEvent, TelemetryHub)
+
+
+class TestSinkErrors:
+    def test_raising_sink_is_counted_and_isolated(self):
+        hub = TelemetryHub()
+        recorder = RecordingTelemetry()
+
+        def broken(event):
+            raise RuntimeError("sink on fire")
+
+        hub.add(broken)
+        hub.add(recorder)
+        before = METRICS.counter("telemetry.sink_errors")
+        for i in range(3):
+            hub.emit(TelemetryEvent(stage="farm.job", detail=str(i)))
+        # the healthy sink saw everything; the failures were counted
+        assert [e.detail for e in recorder.snapshot()] == ["0", "1", "2"]
+        assert METRICS.counter("telemetry.sink_errors") - before == 3
+
+
+class TestRecordingTelemetry:
+    def test_snapshot_is_a_stable_copy(self):
+        recorder = RecordingTelemetry()
+        recorder(TelemetryEvent(stage="a"))
+        snap = recorder.snapshot()
+        recorder(TelemetryEvent(stage="b"))
+        assert [e.stage for e in snap] == ["a"]
+        assert [e.stage for e in recorder.snapshot()] == ["a", "b"]
+
+    def test_concurrent_appends_drop_nothing(self):
+        recorder = RecordingTelemetry()
+        barrier = threading.Barrier(4)
+
+        def pound(tid):
+            barrier.wait()
+            for i in range(500):
+                recorder(TelemetryEvent(stage="t", detail=f"{tid}:{i}"))
+
+        threads = [threading.Thread(target=pound, args=(tid,))
+                   for tid in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(recorder.snapshot()) == 2000
+        assert recorder.total_seconds("t") == 0.0
+
+    def test_events_carry_optional_trace_coordinates(self):
+        event = TelemetryEvent(stage="farm.sweep", trace_id="t" * 32,
+                               span_id="s" * 16, attrs={"jobs": 4})
+        assert event.trace_id and event.span_id
+        assert event.attrs == {"jobs": 4}
+        # emitters that predate tracing just leave them None
+        assert TelemetryEvent(stage="old").trace_id is None
+
+
+class TestStagePrinterUnits:
+    def render(self, seconds):
+        out = io.StringIO()
+        StagePrinter(stream=out)(
+            TelemetryEvent(stage="farm.sweep", seconds=seconds))
+        return out.getvalue()
+
+    def test_milliseconds_below_ten_seconds(self):
+        assert "(1.5 ms)" in self.render(0.0015)
+        assert "(9500.0 ms)" in self.render(9.5)
+
+    def test_seconds_for_long_stages(self):
+        assert "(90.0 s)" in self.render(90.0)
+        assert "(3661.0 s)" in self.render(3661.0)
