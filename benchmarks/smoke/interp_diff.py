@@ -1,0 +1,66 @@
+"""CI smoke: the superblock fast interpreter against the reference
+decode-per-step loop on one workload — observables must be identical,
+and warm throughput must clear a conservative floor.
+
+Runs locally too::
+
+    PYTHONPATH=src python benchmarks/smoke/interp_diff.py
+
+The throughput floor is deliberately far below the committed baseline
+(see ``benchmarks/results/BENCH_interp.json``): it exists to catch an
+accidental fall back to the reference loop (~1 Mcyc/s), not to bench
+the CI machine.
+"""
+
+import argparse
+import time
+
+from _bootstrap import ROOT  # noqa: E402 — wires sys.path
+
+from repro.cc.driver import compile_source  # noqa: E402
+from repro.soc.soc import RocketLikeSoC  # noqa: E402
+from repro.workloads import all_workloads  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="crc32")
+    parser.add_argument("--floor-mcyc", type=float, default=3.0,
+                        help="minimum warm Mcycles/s (default: 3.0)")
+    args = parser.parse_args(argv)
+
+    workload = all_workloads()[args.workload]
+    program = compile_source(workload.source, name=args.workload).program
+
+    fast = RocketLikeSoC().run(program)
+    ref = RocketLikeSoC(run_mode="reference").run(program)
+    assert fast.counters.snapshot() == ref.counters.snapshot(), \
+        "fast/reference counter divergence"
+    assert fast.counters.mix == ref.counters.mix, "mix divergence"
+    assert fast.console == ref.console, "console divergence"
+    assert fast.exit_code == ref.exit_code, "exit code divergence"
+    assert fast.stdout == workload.expected_stdout, "oracle divergence"
+    print(f"diff: fast == reference on {args.workload} "
+          f"({fast.counters.instret} instret, "
+          f"{fast.counters.cycles} cycles)")
+
+    # timed pass: predecode cache is warm after the runs above
+    soc = RocketLikeSoC()
+    cycles = 0
+    start = time.perf_counter()
+    for _ in range(3):
+        cycles += soc.run(program).counters.cycles
+    wall = time.perf_counter() - start
+    rate = cycles / wall
+    print(f"profile: {cycles} simulated cycle(s) in {wall:.3f} s "
+          f"of interpreter time ({rate / 1e6:.2f} Mcycles/s)")
+    assert rate >= args.floor_mcyc * 1e6, (
+        f"warm throughput {rate / 1e6:.2f} Mcyc/s below the "
+        f"{args.floor_mcyc:.1f} Mcyc/s floor — did the fast "
+        f"interpreter fall back to the reference loop?")
+    print("PASS: interp differential smoke")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,16 +73,28 @@ class MemoryFault(SimulatorError):
 
 
 class IllegalInstruction(SimulatorError):
-    """The CPU fetched a word that does not decode; carries the pc."""
+    """The CPU fetched a word that does not decode; carries the pc and,
+    when the SoC attaches them, the partial performance counters at the
+    point of the fault (``counters`` — forensics for farm tracebacks)."""
 
-    def __init__(self, pc: int, word: int) -> None:
+    def __init__(self, pc: int, word: int, counters=None) -> None:
         super().__init__(f"illegal instruction at pc={pc:#x}: word={word:#010x}")
         self.pc = pc
         self.word = word
+        self.counters = counters
 
 
 class ExecutionLimitExceeded(SimulatorError):
-    """The instruction budget was exhausted before the program exited."""
+    """The instruction budget was exhausted before the program exited.
+
+    Symmetric with :class:`IllegalInstruction`: the SoC attaches the
+    partial counters and the pc reached when the budget ran out, so a
+    farm one-line traceback can say *where* a runaway program was."""
+
+    def __init__(self, message: str, pc=None, counters=None) -> None:
+        super().__init__(message)
+        self.pc = pc
+        self.counters = counters
 
 
 class ProvisioningError(EricError):

@@ -191,6 +191,15 @@ def _format_error(exc: BaseException) -> str:
     line so ``require_ok``'s joined summary stays readable.
     """
     head = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    # Simulator faults carry the partial counters at the point of death
+    # (IllegalInstruction and ExecutionLimitExceeded both attach them):
+    # a remote shard's one-liner can then say *where* and *how far in*.
+    counters = getattr(exc, "counters", None)
+    if counters is not None:
+        pc = getattr(exc, "pc", None)
+        where = f" pc={pc:#x}" if isinstance(pc, int) else ""
+        head += (f" [partial: cycles={counters.cycles}"
+                 f" instret={counters.instret}{where}]")
     frames = traceback.extract_tb(exc.__traceback__)[-ERROR_TRACE_FRAMES:]
     if not frames:
         return head

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
+_MASK64 = (1 << 64) - 1
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -40,13 +42,26 @@ class Cache:
         self.config = config
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.n_sets - 1
-        # Each set is a list of tags, most-recently-used last.
+        # Each set is a list of resident line numbers, most-recently-used
+        # last.  Line numbers (not tags) keep membership checks one shift
+        # away from the address; within a set the two are a bijection, so
+        # hit/miss/LRU behaviour is unchanged.
         self._sets: list[list[int]] = [[] for _ in range(config.n_sets)]
         self.hits = 0
         self.misses = 0
         # One-entry fast path: repeated access to the same line (very
         # common for instruction fetch) skips the LRU bookkeeping.
-        self._last_line = -1
+        self._last_line: int | None = None
+        # Per-set MRU line (None = empty set): the predecoded fast loop
+        # inlines `mru[line & set_mask] == line` to classify the dominant
+        # hit case without a method call.  Invariant: _mru[i] mirrors
+        # _sets[i][-1].  An MRU re-touch's remove/append is an order
+        # no-op, which is what makes the inline check state-exact.
+        self._mru: list[int | None] = [None] * config.n_sets
+        # Lines above this bound were computed from an unmasked address
+        # and must be recomputed modulo 2^64 (the SoC tightens it to the
+        # memory size).
+        self._max_line = (1 << 58)
 
     def access(self, address: int) -> bool:
         line = address >> self._line_shift
@@ -55,24 +70,70 @@ class Cache:
             return True
         self._last_line = line
         index = line & self._set_mask
-        tag = line >> (self._set_mask.bit_length())
         ways = self._sets[index]
-        if tag in ways:
-            ways.remove(tag)
-            ways.append(tag)
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self._mru[index] = line
             self.hits += 1
             return True
         self.misses += 1
-        ways.append(tag)
+        ways.append(line)
+        self._mru[index] = line
         if len(ways) > self.config.ways:
             ways.pop(0)
         return False
+
+    def access_line(self, line: int) -> None:
+        """Hot-loop variant: takes a precomputed line number and counts
+        only misses — the fast interpreter derives hit totals from
+        access counts (hits = accesses - misses), so counting hits here
+        would be wasted work.  LRU state updates match :meth:`access`."""
+        if line == self._last_line:
+            return
+        self._last_line = line
+        index = line & self._set_mask
+        ways = self._sets[index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self._mru[index] = line
+            return
+        self.misses += 1
+        ways.append(line)
+        self._mru[index] = line
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+
+    def _slow(self, line: int, address: int) -> None:
+        """Slow path behind the generated code's inline MRU check: the
+        line missed both the same-line and MRU-of-set tests.  ``line``
+        may come from an unmasked address; recompute it modulo 2^64
+        before touching the sets.  Does NOT update ``_last_line`` — the
+        generated code tracks that in a local."""
+        if line > self._max_line:
+            line = ((address & _MASK64) >> self._line_shift)
+        index = line & self._set_mask
+        ways = self._sets[index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self._mru[index] = line
+            return
+        self.misses += 1
+        ways.append(line)
+        self._mru[index] = line
+        if len(ways) > self.config.ways:
+            ways.pop(0)
 
     def flush(self) -> None:
         """Invalidate every line (used between benchmark runs)."""
         for ways in self._sets:
             ways.clear()
-        self._last_line = -1
+        self._last_line = None
+        mru = self._mru
+        for i in range(len(mru)):
+            mru[i] = None
 
     def reset_stats(self) -> None:
         self.hits = 0

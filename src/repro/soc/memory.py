@@ -20,6 +20,17 @@ class Memory:
             raise MemoryFault("memory size must be positive")
         self.size = size
         self.raw = bytearray(size)
+        self._zeros: bytes | None = None
+
+    def clear(self) -> None:
+        """Zero the image in place.  ``raw`` keeps its identity (views
+        and cached references stay valid) and, unlike
+        ``raw[:] = bytes(size)``, no fresh size-byte buffer is allocated
+        per call — the zero source is built once and reused."""
+        zeros = self._zeros
+        if zeros is None:
+            zeros = self._zeros = bytes(self.size)
+        self.raw[:] = zeros
 
     def check_range(self, address: int, length: int) -> None:
         if address < 0 or address + length > self.size:
@@ -50,3 +61,51 @@ class Memory:
     def store_bytes(self, address: int, blob: bytes) -> None:
         self.check_range(address, len(blob))
         self.raw[address:address + len(blob)] = blob
+
+    def load_unchecked(self, address: int, length: int) -> int:
+        """Unsigned load with no bounds check — callers (the predecoded
+        fast loop) guarantee ``[address, address+length)`` is in range."""
+        return int.from_bytes(self.raw[address:address + length], "little")
+
+    def store_unchecked(self, address: int, length: int,
+                        value: int) -> None:
+        """Store with no bounds check; masks the value like `store`."""
+        self.raw[address:address + length] = \
+            (value & ((1 << (length * 8)) - 1)).to_bytes(length, "little")
+
+
+# -- fast-path fix-up helpers --------------------------------------------
+#
+# The generated superblock code computes effective addresses without the
+# & 2^64-1 mask when the immediate is non-negative (the mask can only
+# matter on wraparound) and reads/writes through struct codecs that raise
+# on out-of-range offsets.  These helpers are the recovery path: re-mask
+# the address, retry in-range wraps, and raise the byte-identical
+# MemoryFault for genuine out-of-bounds accesses.
+
+def fix_load(raw: bytearray, address: int, length: int,
+             signed: bool) -> int:
+    address &= _MASK64
+    if address + length > len(raw):
+        raise MemoryFault(
+            f"access [{address:#x}, {address + length:#x}) outside "
+            f"{len(raw):#x}-byte memory"
+        )
+    value = int.from_bytes(raw[address:address + length], "little")
+    if signed:
+        sign_bit = 1 << (length * 8 - 1)
+        if value & sign_bit:
+            value -= 1 << (length * 8)
+    return value & _MASK64
+
+
+def fix_store(raw: bytearray, address: int, length: int,
+              value: int) -> None:
+    address &= _MASK64
+    if address + length > len(raw):
+        raise MemoryFault(
+            f"access [{address:#x}, {address + length:#x}) outside "
+            f"{len(raw):#x}-byte memory"
+        )
+    raw[address:address + length] = \
+        (value & ((1 << (length * 8)) - 1)).to_bytes(length, "little")

@@ -1,0 +1,818 @@
+"""Decode-once superblock compiler for the fast SoC interpreter.
+
+The reference loop (`RocketLikeSoC._step_loop`) pays a dict lookup, an
+``Instruction`` attribute walk, a handler call and ~15 counter updates
+per retired instruction.  This module removes all of it from the hot
+path by compiling the loaded image, once per program content digest,
+into *superblocks*: dynamic straight-line traces whose per-execution
+timing statistics (instruction count, class counts, static load-use
+hazards, mul/div latency cycles, per-mnemonic mix) are precomputed, and
+whose register/memory effects are emitted as specialized Python source
+(operands, immediates and handler semantics bound at decode time) and
+``exec``-compiled to a single function per trace.
+
+Trace formation follows the dynamic path, not just the basic block:
+
+* ``jal`` is glued through (the link write becomes a constant store);
+* ``jalr ra, 0`` returns are glued to the matching call site via a
+  build-time return stack, guarded at runtime when the trace cannot
+  prove ``ra`` still holds the link constant;
+* conditional branches are speculated in their likely direction
+  (backward = taken, forward = not-taken) with a compiled *side exit*
+  for the other direction;
+* a trace that closes on its own head compiles to an internal loop that
+  runs many iterations per dispatch under the instruction budget.
+
+Bit-exactness contract: every counter the reference interpreter reports
+is either event-exact (cache misses via real LRU updates at line
+crossings only) or derived from exact totals (hits = accesses − misses;
+cycles = instret·base_cpi + Σ stall terms), so
+``PerfCounters.snapshot()`` of a fast run equals the reference run's.
+Side exits account through *delta* pseudo-blocks holding the negated
+suffix statistics, keeping the one-dict-update-per-dispatch discipline.
+
+Known caveat (shared with the reference decode cache, which also never
+invalidates): self-modifying text is not supported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import OrderedDict
+
+from repro.errors import DecodingError, MemoryFault, SimulatorError
+from repro.isa.decoding import decode_at
+from repro.isa.spec import BRANCHES, DIVS, JUMPS, LOADS, MULS, STORES
+from repro.soc import cpu as _cpu
+from repro.soc.memory import fix_load, fix_store
+
+_MASK64 = (1 << 64) - 1
+
+#: Maximum ops per trace: bounds compile time per block while keeping
+#: whole loop bodies (condition + body + glued calls + latch) in one fn.
+MAX_TRACE_OPS = 96
+
+#: Predecoded programs cached per (content digest, cache geometries).
+_CACHE_CAP = 32
+_CACHE: OrderedDict[tuple, "PredecodedProgram"] = OrderedDict()
+
+_STAT_FIELDS = ("n", "loads", "stores", "branches", "taken", "jumps",
+                "muls", "divs64", "divs32", "stalls", "n_mem")
+
+
+class RunState:
+    """Mutable per-run scratch shared between the dispatch loop and the
+    generated trace functions."""
+
+    __slots__ = ("limit", "nx", "ds", "plr", "ex")
+
+    def __init__(self) -> None:
+        self.limit = 0      # instruction budget
+        self.nx = 0         # pending instret adjustment (loops/side exits)
+        self.ds = 0         # dynamic (cross-dispatch) load-use stalls
+        self.plr = -1       # rd of the previously retired load, else -1
+        self.ex = {}        # Superblock/ExitDelta -> execution count
+
+
+class ExitDelta:
+    """Static-statistics delta charged when a trace leaves through a
+    side exit: the negated suffix of the trace after the exit op, plus
+    the exit's own branch-direction adjustment.  Shares field names with
+    :class:`Superblock` so finalization merges both uniformly."""
+
+    __slots__ = _STAT_FIELDS + ("mixt",)
+
+    def __init__(self, **kw) -> None:
+        for name in _STAT_FIELDS:
+            setattr(self, name, kw.get(name, 0))
+        self.mixt = kw.get("mixt", ())
+
+
+class Superblock:
+    """One compiled trace plus its per-execution static statistics."""
+
+    __slots__ = _STAT_FIELDS + (
+        "mixt", "start", "fn", "word", "term_pc", "fall_pc", "src")
+
+    def __init__(self, start: int) -> None:
+        for name in _STAT_FIELDS:
+            setattr(self, name, 0)
+        self.mixt = ()
+        self.start = start
+        self.fn = None        # None => undecodable head (illegal fetch)
+        self.word = 0         # raw word for IllegalInstruction
+        self.term_pc = 0      # pc of the terminating instruction (ecall)
+        self.fall_pc = 0      # resume pc after a non-exit syscall
+        self.src = ""         # generated source (debugging aid)
+
+
+class _Op:
+    """One instruction on the trace path, with its speculation role."""
+
+    __slots__ = ("pc", "size", "instr", "role", "target", "expected")
+
+    def __init__(self, pc, size, instr, role="plain",
+                 target=0, expected=0):
+        self.pc = pc
+        self.size = size
+        self.instr = instr
+        self.role = role          # plain | spec_taken | spec_not_taken
+        self.target = target      # | glued_jal | glued_ret
+        self.expected = expected  # predicted link value for glued_ret
+
+
+def _digest(program) -> bytes:
+    h = hashlib.sha256()
+    h.update(program.text)
+    h.update(program.data)
+    h.update(struct.pack("<qqq", program.text_base, program.data_base,
+                         program.entry))
+    return h.digest()
+
+
+def predecoded_for(program, icache_cfg, dcache_cfg) -> "PredecodedProgram":
+    """Fetch (or build) the predecoded form of ``program`` for the given
+    cache geometries, LRU-cached per content digest so repeated farm
+    jobs over the same artifact never re-decode."""
+    key = (_digest(program), icache_cfg, dcache_cfg)
+    pre = _CACHE.get(key)
+    if pre is not None:
+        _CACHE.move_to_end(key)
+        return pre
+    pre = PredecodedProgram(program, icache_cfg, dcache_cfg)
+    _CACHE[key] = pre
+    while len(_CACHE) > _CACHE_CAP:
+        _CACHE.popitem(last=False)
+    return pre
+
+
+class PredecodedProgram:
+    """Superblock store for one program image: builds traces lazily at
+    first dispatch of each entry pc and caches the compiled blocks."""
+
+    def __init__(self, program, icache_cfg, dcache_cfg) -> None:
+        size = max(program.text_base + len(program.text),
+                   program.data_base + len(program.data))
+        img = bytearray(size)
+        img[program.text_base:program.text_base + len(program.text)] = \
+            program.text
+        img[program.data_base:program.data_base + len(program.data)] = \
+            program.data
+        # Pad past the image end so a decode straddling the last bytes
+        # sees the same zero bytes the reference reads from the (larger,
+        # zero-initialised) runtime memory, not a truncation error.
+        self.img = bytes(img) + b"\x00" * 8
+        self.ic_shift = icache_cfg.line_bytes.bit_length() - 1
+        self.ic_sets = icache_cfg.n_sets
+        self.ic_ways = icache_cfg.ways
+        self.dc_shift = dcache_cfg.line_bytes.bit_length() - 1
+        self.dc_mask = dcache_cfg.n_sets - 1
+        self.blocks: dict[int, Superblock] = {}
+        self._shared = _shared_globals()
+
+    def build(self, pc: int) -> Superblock:
+        blk = self._build(pc)
+        self.blocks[pc] = blk
+        return blk
+
+    # -- trace construction ----------------------------------------------
+
+    def _build(self, start: int) -> Superblock:
+        img = self.img
+        blk = Superblock(start)
+        try:
+            decode_at(img, start)
+        except (DecodingError, IndexError):
+            blk.word = int.from_bytes(img[start:start + 4], "little")
+            blk.n = 1    # budget weight only; never enters exec counts
+            return blk
+
+        ops: list[_Op] = []
+        seen: set[int] = set()
+        ret_stack: list[int] = []
+        pc = start
+        term = ("fall", start)   # overwritten below
+        while True:
+            if pc in seen:
+                term = ("loop", None) if pc == start else ("goto", pc)
+                break
+            if len(ops) >= MAX_TRACE_OPS:
+                term = ("goto", pc)
+                break
+            try:
+                instr, size = decode_at(img, pc)
+            except (DecodingError, IndexError):
+                term = ("goto", pc)   # next dispatch raises illegal
+                break
+            name = instr.name
+            if name in BRANCHES:
+                target = (pc + instr.imm) & _MASK64
+                if target == pc + size:
+                    # Both directions land on pc+size: the reference loop
+                    # (taken iff next_pc != pc+size) never counts it taken,
+                    # so compile it as a plain no-op with branch class cost.
+                    ops.append(_Op(pc, size, instr))
+                    seen.add(pc)
+                    pc += size
+                    continue
+                if target <= pc:
+                    ops.append(_Op(pc, size, instr, "spec_taken",
+                                   target=pc + size))
+                    seen.add(pc)
+                    pc = target
+                else:
+                    ops.append(_Op(pc, size, instr, "spec_not_taken",
+                                   target=target))
+                    seen.add(pc)
+                    pc += size
+                continue
+            if name == "jal":
+                target = (pc + instr.imm) & _MASK64
+                link = pc + size
+                if instr.rd == 1:
+                    ret_stack.append(link)
+                ops.append(_Op(pc, size, instr, "glued_jal",
+                               target=target))
+                seen.add(pc)
+                pc = target
+                continue
+            if name == "jalr":
+                if instr.rs1 == 1 and instr.imm == 0 and ret_stack:
+                    expected = ret_stack.pop()
+                    ops.append(_Op(pc, size, instr, "glued_ret",
+                                   target=expected, expected=expected))
+                    seen.add(pc)
+                    pc = expected
+                    continue
+                ops.append(_Op(pc, size, instr))
+                term = ("jalr", None)
+                break
+            if name == "ecall":
+                ops.append(_Op(pc, size, instr))
+                term = ("ecall", pc)
+                break
+            if name == "ebreak":
+                ops.append(_Op(pc, size, instr))
+                term = ("ebreak", pc)
+                break
+            ops.append(_Op(pc, size, instr))
+            seen.add(pc)
+            pc += size
+
+        _Codegen(self, blk, ops, term).run()
+        return blk
+
+# -- generated-code vocabulary -------------------------------------------
+#
+# Expression templates per mnemonic.  ``a``/``b`` are already-rendered
+# operand expressions (register local, ``regs[i]`` subscript, or folded
+# constant); semantics mirror soc.cpu's handler table exactly, including
+# where the & 2^64-1 mask is provably redundant and can be dropped.
+
+_ALU_R = {
+    "add": lambda a, b: f"({a} + {b}) & M",
+    "sub": lambda a, b: f"({a} - {b}) & M",
+    "sll": lambda a, b: f"({a} << ({b} & 63)) & M",
+    "slt": lambda a, b: f"1 if sgn({a}) < sgn({b}) else 0",
+    "sltu": lambda a, b: f"1 if {a} < {b} else 0",
+    "xor": lambda a, b: f"{a} ^ {b}",
+    "srl": lambda a, b: f"{a} >> ({b} & 63)",
+    "sra": lambda a, b: f"(sgn({a}) >> ({b} & 63)) & M",
+    "or": lambda a, b: f"{a} | {b}",
+    "and": lambda a, b: f"{a} & {b}",
+    "addw": lambda a, b: f"sx32({a} + {b})",
+    "subw": lambda a, b: f"sx32({a} - {b})",
+    "sllw": lambda a, b: f"sx32({a} << ({b} & 31))",
+    "srlw": lambda a, b: f"sx32(({a} & 0xFFFFFFFF) >> ({b} & 31))",
+    "sraw": lambda a, b: f"sx32(s32({a}) >> ({b} & 31))",
+    "mul": lambda a, b: f"({a} * {b}) & M",
+    "mulh": lambda a, b: f"((sgn({a}) * sgn({b})) >> 64) & M",
+    "mulhu": lambda a, b: f"({a} * {b}) >> 64",
+    "mulhsu": lambda a, b: f"((sgn({a}) * {b}) >> 64) & M",
+    "mulw": lambda a, b: f"sx32({a} * {b})",
+    "div": lambda a, b: f"dv({a}, {b}) & M",
+    "divu": lambda a, b: f"dvu({a}, {b}) & M",
+    "rem": lambda a, b: f"rm({a}, {b}) & M",
+    "remu": lambda a, b: f"rmu({a}, {b}) & M",
+    "divw": lambda a, b: f"dvw({a}, {b}) & M",
+    "divuw": lambda a, b: f"dvuw({a}, {b}) & M",
+    "remw": lambda a, b: f"rmw({a}, {b}) & M",
+    "remuw": lambda a, b: f"rmuw({a}, {b}) & M",
+}
+
+_ALU_I = {
+    "addi": lambda a, i: a if i == 0 else f"({a} + {i}) & M",
+    "slti": lambda a, i: f"1 if sgn({a}) < {i} else 0",
+    "sltiu": lambda a, i: f"1 if {a} < {i & _MASK64} else 0",
+    "xori": lambda a, i: f"{a} ^ {i & _MASK64}",
+    "ori": lambda a, i: f"{a} | {i & _MASK64}",
+    "andi": lambda a, i: f"{a} & {i & _MASK64}",
+    "slli": lambda a, i: a if i == 0 else f"({a} << {i}) & M",
+    "srli": lambda a, i: a if i == 0 else f"{a} >> {i}",
+    "srai": lambda a, i: f"(sgn({a}) >> {i}) & M",
+    "addiw": lambda a, i: f"sx32({a} + {i})",
+    "slliw": lambda a, i: f"sx32({a} << {i})",
+    "srliw": lambda a, i: f"sx32(({a} & 0xFFFFFFFF) >> {i})",
+    "sraiw": lambda a, i: f"sx32(s32({a}) >> {i})",
+}
+
+#: (condition, negated condition) per branch mnemonic.
+_BRANCH_COND = {
+    "beq": (lambda a, b: f"{a} == {b}", lambda a, b: f"{a} != {b}"),
+    "bne": (lambda a, b: f"{a} != {b}", lambda a, b: f"{a} == {b}"),
+    "blt": (lambda a, b: f"sgn({a}) < sgn({b})",
+            lambda a, b: f"sgn({a}) >= sgn({b})"),
+    "bge": (lambda a, b: f"sgn({a}) >= sgn({b})",
+            lambda a, b: f"sgn({a}) < sgn({b})"),
+    "bltu": (lambda a, b: f"{a} < {b}", lambda a, b: f"{a} >= {b}"),
+    "bgeu": (lambda a, b: f"{a} >= {b}", lambda a, b: f"{a} < {b}"),
+}
+
+#: loads: name -> (width, signed flag, value template over (raw, addr))
+_LOAD_EXPR = {
+    "ld": (8, 1, lambda av: f"q8(raw, {av})[0]"),
+    "lw": (4, 1, lambda av: f"qs4(raw, {av})[0] & M"),
+    "lh": (2, 1, lambda av: f"qs2(raw, {av})[0] & M"),
+    "lb": (1, 1, lambda av: f"qs1(raw, {av})[0] & M"),
+    "lwu": (4, 0, lambda av: f"q4(raw, {av})[0]"),
+    "lhu": (2, 0, lambda av: f"q2(raw, {av})[0]"),
+    "lbu": (1, 0, lambda av: f"raw[{av}]"),
+}
+
+#: stores: name -> (width, statement template over (addr, value expr))
+_STORE_STMT = {
+    "sd": (8, lambda av, v: f"p8(raw, {av}, {v})"),
+    "sw": (4, lambda av, v: f"p4(raw, {av}, {v} & 0xFFFFFFFF)"),
+    "sh": (2, lambda av, v: f"p2(raw, {av}, {v} & 0xFFFF)"),
+    "sb": (1, lambda av, v: f"raw[{av}] = {v} & 255"),
+}
+
+
+def _shared_globals() -> dict:
+    """Base globals for every exec'd trace function (copied per trace so
+    per-trace constants — BLK, exit deltas — can be injected)."""
+    return {
+        "__builtins__": {},
+        "M": _MASK64,
+        "ME": _MASK64 & ~1,
+        "q2": struct.Struct("<H").unpack_from,
+        "q4": struct.Struct("<I").unpack_from,
+        "q8": struct.Struct("<Q").unpack_from,
+        "qs1": struct.Struct("<b").unpack_from,
+        "qs2": struct.Struct("<h").unpack_from,
+        "qs4": struct.Struct("<i").unpack_from,
+        "p2": struct.Struct("<H").pack_into,
+        "p4": struct.Struct("<I").pack_into,
+        "p8": struct.Struct("<Q").pack_into,
+        "SE": struct.error,
+        "IndexError": IndexError,   # not reachable via empty __builtins__
+        "sgn": _cpu._signed,
+        "s32": _cpu._signed32,
+        "sx32": _cpu._sext32,
+        "dv": _cpu._div,
+        "dvu": _cpu._divu,
+        "rm": _cpu._rem,
+        "rmu": _cpu._remu,
+        "dvw": _cpu._divw,
+        "dvuw": _cpu._divuw,
+        "rmw": _cpu._remw,
+        "rmuw": _cpu._remuw,
+        "lfix": fix_load,
+        "sfix": fix_store,
+        "SimulatorError": SimulatorError,
+        "MemoryFault": MemoryFault,
+    }
+
+
+class _Codegen:
+    """Emits one superblock's specialized Python source and compiles it.
+
+    The emitted function has signature ``f(regs, raw, dc, ic, st, ni)``
+    and returns the next dispatch pc (``-1`` for ecall).  Register reads
+    render as locals (loop traces) or ``regs[i]`` subscripts, constants
+    are propagated through ``lui``/``auipc``/``addi``/``jal`` links,
+    icache accesses are emitted only at fetch-line crossings, and the
+    dcache check inlines the same-line + MRU-of-set fast path with
+    :meth:`Cache._slow` behind it.  Static per-execution statistics
+    accumulate into the block; each side exit snapshots its prefix to
+    build the matching :class:`ExitDelta`.
+    """
+
+    def __init__(self, pre, blk, ops, term):
+        self.pre = pre
+        self.blk = blk
+        self.ops = ops
+        self.term = term
+        self.loop = term[0] == "loop"
+        self.lines: list[str] = []
+        self.known = {0: 0}       # reg -> propagated constant
+        self.ver = {}             # reg -> write version (addr reuse keys)
+        self.addrmap = {}         # (reg, ver, imm) -> rendered address
+        self.last_tag = None      # address tag of the previous mem op
+        self.stats = {f: 0 for f in _STAT_FIELDS}
+        self.mix = {}
+        self.exits = []           # (delta name, prefix stats, prefix mix, adj)
+        self.tmp = 0
+        self.fetch_seq = []       # consecutive-deduped fetch lines so far
+        self.cur_line = None
+        self.body = 1
+        self.back_stall = 0
+        self.warm = False
+
+    # -- small emission helpers ------------------------------------------
+
+    def e(self, ind: int, text: str) -> None:
+        self.lines.append("    " * ind + text)
+
+    def tvar(self) -> str:
+        self.tmp += 1
+        return f"t{self.tmp}"
+
+    def fetch(self, ind: int, ln: int, prefix: str = "if ") -> None:
+        """Emit one icache touch of constant line ``ln``.  When the line
+        is already MRU of its set the reference access is a hit whose
+        LRU reorder is the identity, so the call is skipped entirely;
+        :meth:`Cache._slow` handles both remaining cases exactly."""
+        idx = ln & (self.pre.ic_sets - 1)
+        self.e(ind, f"{prefix}im[{idx}] != {ln}: ica({ln}, 0)")
+
+    def R(self, r) -> str:
+        """Rendered read of register ``r``."""
+        if not r:
+            return "0"
+        v = self.known.get(r)
+        if v is not None:
+            return str(v)
+        return f"r{r}" if self.loop else f"regs[{r}]"
+
+    def wtarget(self, rd) -> str:
+        if not rd:
+            return "z"            # x0: execute for side effects, discard
+        return f"r{rd}" if self.loop else f"regs[{rd}]"
+
+    def note_write(self, rd, const=None) -> None:
+        if not rd:
+            return
+        self.ver[rd] = self.ver.get(rd, 0) + 1
+        if const is None:
+            self.known.pop(rd, None)
+        else:
+            self.known[rd] = const
+
+    def W(self, rd, expr: str, const=None) -> None:
+        self.e(self.body, f"{self.wtarget(rd)} = {expr}")
+        self.note_write(rd, const)
+
+    @staticmethod
+    def _plr_of(instr) -> int:
+        return instr.rd if (instr.name in LOADS and instr.rd) else -1
+
+    # -- statistics -------------------------------------------------------
+
+    def add_stats(self, op, prev) -> None:
+        s = self.stats
+        i = op.instr
+        name = i.name
+        s["n"] += 1
+        self.mix[name] = self.mix.get(name, 0) + 1
+        if name in LOADS:
+            s["loads"] += 1
+            s["n_mem"] += 1
+        elif name in STORES:
+            s["stores"] += 1
+            s["n_mem"] += 1
+        elif name in BRANCHES:
+            s["branches"] += 1
+            if op.role == "spec_taken":
+                s["taken"] += 1
+        elif name in JUMPS:
+            s["jumps"] += 1
+        elif name in MULS:
+            s["muls"] += 1
+        elif name in DIVS:
+            s["divs32" if name.endswith("w") else "divs64"] += 1
+        if prev is not None and prev.name in LOADS and prev.rd and \
+                (i.rs1 == prev.rd or i.rs2 == prev.rd):
+            s["stalls"] += 1
+
+    # -- exit paths -------------------------------------------------------
+
+    def sync(self, ind: int, plr: int, late_write=None) -> None:
+        """Writeback + cache-local + hazard-state flush before a return."""
+        e = self.e
+        if self.loop:
+            for r in self.written:
+                e(ind, f"regs[{r}] = r{r}")
+        if late_write is not None:
+            rd, val = late_write
+            e(ind, f"regs[{rd}] = {val}")
+        if self.has_mem:
+            e(ind, "dc._last_line = dl")
+        e(ind, f"st.plr = {plr}")
+
+    def side_exit(self, ind: int, target: str, adj: int,
+                  late_write=None) -> None:
+        e = self.e
+        dname = f"D{len(self.exits)}"
+        self.exits.append((dname, dict(self.stats), dict(self.mix), adj))
+        e(ind, "e = st.ex")
+        if self.loop:
+            e(ind, "e[BLK] += it")
+            e(ind, f"e[{dname}] = e.get({dname}, 0) + 1")
+            e(ind, f"st.nx = it * {len(self.ops)} + {dname}.n")
+            if self.back_stall:
+                e(ind, "st.ds += it")
+            if self.warm:
+                # Re-touch this partial iteration's fetch lines: warm
+                # iterations skip their (all-hit) icache accesses, which
+                # is LRU-exact only at iteration boundaries.
+                e(ind, "if it:")
+                for ln in self.fetch_seq:
+                    self.fetch(ind + 1, ln)
+        else:
+            e(ind, f"e[{dname}] = e.get({dname}, 0) + 1")
+            e(ind, f"st.nx = {dname}.n")
+        self.sync(ind, -1, late_write)
+        e(ind, f"return {target}")
+
+    # -- per-op emission --------------------------------------------------
+
+    def gen_op(self, op) -> None:
+        i = op.instr
+        name = i.name
+        role = op.role
+        if role != "plain":
+            if role == "glued_jal":
+                link = (op.pc + op.size) & _MASK64
+                if i.rd:
+                    self.W(i.rd, str(link), const=link)
+                return
+            if role == "glued_ret":
+                link = (op.pc + op.size) & _MASK64
+                exp = op.expected
+                if self.known.get(1) != exp:
+                    a = self.R(1)
+                    self.e(self.body, f"if {a} != {exp}:")
+                    t = self.tvar()
+                    self.e(self.body + 1, f"{t} = {a} & -2")
+                    self.side_exit(self.body + 1, t, 0,
+                                   late_write=(i.rd, link) if i.rd else None)
+                if i.rd:
+                    self.W(i.rd, str(link), const=link)
+                return
+            # speculated conditional branch: guard emits the other
+            # direction as a side exit with a taken-count adjustment.
+            cond, neg = _BRANCH_COND[name]
+            a, b2 = self.R(i.rs1), self.R(i.rs2)
+            if role == "spec_taken":
+                guard, adj = neg(a, b2), -1
+            else:
+                guard, adj = cond(a, b2), 1
+            self.e(self.body, f"if {guard}:")
+            self.side_exit(self.body + 1, str(op.target), adj)
+            return
+        if name in _ALU_I:
+            if name == "addi":
+                ka = self.known.get(i.rs1)
+                if ka is not None:
+                    v = (ka + i.imm) & _MASK64
+                    if i.rd:
+                        self.W(i.rd, str(v), const=v)
+                    return
+            if i.rd:
+                self.W(i.rd, _ALU_I[name](self.R(i.rs1), i.imm))
+            return
+        if name in _ALU_R:
+            if i.rd:
+                self.W(i.rd, _ALU_R[name](self.R(i.rs1), self.R(i.rs2)))
+            return
+        if name in _LOAD_EXPR or name in _STORE_STMT:
+            self.gen_mem(op)
+            return
+        if name == "lui" or name == "auipc":
+            v = i.imm << 12
+            if v & 0x80000000:
+                v |= 0xFFFFFFFF00000000
+            if name == "auipc":
+                v = (op.pc + v) & _MASK64
+            if i.rd:
+                self.W(i.rd, str(v), const=v)
+            return
+        if name in BRANCHES or name == "fence":
+            return            # degenerate branch / nop: class cost only
+        raise SimulatorError(f"predecode: unsupported op {name!r}")
+
+    def gen_mem(self, op) -> None:
+        pre = self.pre
+        e = self.e
+        b = self.body
+        i = op.instr
+        name = i.name
+        imm = i.imm
+        ka = self.known.get(i.rs1)
+        addr = None
+        if ka is not None:
+            addr = (ka + imm) & _MASK64
+            av = str(addr)
+            tag = ("c", addr)
+        else:
+            base = self.R(i.rs1)
+            tag = (i.rs1, self.ver.get(i.rs1, 0), imm)
+            av = self.addrmap.get(tag)
+            if av is None:
+                if imm == 0:
+                    av = base
+                else:
+                    av = self.tvar()
+                    if imm < 0:
+                        # Negative displacement can wrap below zero; the
+                        # struct codecs accept negative offsets silently
+                        # (indexing from the end), so mask eagerly.
+                        e(b, f"{av} = ({base} + {imm}) & M")
+                    else:
+                        e(b, f"{av} = {base} + {imm}")
+                self.addrmap[tag] = av
+        if tag != self.last_tag:
+            # Same address as the op immediately before => same line and
+            # the reference's one-entry fast path, which mutates nothing.
+            self.last_tag = tag
+            if addr is not None:
+                lc = addr >> pre.dc_shift
+                e(b, f"if dl != {lc}:")
+                e(b + 1, f"dl = {lc}")
+                e(b + 1, f"if mru[{lc & pre.dc_mask}] != {lc}:")
+                e(b + 2, f"da({lc}, {addr})")
+            else:
+                lv = self.tvar()
+                e(b, f"{lv} = {av} >> {pre.dc_shift}")
+                e(b, f"if {lv} != dl:")
+                e(b + 1, f"dl = {lv}")
+                e(b + 1, f"if mru[{lv} & {pre.dc_mask}] != {lv}:")
+                e(b + 2, f"da({lv}, {av})")
+        if name in _LOAD_EXPR:
+            width, signed, val = _LOAD_EXPR[name]
+            tgt = self.wtarget(i.rd)
+            e(b, "try:")
+            e(b + 1, f"{tgt} = {val(av)}")
+            e(b, "except (SE, IndexError):")
+            e(b + 1, f"{tgt} = lfix(raw, {av}, {width}, {signed})")
+            self.note_write(i.rd)
+        else:
+            width, stmt = _STORE_STMT[name]
+            v = self.R(i.rs2)
+            e(b, "try:")
+            e(b + 1, stmt(av, v))
+            e(b, "except (SE, IndexError):")
+            e(b + 1, f"sfix(raw, {av}, {width}, {v})")
+
+    # -- terminators ------------------------------------------------------
+
+    def gen_term(self) -> None:
+        term = self.term
+        kind = term[0]
+        ops = self.ops
+        b = self.body
+        e = self.e
+        blk = self.blk
+        last = ops[-1]
+        blk.term_pc = last.pc
+        if kind == "goto":
+            self.sync(b, self._plr_of(last.instr))
+            e(b, f"return {term[1]}")
+        elif kind == "loop":
+            e(b, "it += 1")
+            e(b, "if it == cap:")
+            e(b + 1, "x = it - 1")
+            e(b + 1, "if x:")
+            e(b + 2, "e = st.ex")
+            e(b + 2, "e[BLK] += x")
+            e(b + 2, f"st.nx = x * {len(ops)}")
+            if self.back_stall:
+                e(b + 1, "st.ds += x")
+            self.sync(b + 1, self._plr_of(last.instr))
+            e(b + 1, f"return {blk.start}")
+        elif kind == "jalr":
+            i = last.instr
+            a = self.R(i.rs1)
+            t = self.tvar()
+            if i.imm == 0:
+                e(b, f"{t} = {a} & -2")
+            else:
+                e(b, f"{t} = ({a} + {i.imm}) & ME")
+            if i.rd:
+                link = (last.pc + last.size) & _MASK64
+                self.W(i.rd, str(link), const=link)
+            self.sync(b, -1)
+            e(b, f"return {t}")
+        elif kind == "ecall":
+            self.sync(b, -1)
+            e(b, "return -1")
+            blk.fall_pc = term[1] + last.size
+        else:  # ebreak: reference raises from execute, counters unread
+            self.sync(b, -1)
+            e(b, f'raise SimulatorError("ebreak at pc={term[1]:#x}")')
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> None:
+        ops = self.ops
+        pre = self.pre
+        loop = self.loop
+        e = self.e
+        instrs = [op.instr for op in ops]
+        self.touched = sorted(
+            {r for i in instrs for r in (i.rs1, i.rs2, i.rd) if r})
+        self.written = sorted({i.rd for i in instrs if i.rd})
+        self.has_mem = any(
+            i.name in LOADS or i.name in STORES for i in instrs)
+        op_lines = [op.pc >> pre.ic_shift for op in ops]
+        if loop:
+            li = instrs[-1]
+            if li.name in LOADS and li.rd and \
+                    (instrs[0].rs1 == li.rd or instrs[0].rs2 == li.rd):
+                self.back_stall = 1
+            # Warm elision: every icache set the iteration touches can
+            # hold all of that iteration's distinct lines at once, so
+            # iterations 2+ are pure hits whose full-iteration LRU churn
+            # is order-idempotent — skip the calls entirely.
+            per_set = {}
+            for ln in set(op_lines):
+                per_set.setdefault(ln & (pre.ic_sets - 1), set()).add(ln)
+            self.warm = all(
+                len(v) <= pre.ic_ways for v in per_set.values())
+        e(0, "def f(regs, raw, dc, ic, st, ni):")
+        if self.has_mem:
+            e(1, "dl = dc._last_line")
+            e(1, "mru = dc._mru")
+            e(1, "da = dc._slow")
+        e(1, "im = ic._mru")
+        e(1, "ica = ic._slow")
+        i0 = instrs[0]
+        hazard_regs = sorted({r for r in (i0.rs1, i0.rs2) if r})
+        if len(hazard_regs) == 2:
+            e(1, "p = st.plr")
+            e(1, f"if p > 0 and (p == {hazard_regs[0]}"
+                 f" or p == {hazard_regs[1]}):")
+            e(2, "st.ds += 1")
+        elif len(hazard_regs) == 1:
+            e(1, f"if 0 < st.plr == {hazard_regs[0]}:")
+            e(2, "st.ds += 1")
+        l0 = op_lines[0]
+        if loop:
+            for r in self.touched:
+                e(1, f"r{r} = regs[{r}]")
+            e(1, "it = 0")
+            e(1, f"cap = (st.limit - ni) // {len(ops)}")
+            e(1, "while True:")
+            self.body = 2
+            if self.warm:
+                self.fetch(2, l0, prefix="if not it and ")
+            else:
+                self.fetch(2, l0)
+        else:
+            self.body = 1
+            self.fetch(1, l0)
+        self.fetch_seq = [l0]
+        self.cur_line = l0
+
+        special_last = self.term[0] in ("jalr", "ecall", "ebreak")
+        n_ops = len(ops)
+        for k, op in enumerate(ops):
+            ln = op_lines[k]
+            if ln != self.cur_line:
+                self.cur_line = ln
+                self.fetch_seq.append(ln)
+                if loop and self.warm:
+                    self.fetch(self.body, ln, prefix="if not it and ")
+                else:
+                    self.fetch(self.body, ln)
+            self.add_stats(op, instrs[k - 1] if k else None)
+            if special_last and k == n_ops - 1:
+                break
+            self.gen_op(op)
+        self.gen_term()
+        self.finish()
+
+    def finish(self) -> None:
+        blk = self.blk
+        tot = self.stats
+        for fname in _STAT_FIELDS:
+            setattr(blk, fname, tot[fname])
+        blk.mixt = tuple(sorted(self.mix.items()))
+        deltas = []
+        for _, pstats, pmix, adj in self.exits:
+            kw = {f: pstats[f] - tot[f] for f in _STAT_FIELDS}
+            kw["taken"] += adj
+            md = [(k, pmix.get(k, 0) - c) for k, c in self.mix.items()
+                  if pmix.get(k, 0) != c]
+            deltas.append(ExitDelta(mixt=tuple(sorted(md)), **kw))
+        src = "\n".join(self.lines)
+        blk.src = src
+        code = compile(src, f"<superblock@{blk.start:#x}>", "exec")
+        env = dict(self.pre._shared)
+        env["BLK"] = blk
+        for idx, delta in enumerate(deltas):
+            env[f"D{idx}"] = delta
+        exec(code, env)
+        blk.fn = env["f"]

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.asm.loader import load_program
 from repro.asm.program import Program
 from repro.errors import (
+    ConfigError,
     DecodingError,
     ExecutionLimitExceeded,
     IllegalInstruction,
@@ -36,6 +37,7 @@ from repro.soc.counters import PerfCounters
 from repro.soc.cpu import ECALL_SENTINEL, Cpu
 from repro.soc.memory import Memory
 from repro.soc.pipeline import DEFAULT_PIPELINE, PipelineModel
+from repro.soc.predecode import RunState, predecoded_for
 
 _MASK64 = (1 << 64) - 1
 
@@ -45,6 +47,16 @@ SYS_WRITE = 64
 
 #: Clock of the prototype (Table I); converts cycles to wall time.
 CLOCK_MHZ = 25.0
+
+#: Interpreter used when a SoC is constructed without an explicit
+#: ``run_mode``: "fast" dispatches predecoded superblocks
+#: (:mod:`repro.soc.predecode`), "reference" steps one instruction at a
+#: time.  Both produce bit-identical results; the differential harness
+#: flips this module-global to drive whole farm stacks through the
+#: reference path without threading a parameter everywhere.
+DEFAULT_RUN_MODE = "fast"
+
+_RUN_MODES = (None, "fast", "reference")
 
 
 @dataclass
@@ -112,12 +124,18 @@ class RocketLikeSoC:
     def __init__(self, memory_size: int = 1 << 20,
                  icache: CacheConfig = CacheConfig(),
                  dcache: CacheConfig = CacheConfig(),
-                 pipeline: PipelineModel = DEFAULT_PIPELINE) -> None:
+                 pipeline: PipelineModel = DEFAULT_PIPELINE,
+                 run_mode: str | None = None) -> None:
+        if run_mode not in _RUN_MODES:
+            raise ConfigError(f"unknown run_mode {run_mode!r}; "
+                              f"expected 'fast' or 'reference'")
         self.memory = Memory(memory_size)
         self.icache = Cache(icache)
         self.dcache = Cache(dcache)
         self.pipeline = pipeline
         self.cpu = Cpu(self.memory)
+        #: None defers to the module-level DEFAULT_RUN_MODE at run() time.
+        self.run_mode = run_mode
 
     def run(self, program: Program,
             max_instructions: int = 20_000_000) -> RunResult:
@@ -127,7 +145,7 @@ class RocketLikeSoC:
             IllegalInstruction: on undecodable fetch (e.g. ciphertext).
             ExecutionLimitExceeded: if the instruction budget runs out.
         """
-        self.memory.raw[:] = bytes(len(self.memory.raw))
+        self.memory.clear()
         load_program(program, self.memory.raw)
         self.icache.flush()
         self.dcache.flush()
@@ -135,32 +153,164 @@ class RocketLikeSoC:
         self.dcache.reset_stats()
         stack_top = (self.memory.size - 16) & ~0xF
         self.cpu.reset(program.entry, stack_top)
-        return self._run_loop(max_instructions)
+        mode = self.run_mode or DEFAULT_RUN_MODE
+        if mode == "fast":
+            return self._run_fast(program, max_instructions)
+        return self._step_loop(self.cpu.pc, max_instructions,
+                               PerfCounters(), bytearray(), -1,
+                               time.perf_counter())
 
-    def _run_loop(self, max_instructions: int) -> RunResult:
+    # -- fast path: superblock dispatch -----------------------------------
+
+    def _run_fast(self, program: Program,
+                  max_instructions: int) -> RunResult:
         loop_start = time.perf_counter()
+        pre = predecoded_for(program, self.icache.config,
+                             self.dcache.config)
+        cpu = self.cpu
+        regs = cpu.regs
+        raw = self.memory.raw
+        ic = self.icache
+        dc = self.dcache
+        st = RunState()
+        st.limit = max_instructions
+        console = bytearray()
+        execs = st.ex
+        eget = execs.get
+        bget = pre.blocks.get
+        build = pre.build
+        pc = cpu.pc
+        ninstr = 0
+
+        while True:
+            blk = bget(pc)
+            if blk is None:
+                blk = build(pc)
+            if blk.fn is None or ninstr + blk.n > max_instructions:
+                # Undecodable head, or the whole trace may not fit in the
+                # remaining budget: materialize the counters and let the
+                # reference stepper replay the tail exactly (it raises
+                # IllegalInstruction / ExecutionLimitExceeded itself).
+                counters = self._finalize(st)
+                return self._step_loop(pc, max_instructions, counters,
+                                       console, st.plr, loop_start)
+            execs[blk] = eget(blk, 0) + 1
+            pc = blk.fn(regs, raw, dc, ic, st, ninstr)
+            ninstr += blk.n
+            x = st.nx
+            if x:
+                ninstr += x
+                st.nx = 0
+            if pc == -1:
+                a7 = regs[17]
+                if a7 == SYS_EXIT:
+                    counters = self._finalize(st)
+                    cpu.pc = blk.term_pc
+                    return RunResult(
+                        exit_code=regs[10] & 0xFF,
+                        console=bytes(console),
+                        counters=counters,
+                        wall_s=time.perf_counter() - loop_start)
+                if a7 == SYS_PUTCHAR:
+                    console.append(regs[10] & 0xFF)
+                elif a7 == SYS_WRITE:
+                    console.extend(self.memory.load_bytes(regs[11],
+                                                          regs[12]))
+                else:
+                    raise SimulatorError(f"unknown syscall a7={a7} "
+                                         f"at pc={blk.term_pc:#x}")
+                pc = blk.fall_pc
+
+    def _finalize(self, st: RunState) -> PerfCounters:
+        """Collapse the execution-count dict into full PerfCounters.
+
+        Every total is either an exact sum of per-trace statics times
+        execution counts, or derived from one (hits = accesses − misses;
+        each cycle term mirrors the reference loop's per-instruction
+        charge).  Also syncs the cache objects' hit counters, which the
+        fast path skips maintaining per access."""
+        pipe = self.pipeline
+        ic = self.icache
+        dc = self.dcache
+        n = loads = stores = branches = taken = jumps = 0
+        muls = d64 = d32 = stalls = n_mem = 0
+        mix: dict[str, int] = {}
+        for blk, c in st.ex.items():
+            n += blk.n * c
+            loads += blk.loads * c
+            stores += blk.stores * c
+            branches += blk.branches * c
+            taken += blk.taken * c
+            jumps += blk.jumps * c
+            muls += blk.muls * c
+            d64 += blk.divs64 * c
+            d32 += blk.divs32 * c
+            stalls += blk.stalls * c
+            n_mem += blk.n_mem * c
+            for name, k in blk.mixt:
+                mix[name] = mix.get(name, 0) + k * c
+        stalls += st.ds
+        counters = PerfCounters()
+        counters.mix = {k: v for k, v in mix.items() if v}
+        ic_miss = ic.misses
+        dc_miss = dc.misses
+        ic.hits = n - ic_miss
+        dc.hits = n_mem - dc_miss
+        counters.instret = n
+        counters.loads = loads
+        counters.stores = stores
+        counters.branches = branches
+        counters.branches_taken = taken
+        counters.jumps = jumps
+        counters.muls = muls
+        counters.divs = d64 + d32
+        counters.icache_hits = n - ic_miss
+        counters.icache_misses = ic_miss
+        counters.dcache_hits = n_mem - dc_miss
+        counters.dcache_misses = dc_miss
+        counters.load_use_stalls = stalls
+        counters.miss_stall_cycles = (ic_miss + dc_miss) * \
+            pipe.miss_penalty
+        counters.flush_cycles = (taken + jumps) * pipe.flush_penalty
+        counters.muldiv_stall_cycles = (muls * pipe.mul_latency
+                                        + d64 * pipe.div_latency
+                                        + d32 * pipe.div32_latency)
+        counters.cycles = (n * pipe.base_cpi
+                           + stalls * pipe.load_use_stall
+                           + counters.flush_cycles
+                           + counters.muldiv_stall_cycles
+                           + counters.miss_stall_cycles)
+        return counters
+
+    # -- reference path: one instruction at a time -------------------------
+
+    def _step_loop(self, pc: int, max_instructions: int,
+                   counters: PerfCounters, console: bytearray,
+                   prev_load_rd: int, loop_start: float) -> RunResult:
+        """The PR-7 interpreter loop, resumable from any materialized
+        state — it both serves ``run_mode="reference"`` from reset and
+        finishes fast runs whose next trace straddles the instruction
+        budget."""
         cpu = self.cpu
         memory = self.memory
         regs = cpu.regs
         pipe = self.pipeline
-        counters = PerfCounters()
         mix = counters.mix
         icache = self.icache
         dcache = self.dcache
 
         decoded: dict[int, tuple] = {}
-        console = bytearray()
-        pc = cpu.pc
-        prev_load_rd = -1
-
-        cycles = 0
-        instret = 0
+        cycles = counters.cycles
+        instret = counters.instret
         raw = memory.raw
 
         while True:
             if instret >= max_instructions:
+                counters.cycles = cycles
+                counters.instret = instret
                 raise ExecutionLimitExceeded(
-                    f"exceeded {max_instructions} instructions"
+                    f"exceeded {max_instructions} instructions",
+                    pc=pc, counters=counters,
                 )
 
             entry = decoded.get(pc)
@@ -171,7 +321,8 @@ class RocketLikeSoC:
                     word = int.from_bytes(raw[pc:pc + 4], "little")
                     counters.cycles = cycles
                     counters.instret = instret
-                    raise IllegalInstruction(pc, word) from None
+                    raise IllegalInstruction(pc, word,
+                                             counters=counters) from None
                 name = instr.name
                 kind = (
                     name in LOADS,

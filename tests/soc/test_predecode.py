@@ -1,0 +1,213 @@
+"""Unit tests for the superblock predecoder and the fast-path plumbing:
+digest caching, budget handoff, exception forensics, memory fast paths.
+
+The workload-scale fast-vs-reference lockstep lives in
+``test_interp_equivalence.py``; these tests pin the machinery itself.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.errors import (
+    ConfigError,
+    ExecutionLimitExceeded,
+    IllegalInstruction,
+    MemoryFault,
+)
+from repro.soc.cache import CacheConfig
+from repro.soc.memory import Memory, fix_load, fix_store
+from repro.soc.predecode import predecoded_for
+from repro.soc.soc import RocketLikeSoC
+
+
+LOOP_SOURCE = """
+_start:
+  li t0, 0
+  li t1, 40
+  li a0, 0
+loop:
+  addi a0, a0, 3
+  addi t0, t0, 1
+  bne t0, t1, loop
+  andi a0, a0, 0xFF
+  li a7, 93
+  ecall
+"""
+
+
+def both_socs():
+    return RocketLikeSoC(), RocketLikeSoC(run_mode="reference")
+
+
+class TestRunModeSelection:
+    def test_unknown_run_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            RocketLikeSoC(run_mode="turbo")
+
+    def test_modes_agree_on_a_loop(self):
+        program = assemble(LOOP_SOURCE)
+        fast, ref = both_socs()
+        a = fast.run(program)
+        b = ref.run(program)
+        assert a.exit_code == b.exit_code == 120
+        assert a.counters.snapshot() == b.counters.snapshot()
+        assert a.counters.mix == b.counters.mix
+
+
+class TestMemoryFastPath:
+    def test_raw_identity_stable_across_runs(self):
+        # regression: run() used to reallocate a fresh 1 MiB buffer per
+        # job via raw[:] = bytes(len(raw))
+        program = assemble(LOOP_SOURCE)
+        soc = RocketLikeSoC()
+        raw_before = soc.memory.raw
+        soc.run(program)
+        soc.run(program)
+        assert soc.memory.raw is raw_before
+
+    def test_clear_zeroes_in_place(self):
+        mem = Memory(size=256)
+        mem.raw[10:14] = b"\xde\xad\xbe\xef"
+        ident = mem.raw
+        mem.clear()
+        assert mem.raw is ident
+        assert bytes(mem.raw) == bytes(256)
+
+    def test_fixups_match_checked_api_messages(self):
+        # the generated code's recovery helpers must raise byte-identical
+        # MemoryFault messages to Memory.check_range's
+        mem = Memory(size=256)
+        with pytest.raises(MemoryFault) as checked:
+            mem.load(300, 8)
+        with pytest.raises(MemoryFault) as fast:
+            fix_load(mem.raw, 300, 8, 1)
+        assert str(fast.value) == str(checked.value)
+        with pytest.raises(MemoryFault) as checked:
+            mem.store(255, 2, 7)
+        with pytest.raises(MemoryFault) as fast:
+            fix_store(mem.raw, 255, 2, 7)
+        assert str(fast.value) == str(checked.value)
+
+    def test_fixup_wraparound_load(self):
+        mem = Memory(size=256)
+        mem.raw[4] = 0x5A
+        # address congruent to 4 modulo 2^64: the reference masks before
+        # the bounds check, so this is a legal access
+        assert fix_load(mem.raw, (1 << 64) + 4, 1, 0) == 0x5A
+
+
+class TestPredecodeCache:
+    def test_same_digest_same_object(self):
+        cfg = CacheConfig()
+        a = predecoded_for(assemble(LOOP_SOURCE), cfg, cfg)
+        b = predecoded_for(assemble(LOOP_SOURCE), cfg, cfg)
+        assert a is b
+
+    def test_different_text_different_object(self):
+        cfg = CacheConfig()
+        a = predecoded_for(assemble(LOOP_SOURCE), cfg, cfg)
+        other = LOOP_SOURCE.replace("li t1, 40", "li t1, 41")
+        b = predecoded_for(assemble(other), cfg, cfg)
+        assert a is not b
+
+    def test_blocks_compile_lazily_and_memoize(self):
+        cfg = CacheConfig()
+        program = assemble(LOOP_SOURCE)
+        pre = predecoded_for(program, cfg, cfg)
+        soc = RocketLikeSoC()
+        soc.run(program)
+        assert pre.blocks, "dispatch should have populated the block map"
+        blk = pre.blocks[program.entry]
+        soc.run(program)
+        assert pre.blocks[program.entry] is blk
+
+
+class TestExceptionForensics:
+    def test_limit_carries_partial_counters_both_modes(self):
+        program = assemble(LOOP_SOURCE)
+        snapshots = []
+        for soc in both_socs():
+            with pytest.raises(ExecutionLimitExceeded) as info:
+                soc.run(program, max_instructions=50)
+            exc = info.value
+            assert exc.counters is not None
+            assert exc.counters.instret == 50
+            assert isinstance(exc.pc, int)
+            snapshots.append((str(exc), exc.pc,
+                              exc.counters.snapshot(), exc.counters.mix))
+        assert snapshots[0] == snapshots[1]
+
+    def test_illegal_carries_partial_counters_both_modes(self):
+        # a few real instructions, then undecodable bytes
+        program = assemble("_start:\n  li a0, 7\n  li a1, 9\n")
+        snapshots = []
+        for soc in both_socs():
+            with pytest.raises(IllegalInstruction) as info:
+                soc.run(program)
+            exc = info.value
+            assert exc.counters is not None
+            assert exc.counters.instret > 0
+            snapshots.append((str(exc), exc.pc, exc.word,
+                              exc.counters.snapshot(), exc.counters.mix))
+        assert snapshots[0] == snapshots[1]
+
+    def test_farm_error_line_surfaces_partial_counters(self):
+        from repro.farm.executor import _format_error
+        program = assemble(LOOP_SOURCE)
+        soc = RocketLikeSoC()
+        try:
+            soc.run(program, max_instructions=50)
+        except ExecutionLimitExceeded as exc:
+            line = _format_error(exc)
+        assert "partial:" in line
+        assert "instret=50" in line
+        assert "pc=0x" in line
+
+
+class TestBudgetHandoff:
+    def test_truncation_sweep_matches_reference(self):
+        # every budget from 1 upward crosses the fast loop's trace
+        # boundaries somewhere; each handoff must be invisible
+        program = assemble(LOOP_SOURCE)
+        fast, ref = both_socs()
+        for limit in range(1, 135):
+            outcomes = []
+            for soc in (fast, ref):
+                try:
+                    result = soc.run(program, max_instructions=limit)
+                    outcomes.append(("exit", result.exit_code,
+                                     result.counters.snapshot(),
+                                     result.counters.mix))
+                except ExecutionLimitExceeded as exc:
+                    outcomes.append(("limit", exc.pc,
+                                     exc.counters.snapshot(),
+                                     exc.counters.mix))
+            assert outcomes[0] == outcomes[1], f"diverged at limit={limit}"
+
+
+class TestGluedReturns:
+    def test_clobbered_ra_falls_back_to_real_target(self):
+        # the call-site gluing predicts ra; overwriting it inside the
+        # callee must take the guard exit and jump where ra really points
+        source = """
+_start:
+  jal ra, func
+after:
+  li a7, 93
+  ecall
+func:
+  la t0, elsewhere
+  mv ra, t0
+  ret
+elsewhere:
+  li a0, 42
+  li a7, 93
+  ecall
+"""
+        program = assemble(source)
+        fast, ref = both_socs()
+        a = fast.run(program)
+        b = ref.run(program)
+        assert a.exit_code == b.exit_code == 42
+        assert a.counters.snapshot() == b.counters.snapshot()
+        assert a.counters.mix == b.counters.mix
