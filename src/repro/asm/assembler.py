@@ -41,7 +41,6 @@ from repro.isa.pseudo import (
     PC_RELATIVE_PSEUDOS,
     SIMPLE_PSEUDOS,
     expand_pseudo,
-    li_sequence,
 )
 from repro.isa.spec import INSTRUCTION_SPECS, LOADS, STORES, parse_register
 

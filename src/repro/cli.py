@@ -19,6 +19,9 @@ Subcommands::
     eric status   --journal DIR           journal state, no daemon needed
     eric doctor   --store DIR             store health report, no sweep
     eric doctor   --journal DIR           ... plus request-journal health
+    eric doctor   --store DIR --fingerprint  ... plus model-drift audit
+    eric lint     [--rule NAME] [paths]   project AST lint rules
+    eric fingerprint [--explain]          timing-model fingerprint
 
 Device identity is simulated: ``--device-seed`` selects the die.  The
 same seed on ``package`` and ``run`` is the happy path; different seeds
@@ -387,6 +390,12 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     diagnosis = diagnose_store(args.store, shard_root=args.shard_root)
     print(diagnosis.describe())
     healthy = diagnosis.healthy
+    if args.fingerprint:
+        from repro.farm.doctor import audit_fingerprints
+
+        audit = audit_fingerprints(args.store)
+        print(audit.describe())
+        healthy = healthy and audit.healthy
     if args.journal:
         from repro.service.daemon import diagnose_journal
 
@@ -401,6 +410,46 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         print(trace_diagnosis.describe())
         healthy = healthy and trace_diagnosis.healthy
     return 0 if healthy else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.statics import all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+    try:
+        findings = lint_paths(paths=args.paths or None, rule=args.rule)
+    except ValueError as exc:  # unknown --rule name
+        raise EricError(str(exc)) from None
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.statics import FingerprintReport, fingerprint_report
+
+    report = fingerprint_report()
+    if args.diff:
+        try:
+            old = FingerprintReport.from_dict(
+                _load_json(args.diff, "fingerprint report"))
+        except ValueError as exc:
+            raise EricError(f"{args.diff}: {exc}") from None
+        print(report.diff(old))
+        return 0 if old.fingerprint == report.fingerprint else 1
+    if args.json:
+        print(report.to_json())
+    elif args.explain:
+        print(report.explain())
+    else:
+        print(report.fingerprint)
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -684,7 +733,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also diagnose a trace directory (dangling "
                         "parents, unfinished root spans, corrupt "
                         "metrics.json)")
+    p.add_argument("--fingerprint", action="store_true",
+                   help="also audit live records against the current "
+                        "timing-model fingerprint (drifted records "
+                        "fail the doctor)")
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the project lint rules (store determinism, schema "
+             "pins, span hygiene, superblock codegen)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: "
+                        "src/ tests/ benchmarks/ examples/)")
+    p.add_argument("--rule",
+                   help="run only the named rule")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the shipped rules and exit")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "fingerprint",
+        help="print the timing-model fingerprint job keys embed")
+    p.add_argument("--explain", action="store_true",
+                   help="also list per-module digest contributions")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON (the format "
+                        "--diff consumes)")
+    p.add_argument("--diff", metavar="OLD.json",
+                   help="compare against a previously saved --json "
+                        "report; exit 1 on drift")
+    p.set_defaults(func=_cmd_fingerprint)
 
     p = sub.add_parser(
         "trace",

@@ -29,7 +29,7 @@ from repro.core.keys import KMU_SETUP_CYCLES, KeyManagementUnit, \
 from repro.core.package import ProgramPackage
 from repro.core.signature import StreamingSignatureGenerator, \
     compute_signature
-from repro.errors import ConfigError, PackageFormatError, ValidationError
+from repro.errors import ConfigError, ValidationError
 from repro.puf.environment import NOMINAL, Environment
 from repro.puf.key_generator import PufKeyGenerator
 

@@ -20,7 +20,6 @@ count of encrypted slots.
 
 from __future__ import annotations
 
-from repro.crypto.kdf import expand_keystream
 from repro.errors import ConfigError
 
 

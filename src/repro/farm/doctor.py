@@ -118,6 +118,86 @@ class StoreDiagnosis:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class FingerprintAudit:
+    """``eric doctor --fingerprint``: live records vs. the current
+    tree's timing-model fingerprint."""
+
+    path: str
+    exists: bool
+    #: the tree's current :func:`~repro.statics.fingerprint.model_fingerprint`
+    current: str
+    live_records: int
+    matching: int
+    #: live records whose recorded fingerprint differs from ``current``
+    #: — their measurements came from a different timing model
+    drifted: int
+    #: live records without the column (pre-schema-3 migrations);
+    #: reported, not fatal
+    missing: int
+    #: fingerprint -> live-record count for every drifted fingerprint
+    drifted_fingerprints: dict[str, int]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.drifted
+
+    def describe(self) -> str:
+        lines = [f"fingerprint: current model is {self.current[:16]}..."]
+        if not self.exists:
+            lines.append("  no results.jsonl — nothing to audit")
+        else:
+            lines.append(
+                f"  {self.live_records} live record(s): "
+                f"{self.matching} matching, {self.drifted} drifted, "
+                f"{self.missing} without a fingerprint")
+            for fp in sorted(self.drifted_fingerprints):
+                lines.append(f"  drifted {fp[:16]}...: "
+                             f"{self.drifted_fingerprints[fp]} "
+                             f"record(s)")
+        if self.drifted:
+            lines.append("  hint: drifted records were measured by a "
+                         "different timing model; their keys no "
+                         "longer match (KEY_SCHEMA embeds the "
+                         "fingerprint) — re-run the sweep and "
+                         "`eric sweep --compact`")
+        lines.append("  verdict: " + ("healthy" if self.healthy
+                                      else "NEEDS ATTENTION"))
+        return "\n".join(lines)
+
+
+def audit_fingerprints(root: str | Path) -> FingerprintAudit:
+    """Compare every live record's recorded ``model_fingerprint``
+    against the current tree's.  Read-only, like everything here."""
+    from repro.statics.fingerprint import model_fingerprint
+    current = model_fingerprint()
+    root = Path(root)
+    path = root / "results.jsonl"
+    live: dict[str, str | None] = {}
+    exists = path.is_file()
+    if exists:
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            record = FarmRecord.from_json(line)
+            if record is not None:
+                live[record.key] = record.model_fingerprint
+    matching = missing = 0
+    drifted: dict[str, int] = {}
+    for fingerprint in live.values():
+        if fingerprint is None:
+            missing += 1
+        elif fingerprint == current:
+            matching += 1
+        else:
+            drifted[fingerprint] = drifted.get(fingerprint, 0) + 1
+    return FingerprintAudit(
+        path=str(path), exists=exists, current=current,
+        live_records=len(live), matching=matching,
+        drifted=sum(drifted.values()), missing=missing,
+        drifted_fingerprints=drifted)
+
+
 def _diagnose_lines(path: Path) -> tuple[int, int, int, int, int,
                                          dict[int, int]]:
     """Single pass over the JSONL: (total, live, superseded, corrupt,

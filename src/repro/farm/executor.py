@@ -30,6 +30,7 @@ from repro.farm.spec import JobMatrix, JobSpec, SimParams
 from repro.farm.store import FarmRecord, ResultStore
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TraceContext, Tracer
+from repro.statics.fingerprint import model_fingerprint
 from repro.puf.arbiter import PufArray
 from repro.puf.key_generator import PufKeyGenerator
 from repro.puf.metrics import key_failure_probability
@@ -108,6 +109,7 @@ def execute_job(spec: JobSpec) -> FarmRecord:
         "name": spec.display_name,
         "workload": spec.workload,
         "source_digest": source_digest(source),
+        "model_fingerprint": model_fingerprint(),
         "config": _config_dict(spec.config),
         "params": asdict(params),
         "simulate": spec.simulate,

@@ -40,7 +40,11 @@ from repro.soc.pipeline import PipelineModel
 #: serving stale measurements.
 #: 2: SimParams grew environment + PUF knobs; records grew
 #:    hde_serial_cycles / key_failure / key_digest and analysis.dynamic.
-KEY_SCHEMA = 2
+#: 3: keys embed the timing-model fingerprint
+#:    (:func:`repro.statics.fingerprint.model_fingerprint`), so timing
+#:    edits orphan stale records without a manual schema bump; records
+#:    grew the model_fingerprint column.
+KEY_SCHEMA = 3
 
 #: Named SoC pipeline variants a job may select.  Names (not
 #: :class:`PipelineModel` instances) travel in :class:`SimParams` so
@@ -199,9 +203,13 @@ class JobSpec:
         cached = self.__dict__.get("_key_memo")
         if cached is not None and cached[0] == KEY_SCHEMA:
             return cached[1]
+        # Imported lazily so that building a spec stays cheap; the
+        # fingerprint itself is memoized per process.
+        from repro.statics.fingerprint import model_fingerprint
         source, _ = self.resolve_source()
         payload = {
             "schema": KEY_SCHEMA,
+            "model": model_fingerprint(),
             "source": hashlib.sha256(source.encode("utf-8")).hexdigest(),
             "config": config_to_dict(self.config),
             "params": asdict(self.params),
@@ -422,9 +430,11 @@ class ShardSpec:
 
     def to_spec(self) -> dict:
         """The JSON document ``eric worker`` consumes."""
+        from repro.statics.fingerprint import model_fingerprint
         return {
             "kind": "eric-shard",
             "key_schema": KEY_SCHEMA,
+            "model_fingerprint": model_fingerprint(),
             "index": self.index,
             "count": self.count,
             "start": self.start,
@@ -443,6 +453,14 @@ class ShardSpec:
                 f"shard spec was planned under KEY_SCHEMA={schema!r}, "
                 f"this farm addresses jobs under KEY_SCHEMA={KEY_SCHEMA}; "
                 f"re-plan the sweep")
+        from repro.statics.fingerprint import model_fingerprint
+        pinned = data.get("model_fingerprint")
+        if pinned != model_fingerprint():
+            raise ConfigError(
+                f"shard spec was planned against timing-model "
+                f"fingerprint {str(pinned)[:16]!r}, this tree computes "
+                f"{model_fingerprint()[:16]!r}; the timing model "
+                f"changed since planning — re-plan the sweep")
         required = {"index", "count", "start", "stop", "jobs"}
         missing = required - set(data)
         if missing:

@@ -36,7 +36,9 @@ from pathlib import Path
 #: Record layout version; see module docstring for the mismatch rule.
 #: 2: records grew hde_serial_cycles, key_failure, key_digest, and the
 #:    analysis dict grew "plain" and "dynamic" sub-payloads.
-STORE_SCHEMA = 2
+#: 3: records grew model_fingerprint (the timing-model digest of the
+#:    tree that measured them; see repro.statics.fingerprint).
+STORE_SCHEMA = 3
 
 DEFAULT_STORE_DIR = Path("benchmarks") / "results" / "farm"
 _FILENAME = "results.jsonl"
@@ -106,6 +108,13 @@ class FarmRecord:
     #: SHA-256 of the enrollment (PUF-based) key — uniqueness studies
     #: compare digests across device seeds without storing keys raw
     key_digest: str | None = None
+
+    #: timing-model fingerprint of the tree that measured this record
+    #: (:func:`repro.statics.fingerprint.model_fingerprint`).  ``eric
+    #: doctor --fingerprint`` compares it against the current tree's
+    #: digest; None marks a hand-migrated record that predates the
+    #: column (reported, not fatal).
+    model_fingerprint: str | None = None
 
     #: host wall seconds the interpreter spent inside the SoC run loop
     #: (plain + ERIC runs); a wall-clock field like ``wall_s``, and the

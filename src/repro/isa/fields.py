@@ -23,7 +23,6 @@ masked bits — which is exactly why field mode keeps those bits clear.
 
 from __future__ import annotations
 
-from repro.errors import DecodingError
 from repro.isa.decoding import decode
 from repro.isa.spec import INSTRUCTION_SPECS
 

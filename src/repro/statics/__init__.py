@@ -1,0 +1,26 @@
+"""Static analysis of this repository's own source.
+
+Two jobs live here, both consumed by the farm and by CI:
+
+* :mod:`repro.statics.fingerprint` — a normalized-AST digest of the
+  timing-semantics-bearing modules (pipeline/cache/HDE constants,
+  cipher identities).  The fingerprint is folded into every farm job
+  key, so editing a timing model mechanically orphans stale store
+  records instead of relying on a human to bump ``KEY_SCHEMA``.
+* :mod:`repro.statics.lint` — a rule-based AST linter (``eric lint``)
+  with project-specific rules: wall-clock calls in record payload
+  paths, non-atomic JSONL rewrites, serialized-dataclass fields that
+  changed without a schema bump, tracer spans that can leak unfinished,
+  and a compile check over every superblock the predecoder emits.
+"""
+
+from repro.statics.fingerprint import (FingerprintReport,
+                                       fingerprint_report,
+                                       model_fingerprint)
+from repro.statics.lint import (Finding, LintEngine, LintRule,
+                                all_rules, lint_paths)
+
+__all__ = [
+    "FingerprintReport", "fingerprint_report", "model_fingerprint",
+    "Finding", "LintEngine", "LintRule", "all_rules", "lint_paths",
+]

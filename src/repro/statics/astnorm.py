@@ -1,0 +1,104 @@
+"""Normalized-AST canonicalization — the fingerprint's foundation.
+
+``canonical(source)`` renders a Python module as a deterministic string
+that depends on the code's *semantics-bearing shape* and nothing else:
+
+* comments, blank lines, and formatting never appear (the AST already
+  dropped them);
+* docstrings are stripped (a leading string-constant statement of a
+  module/class/function body is documentation, not behaviour);
+* source positions (line/column) are excluded;
+* version-specific AST fields that are empty on this tree
+  (``type_params`` on 3.12+, ``type_comment``, ``type_ignores``) are
+  skipped, so the rendering — and therefore the digest — is identical
+  across the CPython versions CI runs (3.10–3.12).
+
+Constants, names, operators, and full function bodies all contribute:
+changing ``miss_penalty=24`` to ``25`` changes the rendering; reflowing
+the dataclass over more lines does not.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+
+#: AST fields that never reach the canonical rendering: source
+#: positions are formatting, and the commented/parametrized fields are
+#: version-dependent noise (absent or empty on every module we parse).
+_SKIP_FIELDS = frozenset({
+    "lineno", "col_offset", "end_lineno", "end_col_offset",
+    "type_comment", "type_ignores", "type_params",
+})
+
+#: Nodes whose body may lead with a docstring.
+_DOC_HOSTS = (ast.Module, ast.ClassDef, ast.FunctionDef,
+              ast.AsyncFunctionDef)
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str))
+
+
+def strip_docstrings(tree: ast.AST) -> ast.AST:
+    """Drop the leading string-constant statement from every
+    module/class/function body, in place.  A body that is *only* a
+    docstring keeps an ``ast.Pass()`` so it stays syntactically valid
+    (the canonical form of ``def f(): "doc"`` equals ``def f(): pass``
+    — both are behaviour-free)."""
+    for node in ast.walk(tree):
+        if isinstance(node, _DOC_HOSTS) and node.body \
+                and _is_docstring(node.body[0]):
+            rest = node.body[1:]
+            node.body = rest if rest else [ast.Pass()]
+    return tree
+
+
+def _render(node, out: list[str]) -> None:
+    """Append ``node``'s canonical rendering to ``out``.
+
+    A hand-rolled :func:`ast.dump` equivalent: field names are emitted
+    (so field *reordering* between Python versions cannot silently
+    collide), skip-listed fields are not, and constants render via
+    ``repr`` (stable for the str/bytes/int/float/bool/None/tuple
+    universe the grammar allows).
+    """
+    if isinstance(node, ast.AST):
+        out.append(type(node).__name__)
+        out.append("(")
+        first = True
+        for name, value in ast.iter_fields(node):
+            if name in _SKIP_FIELDS:
+                continue
+            if not first:
+                out.append(",")
+            first = False
+            out.append(name)
+            out.append("=")
+            _render(value, out)
+        out.append(")")
+    elif isinstance(node, list):
+        out.append("[")
+        for i, item in enumerate(node):
+            if i:
+                out.append(",")
+            _render(item, out)
+        out.append("]")
+    else:
+        out.append(repr(node))
+
+
+def canonical(source: str, filename: str = "<module>") -> str:
+    """The canonical rendering of ``source`` (see module docstring)."""
+    tree = strip_docstrings(ast.parse(source, filename=filename))
+    out: list[str] = []
+    _render(tree, out)
+    return "".join(out)
+
+
+def source_fingerprint(source: str, filename: str = "<module>") -> str:
+    """SHA-256 hex digest of the canonical rendering."""
+    return hashlib.sha256(
+        canonical(source, filename).encode("utf-8")).hexdigest()

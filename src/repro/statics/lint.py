@@ -1,0 +1,155 @@
+"""The project lint engine behind ``eric lint``.
+
+Rules are small AST visitors with project knowledge (see
+:mod:`repro.statics.rules`): they guard the result store's determinism
+discipline, the serialized-record schemas, the tracer's span contract,
+and the predecoder's generated code.  The engine walks a file tree,
+parses each ``.py`` once, and hands the tree to every file-scoped rule;
+project-scoped checks (which compile workloads rather than read files)
+run once per invocation.
+
+Exit discipline mirrors any linter: no findings = success.  A file that
+does not parse is itself a finding (rule ``syntax``), not a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Directories never walked: fixture snippets are deliberately bad, and
+#: caches/VCS internals are not source.
+EXCLUDED_DIR_NAMES = frozenset({
+    "__pycache__", ".git", ".ruff_cache", ".pytest_cache", "fixtures",
+})
+
+#: Default lint roots, relative to the repository root.
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: a rule, a location, and what is wrong there."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class LintRule:
+    """Base rule.  Subclasses set ``name``/``description`` and override
+    one (or both) of the check hooks.
+
+    ``scope`` limits file checks: ``"tree"`` sees every linted file,
+    ``"src"`` only files under a ``src/`` root (rules about production
+    persistence discipline would otherwise flag tests that *construct*
+    broken files on purpose).  Explicitly linted paths (``eric lint
+    FILE``) always reach every rule — fixtures rely on that.
+    """
+
+    name = "rule"
+    description = ""
+    scope = "tree"
+
+    def check_file(self, path: Path, tree: ast.Module,
+                   source: str) -> "list[Finding]":
+        return []
+
+    def check_project(self) -> "list[Finding]":
+        return []
+
+    def finding(self, path: Path, line: int, message: str) -> Finding:
+        return Finding(rule=self.name, path=str(path), line=line,
+                       message=message)
+
+
+def all_rules() -> "tuple[LintRule, ...]":
+    """Fresh instances of every shipped rule, stable order."""
+    from repro.statics.rules import PROJECT_RULES
+    return tuple(cls() for cls in PROJECT_RULES)
+
+
+def _in_src(path: Path) -> bool:
+    return "src" in path.parts
+
+
+def iter_python_files(root: Path):
+    """Yield ``.py`` files under ``root`` (or ``root`` itself), sorted,
+    skipping :data:`EXCLUDED_DIR_NAMES` directories."""
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        parts = set(path.parts)
+        if parts & EXCLUDED_DIR_NAMES:
+            continue
+        yield path
+
+
+class LintEngine:
+    """Runs a rule set over paths and collects findings."""
+
+    def __init__(self, rules: "tuple[LintRule, ...] | None" = None
+                 ) -> None:
+        self.rules = tuple(rules) if rules is not None else all_rules()
+
+    def select(self, name: str) -> "LintEngine":
+        """An engine restricted to the rule called ``name``."""
+        chosen = tuple(r for r in self.rules if r.name == name)
+        if not chosen:
+            known = ", ".join(sorted(r.name for r in self.rules))
+            raise ValueError(f"unknown rule {name!r}; known: {known}")
+        return LintEngine(chosen)
+
+    def run(self, paths, project_checks: bool = True
+            ) -> "list[Finding]":
+        """Lint ``paths`` (files or directories).  Files named
+        explicitly bypass rule scoping; walked files respect it."""
+        findings: list[Finding] = []
+        for root in paths:
+            root = Path(root)
+            explicit = root.is_file()
+            for path in iter_python_files(root):
+                findings.extend(self._check_file(path, explicit))
+        if project_checks:
+            for rule in self.rules:
+                findings.extend(rule.check_project())
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return findings
+
+    def _check_file(self, path: Path, explicit: bool
+                    ) -> "list[Finding]":
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Finding(rule="syntax", path=str(path),
+                            line=exc.lineno or 1,
+                            message=f"does not parse: {exc.msg}")]
+        out: list[Finding] = []
+        for rule in self.rules:
+            if not explicit and rule.scope == "src" \
+                    and not _in_src(path):
+                continue
+            out.extend(rule.check_file(path, tree, source))
+        return out
+
+
+def lint_paths(paths=None, rule: str | None = None,
+               project_checks: bool = True) -> "list[Finding]":
+    """One-call façade used by the CLI and CI: lint ``paths`` (default
+    :data:`DEFAULT_ROOTS` that exist under the current directory) with
+    all rules, or just ``rule``."""
+    engine = LintEngine()
+    if rule is not None:
+        engine = engine.select(rule)
+        # a single named rule is usually being debugged: still honor
+        # scoping, but skip other rules' project checks implicitly
+    if paths is None:
+        paths = [p for p in DEFAULT_ROOTS if Path(p).exists()]
+    return engine.run(paths, project_checks=project_checks)

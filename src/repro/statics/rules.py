@@ -1,0 +1,449 @@
+"""Project-specific lint rules (see :mod:`repro.statics.lint`).
+
+Each rule encodes one invariant this codebase already relies on by
+convention; the linter turns the convention into a CI-enforced check:
+
+* ``wallclock-in-payload`` — persisted-record payload builders
+  (``to_record``/``stable_dict``/``to_json``) must be deterministic
+  functions of the job key: wall-clock and RNG calls belong in the
+  explicitly-volatile ``WALL_CLOCK_FIELDS`` columns, never inside the
+  payload path.
+* ``atomic-jsonl-rewrite`` — any whole-file write in a module handling
+  ``.jsonl`` stores must go through the temp-file + ``os.replace``
+  pattern (a crash mid-rewrite must leave the old file intact).
+* ``schema-pinned-fields`` — the serialized field set of
+  ``FarmRecord``/``JournalRecord`` is digest-pinned per schema
+  constant: changing fields without bumping
+  ``STORE_SCHEMA``/``JOURNAL_SCHEMA`` (and re-pinning) fails lint.
+* ``span-must-finish`` — a tracer span assigned to a local must either
+  be ``finish()``ed in that function or escape it (returned/stored/
+  passed on); anything else leaks an unfinished span on every path.
+* ``codegen-compiles`` — every superblock ``_Codegen`` emits for the
+  in-repo workload suite must parse and compile cleanly (files may
+  also declare ``SUPERBLOCK_SOURCES`` lists to lint emitted snippets
+  directly — the fixture hook).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.statics.lint import LintRule
+
+# --------------------------------------------------------------------------
+# wallclock-in-payload
+
+
+#: Function names that build persisted record payloads.
+PAYLOAD_BUILDERS = frozenset({"to_record", "stable_dict", "to_json"})
+
+#: Dotted-call suffixes that read wall clocks or entropy.
+NONDETERMINISTIC_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "random.random", "random.randint", "random.randrange",
+    "random.getrandbits", "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Bare names that are nondeterministic when imported from these
+#: modules (``from time import time`` + ``time()``).
+_NONDET_FROM_IMPORTS = {
+    ("time", "time"), ("time", "perf_counter"), ("time", "monotonic"),
+    ("datetime", "datetime"),   # datetime.now() via from-import
+    ("random", "random"), ("uuid", "uuid4"), ("uuid", "uuid1"),
+}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` call targets; None for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class WallClockInPayloadRule(LintRule):
+    name = "wallclock-in-payload"
+    description = ("no wall-clock/RNG calls inside record payload "
+                   "builders (to_record/stable_dict/to_json)")
+
+    def check_file(self, path, tree, source):
+        aliases = set()
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if (node.module, alias.name) in _NONDET_FROM_IMPORTS:
+                        aliases.add(alias.asname or alias.name)
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name not in PAYLOAD_BUILDERS:
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                target = _dotted(call.func)
+                if target is None:
+                    continue
+                tail = ".".join(target.split(".")[-2:])
+                bare = target.split(".")[-1]
+                if tail in NONDETERMINISTIC_CALLS or \
+                        ("." not in target and bare in aliases):
+                    findings.append(self.finding(
+                        path, call.lineno,
+                        f"{target}() inside {node.name}(): record "
+                        f"payloads must be deterministic functions of "
+                        f"the job key (wall-clock measurements belong "
+                        f"in WALL_CLOCK_FIELDS, not the payload)"))
+        return findings
+
+
+# --------------------------------------------------------------------------
+# atomic-jsonl-rewrite
+
+
+def _has_jsonl_literal(tree: ast.Module) -> bool:
+    return any(isinstance(n, ast.Constant) and isinstance(n.value, str)
+               and n.value.endswith(".jsonl") for n in ast.walk(tree))
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The mode string of an ``open``-style call, if literal."""
+    mode = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+class AtomicJsonlRewriteRule(LintRule):
+    name = "atomic-jsonl-rewrite"
+    description = ("whole-file writes in .jsonl-store modules must use "
+                   "the temp-file + os.replace atomic pattern")
+    scope = "src"   # tests construct broken store files on purpose
+
+    def check_file(self, path, tree, source):
+        if not _has_jsonl_literal(tree):
+            return []
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            rewrites = []
+            replaces = False
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr == "replace" and \
+                            _dotted(func) in ("os.replace", "replace"):
+                        replaces = True
+                        continue
+                    if func.attr == "write_text":
+                        rewrites.append(call)
+                        continue
+                name = _dotted(func) or ""
+                if name.split(".")[-1] in ("open", "fdopen"):
+                    mode = _write_mode(call)
+                    if mode is not None and "w" in mode:
+                        rewrites.append(call)
+            if rewrites and not replaces:
+                for call in rewrites:
+                    findings.append(self.finding(
+                        path, call.lineno,
+                        f"{node.name}() rewrites a file in a .jsonl "
+                        f"store module without os.replace: write to a "
+                        f"temp file and os.replace it so a crash "
+                        f"leaves the old file intact"))
+        return findings
+
+
+# --------------------------------------------------------------------------
+# schema-pinned-fields
+
+
+def field_set_digest(names) -> str:
+    """Digest of a serialized dataclass's field-name set (order-blind:
+    reordering fields does not change the wire payload of a
+    ``sort_keys`` JSON dump)."""
+    canon = ",".join(sorted(names))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SchemaPin:
+    """One record class whose field set is pinned per schema value."""
+
+    class_name: str
+    schema_const: str
+    #: schema value -> expected :func:`field_set_digest`
+    digests: dict
+
+
+#: Pinned field-set digests, keyed by module path suffix.  Changing a
+#: record's fields without bumping its schema constant mismatches the
+#: pinned digest; bumping the schema without re-pinning is flagged too,
+#: so every schema change is a conscious two-line edit reviewers see.
+#: Recompute a digest with
+#: ``repro.statics.rules.field_set_digest(f.name for f in
+#: dataclasses.fields(Cls))``.
+SCHEMA_PINS: dict[str, SchemaPin] = {
+    "repro/farm/store.py": SchemaPin(
+        class_name="FarmRecord", schema_const="STORE_SCHEMA",
+        digests={3: "fbf34d02412095e1"}),
+    "repro/service/daemon/journal.py": SchemaPin(
+        class_name="JournalRecord", schema_const="JOURNAL_SCHEMA",
+        digests={1: "0f0745c07a85204a"}),
+    # fixture hooks (linted explicitly by the test suite only)
+    "fixtures/schema_pinned_fields_good.py": SchemaPin(
+        class_name="PinnedRecord", schema_const="PIN_SCHEMA",
+        digests={1: "61c4a384288049d0"}),
+    "fixtures/schema_pinned_fields_bad.py": SchemaPin(
+        class_name="PinnedRecord", schema_const="PIN_SCHEMA",
+        digests={1: "61c4a384288049d0"}),
+}
+
+
+class SchemaPinnedFieldsRule(LintRule):
+    name = "schema-pinned-fields"
+    description = ("serialized-record field sets are digest-pinned per "
+                   "schema constant (FarmRecord/STORE_SCHEMA, "
+                   "JournalRecord/JOURNAL_SCHEMA)")
+
+    def _pin_for(self, path: Path) -> SchemaPin | None:
+        posix = path.as_posix()
+        for suffix, pin in SCHEMA_PINS.items():
+            if posix.endswith(suffix):
+                return pin
+        return None
+
+    def check_file(self, path, tree, source):
+        pin = self._pin_for(path)
+        if pin is None:
+            return []
+        schema_value = None
+        for node in tree.body:
+            if isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id == pin.schema_const \
+                    and isinstance(node.value, ast.Constant) \
+                    and isinstance(node.value.value, int):
+                schema_value = node.value.value
+        cls = next((n for n in tree.body
+                    if isinstance(n, ast.ClassDef)
+                    and n.name == pin.class_name), None)
+        if cls is None or schema_value is None:
+            return [self.finding(
+                path, 1,
+                f"expected class {pin.class_name} and constant "
+                f"{pin.schema_const} (the schema pin table names "
+                f"both); found "
+                f"{'class' if cls is not None else 'neither' if schema_value is None else 'constant'} only")]
+        names = [stmt.target.id for stmt in cls.body
+                 if isinstance(stmt, ast.AnnAssign)
+                 and isinstance(stmt.target, ast.Name)]
+        digest = field_set_digest(names)
+        expected = pin.digests.get(schema_value)
+        if expected is None:
+            return [self.finding(
+                path, cls.lineno,
+                f"{pin.schema_const}={schema_value} has no pinned "
+                f"field digest: add {{{schema_value}: {digest!r}}} to "
+                f"SCHEMA_PINS after reviewing the field change")]
+        if digest != expected:
+            return [self.finding(
+                path, cls.lineno,
+                f"{pin.class_name} fields changed (digest {digest}, "
+                f"pinned {expected}) but {pin.schema_const} is still "
+                f"{schema_value}: bump the schema constant and re-pin "
+                f"so old records stop matching")]
+        return []
+
+
+# --------------------------------------------------------------------------
+# span-must-finish
+
+
+def _contains_name(node: ast.AST, name: str) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == name
+               for n in ast.walk(node))
+
+
+def _span_assignments(func) -> list[tuple[str, ast.Assign]]:
+    """(variable, assignment) pairs whose value starts a tracer span."""
+    out = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1 \
+                or not isinstance(node.targets[0], ast.Name):
+            continue
+        for call in ast.walk(node.value):
+            if isinstance(call, ast.Call) \
+                    and isinstance(call.func, ast.Attribute) \
+                    and call.func.attr == "start" \
+                    and "tracer" in ast.unparse(
+                        call.func.value).lower():
+                out.append((node.targets[0].id, node))
+                break
+    return out
+
+
+class SpanMustFinishRule(LintRule):
+    name = "span-must-finish"
+    description = ("a tracer span held in a local must be finish()ed "
+                   "in the same function or escape it")
+
+    def check_file(self, path, tree, source):
+        findings = []
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for var, assign in _span_assignments(func):
+                if self._finished_or_escapes(func, var, assign):
+                    continue
+                findings.append(self.finding(
+                    path, assign.lineno,
+                    f"span {var!r} is started but never finish()ed in "
+                    f"{func.name}() and never escapes it: a crash-free "
+                    f"run still leaves an unfinished span in the "
+                    f"trace (wrap it in tracer.span(...) or call "
+                    f"{var}.finish() on every path)"))
+        return findings
+
+    @staticmethod
+    def _finished_or_escapes(func, var: str, assign: ast.Assign) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                f = node.func
+                if isinstance(f, ast.Attribute) and f.attr == "finish" \
+                        and isinstance(f.value, ast.Name) \
+                        and f.value.id == var:
+                    return True
+                # passed onward (argument or keyword) = escapes
+                for arg in list(node.args) + [k.value
+                                              for k in node.keywords]:
+                    if _contains_name(arg, var):
+                        return True
+            elif isinstance(node, (ast.Return, ast.Yield,
+                                   ast.YieldFrom)):
+                if node.value is not None \
+                        and _contains_name(node.value, var):
+                    return True
+            elif isinstance(node, (ast.List, ast.Tuple, ast.Set,
+                                   ast.Dict)):
+                if _contains_name(node, var):
+                    return True
+            elif isinstance(node, ast.Assign) and node is not assign:
+                # stored into an attribute/subscript, or re-aliased
+                if _contains_name(node.value, var):
+                    return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# codegen-compiles
+
+
+class CodegenCompilesRule(LintRule):
+    name = "codegen-compiles"
+    description = ("every superblock _Codegen emits for the workload "
+                   "suite (and any SUPERBLOCK_SOURCES fixture list) "
+                   "must parse and compile")
+
+    def check_file(self, path, tree, source):
+        """Fixture hook: compile entries of a module-level
+        ``SUPERBLOCK_SOURCES`` list of string constants."""
+        findings = []
+        for node in tree.body:
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "SUPERBLOCK_SOURCES"
+                    and isinstance(node.value, (ast.List, ast.Tuple))):
+                continue
+            for element in node.value.elts:
+                if not (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    continue
+                try:
+                    compile(element.value, "<superblock>", "exec")
+                except SyntaxError as exc:
+                    findings.append(self.finding(
+                        path, element.lineno,
+                        f"emitted superblock source does not compile: "
+                        f"{exc.msg} (line {exc.lineno} of the "
+                        f"snippet)"))
+        return findings
+
+    def check_project(self):
+        """Compile every superblock the predecoder emits for the
+        in-repo workload registry (one plain run per workload builds
+        the dynamically reachable trace set)."""
+        from repro.cc.driver import compile_source
+        from repro.soc.predecode import predecoded_for
+        from repro.soc.soc import RocketLikeSoC
+        from repro.workloads import all_workloads
+
+        pre_path = Path(__file__).resolve().parent.parent \
+            / "soc" / "predecode.py"
+        findings = []
+        for name, workload in all_workloads().items():
+            try:
+                program = compile_source(workload.source,
+                                         name=name).program
+                soc = RocketLikeSoC(run_mode="fast")
+                soc.run(program)
+                pre = predecoded_for(program, soc.icache.config,
+                                     soc.dcache.config)
+            except Exception as exc:  # noqa: BLE001 — report, not crash
+                findings.append(self.finding(
+                    pre_path, 1,
+                    f"workload {name!r} failed under the fast "
+                    f"interpreter: {type(exc).__name__}: {exc}"))
+                continue
+            for pc, blk in sorted(pre.blocks.items()):
+                if blk.fn is None:
+                    continue   # undecodable head: no emitted source
+                for check, label in ((ast.parse, "parse"),
+                                     (self._compile, "compile")):
+                    try:
+                        check(blk.src)
+                    except SyntaxError as exc:
+                        findings.append(self.finding(
+                            pre_path, 1,
+                            f"superblock @{pc:#x} of workload "
+                            f"{name!r} does not {label}: {exc.msg} "
+                            f"(generated line {exc.lineno})"))
+                        break
+        return findings
+
+    @staticmethod
+    def _compile(src: str):
+        return compile(src, "<superblock>", "exec")
+
+
+#: Shipped rules, in report order.
+PROJECT_RULES = (
+    WallClockInPayloadRule,
+    AtomicJsonlRewriteRule,
+    SchemaPinnedFieldsRule,
+    SpanMustFinishRule,
+    CodegenCompilesRule,
+)

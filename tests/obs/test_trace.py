@@ -42,6 +42,8 @@ class TestTracer:
         assert child.parent_id == root.span_id
         assert grandchild.parent_id == child.span_id
         assert root.parent_id is None
+        for span in (grandchild, child, root):
+            span.finish()
 
     def test_context_manager_marks_failure_with_exception_detail(self):
         tracer = Tracer()

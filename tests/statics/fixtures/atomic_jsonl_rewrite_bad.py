@@ -1,0 +1,12 @@
+"""Bad: the store file is truncated and rewritten in place — a crash
+mid-write leaves a half-written results.jsonl behind."""
+
+import os
+
+FILENAME = "results.jsonl"
+
+
+def rewrite(root, lines):
+    with open(os.path.join(root, FILENAME), "w",
+              encoding="utf-8") as handle:
+        handle.write("".join(line + "\n" for line in lines))

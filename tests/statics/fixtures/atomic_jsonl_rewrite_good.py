@@ -1,0 +1,14 @@
+"""Good: the store rewrite lands in a temp file first and is moved
+over the live file with os.replace — a crash leaves the old file."""
+
+import os
+import tempfile
+
+FILENAME = "results.jsonl"
+
+
+def rewrite(root, lines):
+    handle, tmp_name = tempfile.mkstemp(dir=root, suffix=".tmp")
+    with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+        tmp.write("".join(line + "\n" for line in lines))
+    os.replace(tmp_name, os.path.join(root, FILENAME))

@@ -1,0 +1,7 @@
+"""Bad: the second emitted snippet has a syntax error (an emitter bug
+— e.g. a missing newline between statements)."""
+
+SUPERBLOCK_SOURCES = [
+    "def sb(cpu, mem):\n    cpu.pc += 4\n    return 1\n",
+    "def sb(cpu, mem):\n    cpu.pc += 4 return 1\n",
+]

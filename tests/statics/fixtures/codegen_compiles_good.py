@@ -1,0 +1,7 @@
+"""Good: every emitted superblock snippet compiles."""
+
+SUPERBLOCK_SOURCES = [
+    "def sb(cpu, mem):\n    cpu.pc += 4\n    return 1\n",
+    "def sb(cpu, mem):\n    cpu.regs[3] = cpu.regs[1] + cpu.regs[2]\n"
+    "    cpu.pc += 4\n    return 1\n",
+]

@@ -1,0 +1,14 @@
+"""Bad: the record grew a field but PIN_SCHEMA was not bumped, so old
+serialized records would still match the unchanged schema value."""
+
+from dataclasses import dataclass
+
+PIN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PinnedRecord:
+    key: str
+    value: int
+    extra: float = 0.0
+    schema: int = PIN_SCHEMA

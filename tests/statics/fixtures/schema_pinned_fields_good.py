@@ -1,0 +1,13 @@
+"""Good: the record's field set matches the digest pinned for
+PIN_SCHEMA=1 in repro.statics.rules.SCHEMA_PINS."""
+
+from dataclasses import dataclass
+
+PIN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PinnedRecord:
+    key: str
+    value: int
+    schema: int = PIN_SCHEMA

@@ -1,0 +1,8 @@
+"""Bad: the span is started, used for nothing, and dropped — every
+call leaves an unfinished span in the trace file."""
+
+
+def leaky_step(tracer):
+    span = tracer.start("step")
+    result = 40 + 2
+    return result

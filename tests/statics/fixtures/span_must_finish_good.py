@@ -1,0 +1,24 @@
+"""Good: every span a function starts is either finished there or
+escapes (returned / passed onward) for the caller to finish."""
+
+
+def traced_step(tracer):
+    span = tracer.start("step")
+    try:
+        return 42
+    finally:
+        span.finish()
+
+
+def open_root(tracer):
+    root = tracer.start("root")
+    return root
+
+
+def child_of(tracer, parent):
+    child = tracer.start("child", parent=parent)
+    register(child)
+
+
+def register(span):
+    span.finish()

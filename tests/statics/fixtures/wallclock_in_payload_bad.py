@@ -1,0 +1,12 @@
+"""Bad: the payload builder stamps the current wall clock into the
+record body, so two measurements of the same key never compare equal."""
+
+import time
+
+
+class Record:
+    def __init__(self, key):
+        self.key = key
+
+    def to_record(self):
+        return {"key": self.key, "measured_at": time.time()}

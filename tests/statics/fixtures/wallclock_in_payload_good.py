@@ -1,0 +1,20 @@
+"""Good: the payload builder is a pure function of the record; the
+wall-clock read happens outside it and lands in a volatile field."""
+
+import time
+
+
+class Record:
+    def __init__(self, key):
+        self.key = key
+        self.wall_s = 0.0
+
+    def to_record(self):
+        return {"key": self.key}
+
+
+def measure(record):
+    start = time.perf_counter()
+    payload = record.to_record()
+    record.wall_s = time.perf_counter() - start
+    return payload

@@ -1,0 +1,59 @@
+"""Canonicalization: formatting-blind, semantics-sensitive."""
+
+from repro.statics.astnorm import canonical, source_fingerprint
+
+BASE = """
+class Pipeline:
+    def charge(self, op):
+        penalty = 24
+        return penalty if op == "load" else 1
+"""
+
+REFORMATTED = '''
+# A comment the AST never sees.
+
+class Pipeline:
+    """Docstring, stripped."""
+
+    def charge(
+        self,
+        op,
+    ):
+        """Also stripped."""
+        penalty = 24
+        return (
+            penalty
+            if op == "load"
+            else 1
+        )
+'''
+
+CONSTANT_EDIT = BASE.replace("penalty = 24", "penalty = 25")
+RENAME_EDIT = BASE.replace("charge", "cost")
+
+
+class TestCanonical:
+    def test_formatting_and_docs_are_invisible(self):
+        assert canonical(BASE) == canonical(REFORMATTED)
+        assert source_fingerprint(BASE) == source_fingerprint(REFORMATTED)
+
+    def test_constant_edit_changes_fingerprint(self):
+        assert source_fingerprint(BASE) != source_fingerprint(CONSTANT_EDIT)
+
+    def test_rename_changes_fingerprint(self):
+        assert source_fingerprint(BASE) != source_fingerprint(RENAME_EDIT)
+
+    def test_docstring_only_body_equals_pass(self):
+        assert canonical('def f():\n    "doc"\n') == \
+            canonical("def f():\n    pass\n")
+
+    def test_stable_across_calls(self):
+        assert source_fingerprint(BASE) == source_fingerprint(BASE)
+
+    def test_module_docstring_stripped(self):
+        assert canonical('"""mod doc"""\nx = 1\n') == canonical("x = 1\n")
+
+    def test_string_constants_still_count(self):
+        # only *docstring positions* are stripped; a string used as a
+        # value is semantics
+        assert canonical('x = "a"\n') != canonical('x = "b"\n')

@@ -1,0 +1,107 @@
+"""``eric lint`` / ``eric fingerprint`` / ``eric doctor --fingerprint``."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.statics.fingerprint import model_fingerprint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestLintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "wallclock-in-payload:" in out
+        assert "codegen-compiles:" in out
+
+    def test_clean_file_exits_zero(self, capsys):
+        good = str(FIXTURES / "span_must_finish_good.py")
+        assert main(["lint", good]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_bad_file_exits_one_with_rule_and_line(self, capsys):
+        bad = str(FIXTURES / "span_must_finish_bad.py")
+        assert main(["lint", bad]) == 1
+        captured = capsys.readouterr()
+        assert "[span-must-finish]" in captured.out
+        assert ":6:" in captured.out
+        assert "1 finding(s)" in captured.err
+
+    def test_rule_filter(self, capsys):
+        bad = str(FIXTURES / "span_must_finish_bad.py")
+        assert main(["lint", "--rule", "wallclock-in-payload", bad]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_is_a_cli_error(self, capsys):
+        assert main(["lint", "--rule", "nope"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestFingerprintCommand:
+    def test_prints_the_digest(self, capsys):
+        assert main(["fingerprint"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == model_fingerprint()
+
+    def test_explain_lists_modules(self, capsys):
+        assert main(["fingerprint", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "soc/pipeline.py" in out
+        assert model_fingerprint() in out
+
+    def test_diff_roundtrip_and_drift(self, tmp_path, capsys):
+        report = tmp_path / "fp.json"
+        assert main(["fingerprint", "--json"]) == 0
+        report.write_text(capsys.readouterr().out)
+
+        assert main(["fingerprint", "--diff", str(report)]) == 0
+        assert "fingerprints match" in capsys.readouterr().out
+
+        data = json.loads(report.read_text())
+        data["fingerprint"] = "0" * 64
+        data["modules"]["soc/pipeline.py"] = "0" * 64
+        report.write_text(json.dumps(data))
+        assert main(["fingerprint", "--diff", str(report)]) == 1
+        out = capsys.readouterr().out
+        assert "fingerprint drifted" in out
+        assert "changed  soc/pipeline.py" in out
+
+    def test_diff_rejects_junk_report(self, tmp_path, capsys):
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"modules": {}}')
+        assert main(["fingerprint", "--diff", str(junk)]) == 1
+        assert "not a fingerprint report" in capsys.readouterr().err
+
+
+class TestDoctorFingerprintFlag:
+    def make_store(self, tmp_path, fingerprint):
+        from repro.farm.executor import execute_job
+        from repro.farm.spec import JobSpec
+        record = execute_job(JobSpec(
+            source="int main() { return 0; }", name="probe",
+            simulate=False).validate())
+        record = dataclasses.replace(record,
+                                     model_fingerprint=fingerprint)
+        (tmp_path / "results.jsonl").write_text(record.to_json() + "\n")
+        return str(tmp_path)
+
+    def test_matching_store_passes(self, tmp_path, capsys):
+        store = self.make_store(tmp_path, model_fingerprint())
+        assert main(["doctor", "--store", store, "--fingerprint"]) == 0
+        out = capsys.readouterr().out
+        assert "1 matching, 0 drifted" in out
+
+    def test_drifted_store_fails(self, tmp_path, capsys):
+        store = self.make_store(tmp_path, "d" * 64)
+        assert main(["doctor", "--store", store, "--fingerprint"]) == 1
+        out = capsys.readouterr().out
+        assert "0 matching, 1 drifted" in out
+        assert "NEEDS ATTENTION" in out
+
+    def test_without_flag_drift_is_invisible(self, tmp_path, capsys):
+        store = self.make_store(tmp_path, "d" * 64)
+        assert main(["doctor", "--store", store]) == 0
+        assert "fingerprint:" not in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Lint engine and rules: every bad fixture is caught with the right
+rule name and line; every good fixture (and the repo tree) is clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.statics.lint import (EXCLUDED_DIR_NAMES, LintEngine, all_rules,
+                                lint_paths)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(name: str, rule: str):
+    """Lint one fixture file with one rule (explicit path: scope and
+    the fixtures-directory exclusion are bypassed by design)."""
+    return lint_paths(paths=[FIXTURES / name], rule=rule,
+                      project_checks=False)
+
+
+class TestRuleFixtures:
+    # (rule, bad fixture, expected line of the finding)
+    BAD = [
+        ("wallclock-in-payload", "wallclock_in_payload_bad.py", 12),
+        ("atomic-jsonl-rewrite", "atomic_jsonl_rewrite_bad.py", 10),
+        ("schema-pinned-fields", "schema_pinned_fields_bad.py", 10),
+        ("span-must-finish", "span_must_finish_bad.py", 6),
+        ("codegen-compiles", "codegen_compiles_bad.py", 6),
+    ]
+
+    @pytest.mark.parametrize("rule,fixture,line",
+                             BAD, ids=[b[0] for b in BAD])
+    def test_bad_fixture_is_caught(self, rule, fixture, line):
+        findings = findings_for(fixture, rule)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == rule
+        assert finding.line == line
+        assert finding.path.endswith(fixture)
+
+    @pytest.mark.parametrize("rule,fixture", [
+        (b[0], b[1].replace("_bad", "_good")) for b in BAD],
+        ids=[b[0] for b in BAD])
+    def test_good_fixture_is_clean(self, rule, fixture):
+        assert findings_for(fixture, rule) == []
+
+    def test_render_carries_rule_and_line(self):
+        (finding,) = findings_for("span_must_finish_bad.py",
+                                  "span-must-finish")
+        text = finding.render()
+        assert "[span-must-finish]" in text
+        assert ":6:" in text
+
+
+class TestEngine:
+    def test_unknown_rule_lists_known_names(self):
+        with pytest.raises(ValueError, match="span-must-finish"):
+            LintEngine().select("no-such-rule")
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        (finding,) = LintEngine().run([bad], project_checks=False)
+        assert finding.rule == "syntax"
+        assert finding.line == 1
+
+    def test_walk_skips_fixture_directories(self):
+        findings = LintEngine().run([Path(__file__).parent],
+                                    project_checks=False)
+        assert findings == []   # bad fixtures excluded from the walk
+        assert "fixtures" in EXCLUDED_DIR_NAMES
+
+    def test_src_scoped_rule_ignores_walked_test_files(self, tmp_path):
+        # a deliberate in-place rewrite in a *test* tree is fine ...
+        source = (FIXTURES / "atomic_jsonl_rewrite_bad.py").read_text()
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "helper.py").write_text(source)
+        engine = LintEngine().select("atomic-jsonl-rewrite")
+        assert engine.run([tests_dir], project_checks=False) == []
+        # ... but the same file under src/ is flagged
+        src_dir = tmp_path / "src"
+        src_dir.mkdir()
+        (src_dir / "helper.py").write_text(source)
+        assert len(engine.run([src_dir], project_checks=False)) == 1
+
+    def test_rule_listing_is_complete(self):
+        names = {rule.name for rule in all_rules()}
+        assert names == {"wallclock-in-payload", "atomic-jsonl-rewrite",
+                         "schema-pinned-fields", "span-must-finish",
+                         "codegen-compiles"}
+        assert all(rule.description for rule in all_rules())
+
+    def test_repo_tree_is_clean(self):
+        # file-scoped rules only: the codegen project check gets its
+        # own (slower) test below
+        repo = Path(__file__).resolve().parents[2]
+        roots = [repo / name
+                 for name in ("src", "tests", "benchmarks", "examples")
+                 if (repo / name).exists()]
+        assert lint_paths(paths=roots, project_checks=False) == []
+
+
+class TestCodegenProjectCheck:
+    def test_every_workload_superblock_compiles(self):
+        findings = lint_paths(paths=[], rule="codegen-compiles")
+        assert findings == []
