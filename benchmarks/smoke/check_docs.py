@@ -1,0 +1,88 @@
+"""CI smoke: the docs/ tree is current and its examples are alive.
+
+* ``docs/cli.md`` must be byte-identical to what ``eric docs-cli``
+  renders from the live argparse tree — a new flag or subcommand
+  cannot ship undocumented;
+* every fenced ``python`` block in ``docs/*.md`` and ``README.md``
+  must compile, and every fenced ``json`` block must parse.
+
+Runs locally too::
+
+    PYTHONPATH=src python benchmarks/smoke/check_docs.py
+"""
+
+import json
+import re
+import sys
+
+from _bootstrap import ROOT  # noqa: E402 — wires sys.path
+
+from repro.cli import build_parser  # noqa: E402
+from repro.cli_docs import render_cli_docs  # noqa: E402
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def fenced_blocks(path):
+    blocks = []
+    language, start, body = None, 0, []
+    for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match and language is None:
+            language, start, body = match.group(1), number, []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, start, "\n".join(body)))
+            language = None
+        elif language is not None:
+            body.append(line)
+    if language is not None:
+        raise AssertionError(f"{path}: unclosed fence at line {start}")
+    return blocks
+
+
+def main() -> int:
+    docs = ROOT / "docs"
+    failures = []
+
+    committed = (docs / "cli.md").read_text(encoding="utf-8")
+    rendered = render_cli_docs(build_parser())
+    if committed != rendered:
+        failures.append(
+            "docs/cli.md is stale; regenerate with: "
+            "PYTHONPATH=src python -m repro.cli docs-cli > docs/cli.md")
+    else:
+        print("docs/cli.md: current")
+
+    pages = sorted(docs.glob("*.md")) + [ROOT / "README.md"]
+    for page in pages:
+        checked = {"python": 0, "json": 0}
+        for language, line, text in fenced_blocks(page):
+            where = f"{page.relative_to(ROOT)}:{line}"
+            if language == "python":
+                try:
+                    compile(text, where, "exec")
+                    checked["python"] += 1
+                except SyntaxError as exc:
+                    failures.append(f"{where}: python block does not "
+                                    f"compile: {exc}")
+            elif language == "json":
+                try:
+                    json.loads(text)
+                    checked["json"] += 1
+                except json.JSONDecodeError as exc:
+                    failures.append(f"{where}: json block is not valid "
+                                    f"JSON: {exc}")
+        print(f"{page.relative_to(ROOT)}: {checked['python']} python / "
+              f"{checked['json']} json block(s) OK")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS: docs freshness and code-block smoke")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Protection policies end to end: declare, sweep, read the frontier.
+
+Two policies compete against the unprotected reference row:
+
+* ``light`` — encrypt a quarter of the program's instruction slots;
+* ``heavy`` — encrypt everything under the SHA-256-CTR cipher *and*
+  insert opaque predicates (always-true branch guards over junk
+  blocks) at 10% of instruction sites.
+
+Both are plain JSON (the ``docs/policy.md`` dialect); the same objects
+drop into an ``eric sweep``/``eric frontier`` spec's ``policies`` axis
+unchanged.  The frontier table at the end prices each policy: cycles
+and bytes paid vs attacker resistance gained.
+
+Run with::
+
+    PYTHONPATH=src python examples/protection_policies.py
+"""
+
+from repro.core.compiler_driver import EricCompiler
+from repro.eval.frontier import frontier_matrix, frontier_report
+from repro.farm import SimulationFarm
+from repro.policy import policy_from_dict
+
+LIGHT = policy_from_dict({
+    "name": "light",
+    "encrypt": [{"region": {"kind": "program"}, "fraction": 0.25}],
+})
+
+HEAVY = policy_from_dict({
+    "name": "heavy",
+    "cipher": "xor-sha256ctr",
+    "encrypt": [{"region": {"kind": "program"}, "fraction": 1.0}],
+    "obfuscate": [{"region": {"kind": "program"},
+                   "density": 0.1, "junk": 3}],
+})
+
+
+def main() -> None:
+    print("== the policies ==")
+    for policy in (LIGHT, HEAVY):
+        print(f"  {policy.describe()}")
+
+    # What does the heavy policy's obfuscation pass actually do to a
+    # program?  Compile one workload through it and count.
+    from repro.workloads import get_workload
+    workload = get_workload("crc32")
+    plain = EricCompiler().prepare(workload.source, name="crc32")
+    guarded = EricCompiler(policy=HEAVY).prepare(workload.source,
+                                                 name="crc32")
+    print("\n== heavy policy vs plain compile (crc32) ==")
+    print(f"  instructions : {plain.program.instruction_count} -> "
+          f"{guarded.program.instruction_count}")
+    print(f"  text bytes   : {len(plain.program.text)} -> "
+          f"{len(guarded.program.text)}")
+    print(f"  enc slots    : {plain.enc_map.encrypted_count} -> "
+          f"{guarded.enc_map.encrypted_count}")
+
+    # Sweep 3 policy rows x 2 workloads through the ordinary farm.  No
+    # store here so the example is self-contained; pass
+    # store=ResultStore(...) (or use `eric frontier`) and the second
+    # run costs zero simulations.
+    print("\n== sweeping 3 policies x 2 workloads ==")
+    matrix = frontier_matrix([None, LIGHT, HEAVY],
+                             workloads=("crc32", "bitcount"))
+    report = SimulationFarm().run(matrix)
+    report.require_ok()
+    print(report.summary())
+
+    print()
+    print(frontier_report(report).render())
+    print("\nReading the table: 'heavy' buys full-entropy ciphertext "
+          "and a worse\nlinear-sweep decode rate, and pays for it in "
+          "cycles; 'light' is nearly\nfree but leaves most of the text "
+          "readable.  Every cell is a\ndeterministic function of the "
+          "job keys — re-rendering is byte-stable.")
+
+
+if __name__ == "__main__":
+    main()

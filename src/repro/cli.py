@@ -12,6 +12,7 @@ Subcommands::
     eric eval     [fig7 ...] --jobs 4     regenerate paper tables/figures
     eric sweep    matrix.json --jobs 4    run a simulation-farm matrix
     eric sweep    matrix.json --shards 4  shard it over coordinated workers
+    eric frontier matrix.json             security-vs-overhead per policy
     eric worker   shard.json --store DIR  run one shard (e.g. remotely)
     eric serve    --fleets fleets.json    schedule many fleets over one farm
     eric daemon   --journal DIR           durable serve loop (submit/resume)
@@ -22,6 +23,7 @@ Subcommands::
     eric doctor   --store DIR --fingerprint  ... plus model-drift audit
     eric lint     [--rule NAME] [paths]   project AST lint rules
     eric fingerprint [--explain]          timing-model fingerprint
+    eric docs-cli                         regenerate docs/cli.md content
 
 Device identity is simulated: ``--device-seed`` selects the die.  The
 same seed on ``package`` and ``run`` is the happy path; different seeds
@@ -252,6 +254,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.metrics:
         print(f"metrics: {METRICS.dump(store.root)}")
     return 0 if not report.failures else 1
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.eval.frontier import frontier_report
+    from repro.farm import JobMatrix, ResultStore, SimulationFarm
+    from repro.service.telemetry import StagePrinter
+
+    spec = _load_json(args.spec, "frontier spec")
+    matrix = JobMatrix.from_spec(spec)
+    # the frontier scores overhead *and* attacker resistance; a matrix
+    # that skips either measurement cannot be scored, so fail before
+    # spending any simulation time rather than after
+    if not matrix.simulate or not matrix.analyze:
+        raise EricError('frontier specs must set "simulate": true and '
+                        '"analyze": true — the table scores both '
+                        "overhead and attacker resistance")
+    store = None if args.no_store else ResultStore(args.store)
+    _warn_skipped_lines(store)
+    farm = SimulationFarm(store=store, jobs=args.jobs)
+    if not args.quiet:
+        farm.on_event(StagePrinter(stages="farm.job"))
+    report = farm.run(matrix, force=args.force)
+    if report.failures:
+        for failure in report.failures:
+            print(f"  FAILED {failure.spec.display_name}: "
+                  f"{failure.error}", file=sys.stderr)
+        return 1
+    print(frontier_report(report).render(stable=args.stable))
+    print(report.summary())
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} records)")
+    return 0
+
+
+def _cmd_docs_cli(args: argparse.Namespace) -> int:
+    from repro.cli_docs import render_cli_docs
+
+    text = render_cli_docs(build_parser())
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            committed = handle.read()
+        if committed != text:
+            print(f"eric: error: {args.check} is stale — regenerate "
+                  f"with: eric docs-cli > {args.check}",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.check} is current")
+        return 0
+    print(text, end="")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -585,6 +637,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
+        "frontier",
+        help="sweep a policy matrix and render the security-vs-"
+             "overhead frontier per policy")
+    p.add_argument("spec",
+                   help="JSON matrix spec with a policies axis; must "
+                        'set "simulate": true and "analyze": true')
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1)")
+    p.add_argument("--store", default="benchmarks/results/farm",
+                   help="result-store directory "
+                        "(default: benchmarks/results/farm)")
+    p.add_argument("--no-store", action="store_true",
+                   help="measure in-memory; skip and persist nothing")
+    p.add_argument("--force", action="store_true",
+                   help="re-measure (and re-persist) stored keys")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+    p.add_argument("--stable", action="store_true",
+                   help="render with the stable-table contract (the "
+                        "frontier is deterministic either way; this "
+                        "asserts it)")
+    p.set_defaults(func=_cmd_frontier)
+
+    p = sub.add_parser(
         "serve",
         help="multiplex many fleet deployments over one farm/store pair")
     p.add_argument("--fleets", required=True,
@@ -764,6 +840,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare against a previously saved --json "
                         "report; exit 1 on drift")
     p.set_defaults(func=_cmd_fingerprint)
+
+    p = sub.add_parser(
+        "docs-cli",
+        help="render docs/cli.md from the live argparse tree")
+    p.add_argument("--check", metavar="DOCS.md",
+                   help="diff against a committed page instead of "
+                        "printing; exit 1 when it is stale")
+    p.set_defaults(func=_cmd_docs_cli)
 
     p = sub.add_parser(
         "trace",

@@ -15,6 +15,13 @@ on the target device (program image, signature, encryption map) — and
 :meth:`EricCompiler.package_artifact` binds one artifact to one device
 key.  Fleet deployment (``repro.service``) caches artifacts so a
 thousand-device rollout pays for compilation and signing exactly once.
+
+A :class:`~repro.policy.ProtectionPolicy` slots into the same pipeline:
+its obfuscate rules rewrite the generated assembly (opaque-predicate
+insertion) before signing, and its encrypt rules replace the
+config-driven encryption map with a per-region one — both inside
+``prepare()``, so every downstream consumer (fleet cache, farm,
+figures) inherits policy support unchanged.
 """
 
 from __future__ import annotations
@@ -110,10 +117,21 @@ def source_digest(source: str) -> str:
 
 
 class EricCompiler:
-    """Software-source side of ERIC (Fig. 4 left half)."""
+    """Software-source side of ERIC (Fig. 4 left half).
 
-    def __init__(self, config: EricConfig | None = None) -> None:
-        self.config = (config or EricConfig()).validate()
+    ``policy`` layers declarative per-region protection on top of the
+    base ``config``: the effective configuration (mode/cipher/flag
+    overrides) is computed once here, obfuscation runs in
+    :meth:`prepare`, and the encryption map in :meth:`prepare_program`
+    honors the policy's region rules.
+    """
+
+    def __init__(self, config: EricConfig | None = None,
+                 policy=None) -> None:
+        base = (config or EricConfig()).validate()
+        self.policy = policy.validate() if policy is not None else None
+        self.config = (self.policy.effective_config(base)
+                       if self.policy is not None else base)
 
     def compile_baseline(self, source: str, name: str = "program",
                          ) -> tuple[CompileResult, float]:
@@ -128,11 +146,29 @@ class EricCompiler:
                 ) -> CompiledArtifact:
         """Steps ②-③ up to the device boundary: compile, sign, select.
 
-        Everything here is a pure function of ``(source, config)``; the
-        result can be cached and re-bound to any device key.
+        Everything here is a pure function of ``(source, config,
+        policy)``; the result can be cached and re-bound to any device
+        key.  A policy's obfuscate rules are applied here: the
+        generated assembly is rewritten (opaque-predicate insertion)
+        and re-assembled — label-based text, so every branch and
+        address constant re-resolves around the inserted code — before
+        signing sees the program.  The rewrite time is billed to
+        ``compile_s``: it is compilation work the protected flow pays
+        and the baseline does not.
         """
         compile_result, compile_s = self.compile_baseline(source, name)
-        return self.prepare_program(compile_result.program, name=name,
+        program = compile_result.program
+        if self.policy is not None and self.policy.obfuscate:
+            from repro.asm.assembler import assemble
+            from repro.policy.opaque import insert_opaque_predicates
+
+            start = time.perf_counter()
+            rewritten = insert_opaque_predicates(compile_result.asm_text,
+                                                 self.policy)
+            program = assemble(rewritten.asm_text, name=name,
+                               compress=self.config.compress)
+            compile_s += time.perf_counter() - start
+        return self.prepare_program(program, name=name,
                                     compile_s=compile_s,
                                     digest=source_digest(source))
 
@@ -146,7 +182,11 @@ class EricCompiler:
                                       include_data=config.sign_data)
         signature_s = time.perf_counter() - start
         start = time.perf_counter()
-        enc_map = build_map(program, config)
+        if self.policy is not None and self.policy.encrypt:
+            from repro.policy.policy import build_policy_map
+            enc_map = build_policy_map(program, self.policy, config)
+        else:
+            enc_map = build_map(program, config)
         selection_s = time.perf_counter() - start
         return CompiledArtifact(
             program=program, signature=signature, enc_map=enc_map,

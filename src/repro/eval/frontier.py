@@ -1,0 +1,183 @@
+"""Security-vs-overhead frontier: score protection policies.
+
+The paper reports ERIC's execution overhead (Fig. 7) and argues for
+its security qualitatively; what it never had — and what a declarative
+policy space makes possible — is the *frontier*: for each candidate
+:class:`~repro.policy.ProtectionPolicy`, how much attacker resistance
+is bought per cycle of overhead.  This module builds that table from
+ordinary farm records (``simulate=True, analyze=True`` jobs whose
+params carry the policy), so a warm store answers instantly and every
+number is deterministic — the rendered table is byte-stable by
+construction.
+
+Scores per policy (averaged over its jobs):
+
+* **overhead %** — ERIC cycles vs the *unprotected* plain baseline
+  (for policy jobs the baseline is the unobfuscated program, so the
+  overhead prices obfuscation + HDE together);
+* **size %** — package growth over the plain image;
+* **decode %** — fraction of the shipped text a linear-sweep
+  disassembler still decodes (lower = better hiding);
+* **entropy** — ciphertext byte entropy in bits (higher = closer to
+  random, 8.0 is ideal);
+* **static beaten** — jobs where the static attacker's
+  ``looks_like_code`` heuristic no longer recognizes the text;
+* **dynamic leaks** — non-target devices (wrong PUF key) that still
+  observed program-like behaviour when executing the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EricConfig
+from repro.errors import ConfigError
+from repro.eval.report import format_table
+from repro.farm.executor import FarmReport
+from repro.farm.spec import JobMatrix, SimParams
+from repro.policy.policy import ProtectionPolicy
+
+#: Display label for the no-policy (plain ERIC config) axis entry.
+UNPOLICIED = "(none)"
+
+
+def frontier_matrix(policies, workloads,
+                    config: EricConfig | None = None,
+                    device_seed: int | None = None,
+                    max_instructions: int | None = None) -> JobMatrix:
+    """The policy × workload grid a frontier needs.
+
+    Every job simulates *and* analyzes — the frontier scores both
+    sides of the trade.  ``policies`` entries are
+    :class:`ProtectionPolicy` instances or None (the unpolicied
+    reference row).
+    """
+    policies = tuple(policies)
+    workloads = tuple(workloads)
+    if not policies:
+        raise ConfigError("frontier needs at least one policy")
+    if not workloads:
+        raise ConfigError("frontier needs at least one workload")
+    for policy in policies:
+        if policy is not None and not isinstance(policy, ProtectionPolicy):
+            raise ConfigError(
+                "frontier policies must be ProtectionPolicy or None, "
+                f"got {type(policy).__name__}")
+    overrides = {}
+    if device_seed is not None:
+        overrides["device_seed"] = device_seed
+    if max_instructions is not None:
+        overrides["max_instructions"] = max_instructions
+    params = tuple(SimParams(policy=policy, **overrides).validate()
+                   for policy in policies)
+    return JobMatrix(workloads=workloads,
+                     configs=(config or EricConfig(),),
+                     params=params, simulate=True, analyze=True)
+
+
+@dataclass(frozen=True)
+class PolicyScore:
+    """One frontier row: a policy's aggregate security and cost."""
+
+    policy: str
+    jobs: int
+    overhead_pct: float
+    size_pct: float
+    decode_fraction: float
+    byte_entropy: float
+    #: jobs whose ciphertext no longer passes the static attacker's
+    #: looks_like_code test
+    static_beaten: int
+    #: dynamic-attack attempts that still observed program behaviour
+    dynamic_leaks: int
+    dynamic_attempts: int
+
+    def row(self) -> list:
+        return [
+            self.policy,
+            self.jobs,
+            f"{self.overhead_pct:+.1f}%",
+            f"{self.size_pct:+.1f}%",
+            f"{100 * self.decode_fraction:.1f}%",
+            f"{self.byte_entropy:.2f}",
+            f"{self.static_beaten}/{self.jobs}",
+            f"{self.dynamic_leaks}/{self.dynamic_attempts}",
+        ]
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """Scores per policy, in the order the matrix swept them."""
+
+    scores: tuple[PolicyScore, ...]
+
+    def render(self, stable: bool = False) -> str:
+        """The frontier table.  Every column is a deterministic
+        function of job keys, so ``stable`` changes nothing — the
+        parameter exists for symmetry with the other report renderers
+        (and to keep the byte-stability contract explicit at call
+        sites)."""
+        return format_table(
+            ["policy", "jobs", "overhead", "size", "decode",
+             "entropy b", "static beaten", "dynamic leaks"],
+            [score.row() for score in self.scores],
+            title="Security-vs-overhead frontier", stable=stable)
+
+
+def frontier_report(report: FarmReport) -> FrontierResult:
+    """Group a farm report's records by policy and score each group.
+
+    Jobs are grouped by their spec's policy *name* (the display
+    identity the sweep was written with); unpolicied jobs group under
+    ``(none)``.  Jobs without simulation or analysis payloads raise —
+    a frontier over half-measured records would silently score zeros.
+    """
+    groups: dict[str, list] = {}
+    order: list[str] = []
+    for result in report.results:
+        if result.record is None:
+            continue
+        policy = result.spec.params.policy
+        label = policy.name if policy is not None else UNPOLICIED
+        if label not in groups:
+            groups[label] = []
+            order.append(label)
+        groups[label].append(result.record)
+    if not groups:
+        raise ConfigError("frontier needs at least one successful record")
+
+    scores = []
+    for label in order:
+        records = groups[label]
+        overheads, sizes, decodes, entropies = [], [], [], []
+        static_beaten = 0
+        dynamic_leaks = 0
+        dynamic_attempts = 0
+        for record in records:
+            if record.analysis is None or record.plain_cycles is None:
+                raise ConfigError(
+                    f"record {record.key[:12]} ({record.name}) lacks "
+                    f"simulation/analysis data; frontier matrices must "
+                    f"sweep with simulate=true, analyze=true")
+            overheads.append(record.overhead_pct)
+            sizes.append(record.size_increase_pct)
+            decodes.append(record.analysis["decode_fraction"])
+            entropies.append(record.analysis["byte_entropy"])
+            if not record.analysis["looks_like_code"]:
+                static_beaten += 1
+            for outcome in record.analysis.get("dynamic", ()):
+                dynamic_attempts += 1
+                if outcome.get("leaked"):
+                    dynamic_leaks += 1
+        count = len(records)
+        scores.append(PolicyScore(
+            policy=label, jobs=count,
+            overhead_pct=sum(overheads) / count,
+            size_pct=sum(sizes) / count,
+            decode_fraction=sum(decodes) / count,
+            byte_entropy=sum(entropies) / count,
+            static_beaten=static_beaten,
+            dynamic_leaks=dynamic_leaks,
+            dynamic_attempts=dynamic_attempts,
+        ))
+    return FrontierResult(scores=tuple(scores))

@@ -74,14 +74,18 @@ def execute_job(spec: JobSpec) -> FarmRecord:
     start = time.perf_counter()
     source, expected_stdout = spec.resolve_source()
     params = spec.params
+    policy = params.policy
+    overlapped = params.overlapped_hde
+    if policy is not None and policy.overlap_hde is not None:
+        overlapped = policy.overlap_hde
     device = Device(device_seed=params.device_seed,
                     pipeline=params.pipeline_model(),
-                    overlapped_hde=params.overlapped_hde,
+                    overlapped_hde=overlapped,
                     environment=params.environment,
                     noise_sigma=params.puf_noise_sigma,
                     votes=params.puf_votes,
                     margin_sigmas=params.puf_margin_sigmas)
-    compiler = EricCompiler(spec.config)
+    compiler = EricCompiler(spec.config, policy=policy)
     target_key = device.enrollment_key()
     key_failure = _measure_key_failure(params)
 
@@ -129,7 +133,12 @@ def execute_job(spec: JobSpec) -> FarmRecord:
     }
 
     if spec.simulate:
-        plain = device.run_plain(result.program,
+        # The plain baseline is the *unpolicied* compile: for policy
+        # jobs overhead_pct then prices the whole protection stack
+        # (obfuscation + HDE), not just decryption.  Without a policy
+        # the two programs are bit-identical, so this is the same
+        # measurement it always was.
+        plain = device.run_plain(baseline_result.program,
                                  max_instructions=params.max_instructions)
         eric = device.load_and_run(result.package_bytes,
                                    max_instructions=params.max_instructions)
@@ -406,6 +415,8 @@ class FarmReport:
                 self.results,
                 key=lambda r: (r.spec.display_name,
                                r.spec.config.mode.value,
+                               (r.spec.params.policy.name
+                                if r.spec.params.policy else ""),
                                r.spec.params.pipeline,
                                r.spec.params.device_seed,
                                r.spec.params.environment.describe(),
@@ -418,6 +429,8 @@ class FarmReport:
             rows.append([
                 spec.display_name,
                 spec.config.mode.value,
+                (spec.params.policy.name if spec.params.policy
+                 else "-"),
                 spec.params.pipeline,
                 f"{spec.params.device_seed:#x}",
                 spec.params.environment.describe(),
@@ -430,7 +443,7 @@ class FarmReport:
                 status,
             ])
         return format_table(
-            ["job", "mode", "pipeline", "seed", "env", "hde",
+            ["job", "mode", "policy", "pipeline", "seed", "env", "hde",
              "package B", "ERIC cycles", "Mcyc/s", "status"],
             rows, title="Simulation-farm sweep", stable=stable)
 

@@ -32,6 +32,7 @@ from repro.core.interface import config_from_dict, config_to_dict
 from repro.errors import ConfigError
 from repro.puf.arbiter import NOISE_SIGMA
 from repro.puf.environment import NOMINAL, Environment
+from repro.policy.policy import ProtectionPolicy, policy_from_dict
 from repro.puf.key_generator import MARGIN_SIGMAS
 from repro.soc.pipeline import PipelineModel
 
@@ -44,7 +45,12 @@ from repro.soc.pipeline import PipelineModel
 #:    (:func:`repro.statics.fingerprint.model_fingerprint`), so timing
 #:    edits orphan stale records without a manual schema bump; records
 #:    grew the model_fingerprint column.
-KEY_SCHEMA = 3
+#: 4: SimParams grew the ``policy`` axis (declarative per-region
+#:    protection, :mod:`repro.policy`): every key payload now carries a
+#:    policy entry (null for unpolicied jobs) with the display-only
+#:    policy ``name`` stripped, and the plain baseline of policied jobs
+#:    is the *unobfuscated* program.
+KEY_SCHEMA = 4
 
 #: Named SoC pipeline variants a job may select.  Names (not
 #: :class:`PipelineModel` instances) travel in :class:`SimParams` so
@@ -80,6 +86,11 @@ class SimParams:
         puf_margin_sigmas: enrollment reliability-screening threshold
             (0 disables screening — the reliability ablations' knob).
         max_instructions: simulator instruction budget.
+        policy: optional :class:`~repro.policy.ProtectionPolicy` the
+            job compiles under (per-region encryption, opaque-predicate
+            obfuscation, overlap/signing overrides).  A measurement
+            input like the config — part of the job key — except for
+            its display-only ``name``.
     """
 
     device_seed: int = 0xFA53
@@ -90,6 +101,7 @@ class SimParams:
     puf_votes: int = 11
     puf_margin_sigmas: float = MARGIN_SIGMAS
     max_instructions: int = 20_000_000
+    policy: ProtectionPolicy | None = None
 
     def validate(self) -> "SimParams":
         if not isinstance(self.device_seed, int) \
@@ -114,6 +126,12 @@ class SimParams:
             raise ConfigError("puf_margin_sigmas must be non-negative")
         if self.max_instructions < 1:
             raise ConfigError("max_instructions must be positive")
+        if self.policy is not None:
+            if not isinstance(self.policy, ProtectionPolicy):
+                raise ConfigError(
+                    f"policy must be a ProtectionPolicy or None, got "
+                    f"{self.policy!r}")
+            self.policy.validate()
         return self
 
     def pipeline_model(self) -> PipelineModel:
@@ -133,6 +151,9 @@ class SimParams:
         environment = options.pop("environment", None)
         if environment is not None:
             options["environment"] = Environment.from_dict(environment)
+        policy = options.pop("policy", None)
+        if policy is not None:
+            options["policy"] = policy_from_dict(policy)
         return cls(**options).validate()
 
 
@@ -191,7 +212,10 @@ class JobSpec:
 
         Covers everything the outcome depends on — and nothing else:
         ``name`` is cosmetic, and a registry workload hashes identically
-        to the same source passed inline.
+        to the same source passed inline.  The same discipline applies
+        one level down: a policy's ``name`` is display-only, so the
+        params payload strips it — renaming a policy must not
+        re-measure its jobs any more than renaming the job itself.
 
         Memoized per instance (the spec is frozen, so the address can
         never change): sharding re-derives keys at plan, dispatch, and
@@ -207,12 +231,15 @@ class JobSpec:
         # fingerprint itself is memoized per process.
         from repro.statics.fingerprint import model_fingerprint
         source, _ = self.resolve_source()
+        params_payload = asdict(self.params)
+        if params_payload.get("policy") is not None:
+            params_payload["policy"].pop("name", None)
         payload = {
             "schema": KEY_SCHEMA,
             "model": model_fingerprint(),
             "source": hashlib.sha256(source.encode("utf-8")).hexdigest(),
             "config": config_to_dict(self.config),
-            "params": asdict(self.params),
+            "params": params_payload,
             "simulate": self.simulate,
             "analyze": self.analyze,
             "repeats": self.repeats,
@@ -308,6 +335,7 @@ class JobMatrix:
               "pipelines": ["default"],
               "environments": [{}, {"temperature_c": 85.0, "voltage": 0.9}],
               "overlapped_hde": [false, true],
+              "policies": [null, {"name": "locked", "encrypt": [...]}],
               "max_instructions": 20000000,
               "simulate": true,
               "analyze": false,
@@ -324,10 +352,16 @@ class JobMatrix:
         ``overlapped_hde`` is a sweep axis: a list of booleans expands
         the parameter grid; a bare boolean (the pre-``environments``
         scalar form) still means a single-value axis.
+
+        ``policies`` entries are protection-policy objects in the
+        ``docs/policy.md`` dialect; ``null`` means "no policy" (the
+        plain ERIC flow), so ``[null, {...}]`` sweeps unprotected vs
+        protected in one matrix.
         """
         known = {"workloads", "programs", "configs", "device_seeds",
                  "pipelines", "environments", "overlapped_hde",
-                 "max_instructions", "simulate", "analyze", "repeats"}
+                 "policies", "max_instructions", "simulate", "analyze",
+                 "repeats"}
         if not isinstance(spec, dict):
             raise ConfigError("sweep spec must be a JSON object")
         unknown = set(spec) - known
@@ -348,21 +382,30 @@ class JobMatrix:
             raise ConfigError(
                 f"environments must be a non-empty list of objects, "
                 f"got {environments!r}")
+        policies = spec.get("policies", [None])
+        if not isinstance(policies, list) or not policies:
+            raise ConfigError(
+                f"policies must be a non-empty list of policy objects "
+                f"or nulls, got {policies!r}")
+        policy_axis = tuple(
+            None if entry is None else policy_from_dict(entry)
+            for entry in policies)
         params = tuple(
             SimParams(
                 device_seed=seed, pipeline=pipeline,
                 environment=Environment.from_dict(environment),
-                overlapped_hde=overlapped,
+                overlapped_hde=overlapped, policy=policy,
                 max_instructions=_int_option(spec, "max_instructions",
                                              20_000_000),
             ).validate()
-            for seed, pipeline, environment, overlapped in product(
+            for seed, pipeline, environment, overlapped, policy in product(
                 [_parse_seed(seed)
                  for seed in spec.get("device_seeds",
                                       [SimParams.device_seed])],
                 spec.get("pipelines", ["default"]),
                 environments,
-                _bool_axis(spec, "overlapped_hde", False))
+                _bool_axis(spec, "overlapped_hde", False),
+                policy_axis)
         )
         matrix = cls(
             workloads=tuple(spec.get("workloads", ())),

@@ -1,0 +1,34 @@
+"""Declarative protection policies and software-level obfuscation.
+
+See ``docs/policy.md`` for the JSON dialect and worked examples.
+"""
+
+from repro.policy.opaque import (
+    ObfuscationResult,
+    insert_opaque_predicates,
+)
+from repro.policy.policy import (
+    EncryptRule,
+    ObfuscateRule,
+    ProtectionPolicy,
+    Region,
+    build_policy_map,
+    function_bounds,
+    policy_from_dict,
+    policy_to_dict,
+    region_slot_indices,
+)
+
+__all__ = [
+    "EncryptRule",
+    "ObfuscateRule",
+    "ObfuscationResult",
+    "ProtectionPolicy",
+    "Region",
+    "build_policy_map",
+    "function_bounds",
+    "insert_opaque_predicates",
+    "policy_from_dict",
+    "policy_to_dict",
+    "region_slot_indices",
+]

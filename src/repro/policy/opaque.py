@@ -1,0 +1,225 @@
+"""Opaque-predicate insertion (ROPfuscator-style, assembly level).
+
+The pass rewrites the compiler's assembly text between code generation
+and assembly: at a deterministic, policy-seeded subset of instruction
+sites it inserts a **guard** — an always-true branch — over a block of
+**junk** instructions that decode as valid RV64IM but never execute::
+
+      beq  s3, s3, .L$opq7      # guard: trivially taken
+      mul  a4, t1, s2           # junk: skipped at run time
+      xori t3, a0, 1337         # junk
+    .L$opq7:
+
+Why this shape:
+
+* **Architectural results are preserved by construction.**  Guards
+  compare a register against *itself* (``beq r, r`` / ``bge r, r`` /
+  ``bgeu r, r``) — they read registers but never write one, so no live
+  value is clobbered no matter where the guard lands, and the branch
+  is taken on every execution.  Junk may clobber anything precisely
+  because it is never reached.  The fast-interpreter lockstep tests
+  verify this end to end.
+* **Relocation is free.**  The rewrite happens on label-based assembly
+  text, so the existing two-pass assembler re-resolves every branch,
+  call, and ``la`` around the inserted bytes; no binary-patching
+  relocation engine is needed.
+* **It costs honestly.**  Each guarded site retires one extra branch
+  per execution and dilutes the instruction cache — exactly the
+  overhead the security-vs-overhead frontier measures against the
+  attacker-score gain (junk raises the decoy surface a static
+  disassembler must consider).
+
+Inserted lines carry an ``# opq`` comment (stripped by the assembler)
+so tests and humans can count and diff insertions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.crypto.prng import Xoshiro256StarStar
+from repro.errors import ConfigError
+
+#: Matches a leading label definition (same shape the assembler peels).
+_LABEL_DEF = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+
+#: Label namespace of inserted skip targets.  ``$`` is legal in
+#: assembler labels but cannot appear in MiniC identifiers or codegen's
+#: ``.L_<fn>_…`` locals, so collisions are impossible by construction.
+LABEL_PREFIX = ".L$opq"
+
+#: Marker comment on every inserted line.
+MARK = "# opq"
+
+#: Always-true guard comparisons over a register and itself.  All of
+#: them only *read* the register: beq/bge/bgeu hold trivially for equal
+#: operands.
+_GUARDS = ("beq", "bge", "bgeu")
+
+#: Registers a guard may read (reading any register is side-effect
+#: free; this set just keeps the decoys looking like compiler output).
+_GUARD_REGS = ("a0", "a1", "a2", "a3", "s1", "s2", "s3", "t0", "t1", "t2")
+
+#: Junk templates — valid, encodable RV64IM that never executes.
+#: ``{r*}`` slots are filled from _JUNK_REGS, ``{imm}`` from the I-type
+#: immediate range.
+_JUNK_TEMPLATES = (
+    "xori {rd}, {rs1}, {imm}",
+    "addi {rd}, {rs1}, {imm}",
+    "add {rd}, {rs1}, {rs2}",
+    "sub {rd}, {rs1}, {rs2}",
+    "mul {rd}, {rs1}, {rs2}",
+    "sltiu {rd}, {rs1}, {imm}",
+    "xor {rd}, {rs1}, {rs2}",
+    "andi {rd}, {rs1}, {imm}",
+)
+
+_JUNK_REGS = ("a0", "a1", "a2", "a3", "a4", "a5",
+              "t0", "t1", "t2", "t3", "t4",
+              "s1", "s2", "s3", "s4")
+
+
+@dataclass(frozen=True)
+class ObfuscationResult:
+    """The rewritten assembly plus insertion accounting."""
+
+    asm_text: str
+    #: guard blocks inserted (one always-taken branch each)
+    guards: int
+    #: junk instructions inserted (never executed)
+    junk_instructions: int
+
+    @property
+    def inserted_instructions(self) -> int:
+        """Static instruction-count growth (guards + junk)."""
+        return self.guards + self.junk_instructions
+
+
+def _line_kind(line: str) -> tuple[str, str]:
+    """Classify one raw line -> (kind, remainder-after-labels).
+
+    kind: 'label' (pure label line), 'directive', 'instruction',
+    'blank'.  The leading-label loop mirrors the assembler's so the
+    pass and the assembler always agree on what a line is.
+    """
+    text = _strip_comment(line).strip()
+    labels = []
+    while True:
+        match = _LABEL_DEF.match(text)
+        if not match:
+            break
+        labels.append(match.group(1))
+        text = text[match.end():].strip()
+    if not text:
+        return ("label" if labels else "blank"), text
+    if text.startswith("."):
+        return "directive", text
+    return "instruction", text
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line
+
+
+def _function_of(lines: list[str]) -> list[str | None]:
+    """Per line: the function (column-0 non-dot label) it belongs to.
+
+    Tracks the ``.text``/``.data`` section; lines outside text map to
+    None and are never insertion sites.
+    """
+    owners: list[str | None] = []
+    section = "text"
+    current: str | None = None
+    for line in lines:
+        stripped = _strip_comment(line).strip()
+        if stripped.startswith(".text"):
+            section = "text"
+        elif stripped.startswith(".data"):
+            section = "data"
+        text = stripped
+        while True:
+            match = _LABEL_DEF.match(text)
+            if not match:
+                break
+            label = match.group(1)
+            if section == "text" and not label.startswith("."):
+                current = label
+            text = text[match.end():].strip()
+        owners.append(current if section == "text" else None)
+    return owners
+
+
+def insert_opaque_predicates(asm_text: str, policy) -> ObfuscationResult:
+    """Apply a policy's obfuscate rules to assembly text.
+
+    Sites are instruction statements in the ``.text`` section; each
+    rule selects ``round(density * sites_in_region)`` of its region's
+    sites with a PRNG seeded from ``(policy.seed, rule index)``, and a
+    guard + junk block is inserted immediately *before* each selected
+    instruction.  The same source and policy always produce the same
+    bytes.
+    """
+    rules = tuple(policy.obfuscate)
+    if not rules:
+        return ObfuscationResult(asm_text=asm_text, guards=0,
+                                 junk_instructions=0)
+    lines = asm_text.splitlines()
+    owners = _function_of(lines)
+    sites = [i for i, line in enumerate(lines)
+             if owners[i] is not None
+             and _line_kind(line)[0] == "instruction"]
+
+    #: line index -> list of junk lengths to insert there
+    picked: dict[int, list[int]] = {}
+    for rule_index, rule in enumerate(rules):
+        rule.validate()
+        if rule.region.kind == "function":
+            wanted = rule.region.name
+            if wanted not in owners:
+                raise ConfigError(
+                    f"obfuscate rule names unknown function {wanted!r}")
+            rule_sites = [i for i in sites if owners[i] == wanted]
+        else:
+            rule_sites = sites
+        count = round(len(rule_sites) * rule.density)
+        if count == 0:
+            continue
+        prng = Xoshiro256StarStar((policy.seed << 1) + rule_index)
+        for pick in prng.sample_indices(len(rule_sites), count):
+            picked.setdefault(rule_sites[pick], []).append(rule.junk)
+
+    guards = 0
+    junk_total = 0
+    label_counter = 0
+    out: list[str] = []
+    for index, line in enumerate(lines):
+        for junk_len in picked.get(index, ()):
+            prng = Xoshiro256StarStar((policy.seed << 20)
+                                      ^ (index << 4) ^ junk_len)
+            label = f"{LABEL_PREFIX}{label_counter}"
+            label_counter += 1
+            guard = _GUARDS[prng.randint(0, len(_GUARDS) - 1)]
+            reg = _GUARD_REGS[prng.randint(0, len(_GUARD_REGS) - 1)]
+            out.append(f"  {guard} {reg}, {reg}, {label} {MARK}")
+            guards += 1
+            for _ in range(junk_len):
+                out.append(f"  {_junk_instruction(prng)} {MARK}")
+                junk_total += 1
+            out.append(f"{label}: {MARK}")
+        out.append(line)
+    return ObfuscationResult(asm_text="\n".join(out) + "\n",
+                             guards=guards, junk_instructions=junk_total)
+
+
+def _junk_instruction(prng: Xoshiro256StarStar) -> str:
+    template = _JUNK_TEMPLATES[prng.randint(0, len(_JUNK_TEMPLATES) - 1)]
+    regs = {
+        slot: _JUNK_REGS[prng.randint(0, len(_JUNK_REGS) - 1)]
+        for slot in ("rd", "rs1", "rs2")
+    }
+    return template.format(imm=prng.randint(-2048, 2047), **regs)

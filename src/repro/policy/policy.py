@@ -1,0 +1,405 @@
+"""Declarative protection policies.
+
+ERIC's original interface is a single knob — one :class:`EricConfig`
+applied to the whole program.  A :class:`ProtectionPolicy` generalizes
+it into a declarative mapping from program **regions** to protection
+**directives**:
+
+* *regions* — the whole program, one function (resolved to its
+  address range through the assembler's symbol table), or an explicit
+  address window;
+* *directives* — encryption (mode + cipher + per-region fraction,
+  compiled down to an :class:`~repro.core.encryptor.EncryptionMap`
+  the existing packaging path consumes), HDE overlap, data signing,
+  and software-level obfuscation (the opaque-predicate pass of
+  :mod:`repro.policy.opaque`).
+
+Policies are plain frozen dataclasses with a strict JSON dialect
+(:func:`policy_from_dict` / :func:`policy_to_dict`), so they travel in
+farm job keys, sweep specs, and store records exactly like
+:class:`EricConfig` does.  The policy ``name`` is display-only — two
+policies differing only by name compile, select, and measure
+identically, and :meth:`repro.farm.spec.JobSpec.key` excludes it.
+
+The hardware constraint is unchanged: one package carries one
+encryption mode and one cipher (the HDE decrypts with a single
+configuration).  What a policy adds is *where* and *how much*: each
+encrypt rule selects a fraction of its region's instruction slots, and
+the union of all rules' selections becomes the package's encryption
+map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.asm.program import Program
+from repro.core.config import EncryptionMode, EricConfig
+from repro.core.encryptor import EncryptionMap
+from repro.crypto.prng import Xoshiro256StarStar
+from repro.crypto.xor_cipher import registered_ciphers
+from repro.errors import ConfigError
+
+#: Region kinds a rule may target.  ``window`` regions are address
+#: ranges over the *assembled* text section, so only encrypt rules may
+#: use them — the obfuscation pass rewrites assembly text before
+#: addresses exist.
+REGION_KINDS = ("program", "function", "window")
+
+#: Encryption modes a policy may compile down to.  FULL is expressed
+#: as a whole-program PARTIAL rule with fraction 1.0 — the map is all
+#: ones either way, and keeping the policy surface to the two
+#: slot-subset modes means every rule composes by map union.
+POLICY_MODES = ("partial", "field")
+
+
+@dataclass(frozen=True)
+class Region:
+    """Where a rule applies.
+
+    ``kind="program"`` covers every instruction slot.
+    ``kind="function"`` needs ``name`` — a text-section symbol; the
+    region runs from that symbol to the next function symbol (internal
+    ``.L…`` labels do not terminate it).  ``kind="window"`` needs
+    ``start``/``stop`` — absolute addresses, half-open ``[start, stop)``.
+    """
+
+    kind: str = "program"
+    name: str | None = None
+    start: int | None = None
+    stop: int | None = None
+
+    def validate(self) -> "Region":
+        if self.kind not in REGION_KINDS:
+            raise ConfigError(f"unknown region kind {self.kind!r}; "
+                              f"known: {list(REGION_KINDS)}")
+        if self.kind == "function":
+            if not isinstance(self.name, str) or not self.name:
+                raise ConfigError(
+                    "a function region needs a non-empty symbol name")
+            if self.start is not None or self.stop is not None:
+                raise ConfigError(
+                    "a function region takes no start/stop (the symbol "
+                    "table supplies the range)")
+        elif self.kind == "window":
+            for label, value in (("start", self.start), ("stop", self.stop)):
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ConfigError(
+                        f"a window region needs integer start/stop, got "
+                        f"{label}={value!r}")
+            if self.name is not None:
+                raise ConfigError("a window region takes no name")
+            if not 0 <= self.start < self.stop:
+                raise ConfigError(
+                    f"window [{self.start:#x}, {self.stop:#x}) is empty "
+                    f"or inverted")
+        else:  # program
+            if (self.name, self.start, self.stop) != (None, None, None):
+                raise ConfigError(
+                    "a program region takes no name/start/stop")
+        return self
+
+    def describe(self) -> str:
+        if self.kind == "function":
+            return f"fn {self.name}"
+        if self.kind == "window":
+            return f"[{self.start:#x},{self.stop:#x})"
+        return "program"
+
+    @classmethod
+    def from_dict(cls, data) -> "Region":
+        if not isinstance(data, dict):
+            raise ConfigError(f"region must be an object, got {data!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown region keys {sorted(unknown)}; "
+                              f"known: {sorted(known)}")
+        return cls(**data).validate()
+
+
+@dataclass(frozen=True)
+class EncryptRule:
+    """Encrypt ``fraction`` of the region's instruction slots."""
+
+    region: Region = Region()
+    fraction: float = 1.0
+
+    def validate(self) -> "EncryptRule":
+        self.region.validate()
+        if not isinstance(self.fraction, (int, float)) \
+                or isinstance(self.fraction, bool) \
+                or not 0.0 <= self.fraction <= 1.0:
+            raise ConfigError(
+                f"encrypt fraction must be in [0, 1], got {self.fraction!r}")
+        return self
+
+    @classmethod
+    def from_dict(cls, data) -> "EncryptRule":
+        options = _rule_options(cls, data, "encrypt rule")
+        return cls(**options).validate()
+
+
+@dataclass(frozen=True)
+class ObfuscateRule:
+    """Insert opaque predicates over the region's instruction stream.
+
+    ``density`` is the fraction of instruction sites that receive a
+    guard (an always-true branch over ``junk`` never-executed decoy
+    instructions).  Obfuscation rewrites assembly text before
+    addresses exist, so ``window`` regions are rejected here.
+    """
+
+    region: Region = Region()
+    density: float = 0.15
+    junk: int = 3
+
+    def validate(self) -> "ObfuscateRule":
+        self.region.validate()
+        if self.region.kind == "window":
+            raise ConfigError(
+                "obfuscate rules take program/function regions only: "
+                "the pass rewrites assembly text, which has no "
+                "addresses yet")
+        if not isinstance(self.density, (int, float)) \
+                or isinstance(self.density, bool) \
+                or not 0.0 <= self.density <= 1.0:
+            raise ConfigError(
+                f"obfuscate density must be in [0, 1], got {self.density!r}")
+        if not isinstance(self.junk, int) or isinstance(self.junk, bool) \
+                or self.junk < 1:
+            raise ConfigError(
+                f"junk must be a positive instruction count, "
+                f"got {self.junk!r}")
+        return self
+
+    @classmethod
+    def from_dict(cls, data) -> "ObfuscateRule":
+        options = _rule_options(cls, data, "obfuscate rule")
+        return cls(**options).validate()
+
+
+def _rule_options(cls, data, what: str) -> dict:
+    if not isinstance(data, dict):
+        raise ConfigError(f"{what} must be an object, got {data!r}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(f"unknown {what} keys {sorted(unknown)}; "
+                          f"known: {sorted(known)}")
+    options = dict(data)
+    if "region" in options:
+        options["region"] = Region.from_dict(options["region"])
+    return options
+
+
+@dataclass(frozen=True)
+class ProtectionPolicy:
+    """A named bundle of per-region protection directives.
+
+    Attributes:
+        name: display label (frontier tables group by it); excluded
+            from job keys — renaming a policy must not re-measure.
+        mode: encryption mode the encrypt rules compile down to
+            (``partial`` or ``field``); ignored when ``encrypt`` is
+            empty (the job's own config then builds the map).
+        cipher: registered cipher name, or None to inherit the job
+            config's cipher.
+        encrypt: per-region encryption selections; their union is the
+            package's encryption map.
+        obfuscate: opaque-predicate insertions applied to the
+            instruction stream before signing and encryption.
+        sign_data / encrypt_data / overlap_hde: tri-state overrides of
+            the job's config/params (None = inherit).
+        seed: PRNG seed driving both the per-region slot selection and
+            the opaque-predicate pass.
+    """
+
+    name: str = "policy"
+    mode: str = "partial"
+    cipher: str | None = None
+    encrypt: tuple[EncryptRule, ...] = ()
+    obfuscate: tuple[ObfuscateRule, ...] = ()
+    sign_data: bool | None = None
+    encrypt_data: bool | None = None
+    overlap_hde: bool | None = None
+    seed: int = 0x0B5C
+
+    def validate(self) -> "ProtectionPolicy":
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError("policy name must be a non-empty string")
+        if self.mode not in POLICY_MODES:
+            raise ConfigError(
+                f"policy mode must be one of {list(POLICY_MODES)}, got "
+                f"{self.mode!r} (express full encryption as a "
+                f"whole-program partial rule with fraction 1.0)")
+        if self.cipher is not None \
+                and self.cipher not in registered_ciphers():
+            raise ConfigError(
+                f"unknown cipher {self.cipher!r}; "
+                f"registered: {registered_ciphers()}")
+        for rule in self.encrypt:
+            rule.validate()
+        for rule in self.obfuscate:
+            rule.validate()
+        for label, value in (("sign_data", self.sign_data),
+                             ("encrypt_data", self.encrypt_data),
+                             ("overlap_hde", self.overlap_hde)):
+            if value is not None and not isinstance(value, bool):
+                raise ConfigError(
+                    f"{label} must be true/false/null, got {value!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ConfigError(
+                f"policy seed must be a non-negative integer, "
+                f"got {self.seed!r}")
+        return self
+
+    # -- compile-down -----------------------------------------------------
+
+    def effective_config(self, base: EricConfig) -> EricConfig:
+        """The job config with this policy's overrides applied.
+
+        Encrypt rules force ``base.mode`` to the policy's slot-subset
+        mode (the map itself is built per region by
+        :func:`build_policy_map`); with no encrypt rules the base
+        mode/fraction stand and only the tri-state flags apply.
+        """
+        overrides: dict = {}
+        if self.encrypt:
+            overrides["mode"] = EncryptionMode(self.mode)
+        if self.cipher is not None:
+            overrides["cipher"] = self.cipher
+        if self.sign_data is not None:
+            overrides["sign_data"] = self.sign_data
+        if self.encrypt_data is not None:
+            overrides["encrypt_data"] = self.encrypt_data
+        config = replace(base, **overrides) if overrides else base
+        return config.validate()
+
+    def describe(self) -> str:
+        parts = [f"policy {self.name!r}: mode={self.mode}"]
+        if self.cipher is not None:
+            parts.append(f"cipher={self.cipher}")
+        for rule in self.encrypt:
+            parts.append(f"encrypt {rule.region.describe()} "
+                         f"@{rule.fraction:g}")
+        for rule in self.obfuscate:
+            parts.append(f"obfuscate {rule.region.describe()} "
+                         f"d={rule.density:g} junk={rule.junk}")
+        if self.overlap_hde is not None:
+            parts.append(f"overlap_hde={self.overlap_hde}")
+        return ", ".join(parts)
+
+    @classmethod
+    def from_dict(cls, data) -> "ProtectionPolicy":
+        return policy_from_dict(data)
+
+
+def policy_from_dict(data) -> ProtectionPolicy:
+    """Revive the JSON dialect (see ``docs/policy.md``); strict about
+    unknown keys so a typo fails loudly instead of silently weakening
+    the protection."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"policy must be an object, got {data!r}")
+    known = {f.name for f in fields(ProtectionPolicy)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(f"unknown policy keys {sorted(unknown)}; "
+                          f"known: {sorted(known)}")
+    options = dict(data)
+    for label, rule_cls in (("encrypt", EncryptRule),
+                            ("obfuscate", ObfuscateRule)):
+        rules = options.get(label, ())
+        if not isinstance(rules, (list, tuple)):
+            raise ConfigError(
+                f"policy {label} must be a list of rules, got {rules!r}")
+        options[label] = tuple(rule_cls.from_dict(rule) for rule in rules)
+    return ProtectionPolicy(**options).validate()
+
+
+def policy_to_dict(policy: ProtectionPolicy) -> dict:
+    """JSON-portable form; :func:`policy_from_dict` revives it
+    equal.  (This is exactly ``dataclasses.asdict`` output — the shape
+    that travels inside ``SimParams`` payloads.)"""
+    from dataclasses import asdict
+    data = asdict(policy)
+    data["encrypt"] = list(data["encrypt"])
+    data["obfuscate"] = list(data["obfuscate"])
+    return data
+
+
+# -- region resolution ----------------------------------------------------
+
+
+def function_bounds(program: Program, name: str) -> tuple[int, int]:
+    """The half-open address range of function ``name``.
+
+    Function boundaries are the non-dot text-section symbols (internal
+    labels are ``.L…``-prefixed by codegen convention); the function
+    runs from its own symbol to the next boundary or the end of text.
+    """
+    text_end = program.text_base + len(program.text)
+    start = program.symbols.get(name)
+    if start is None or not program.text_base <= start < text_end:
+        raise ConfigError(
+            f"policy region names unknown function {name!r} "
+            f"(program {program.name or '?'} defines "
+            f"{sorted(s for s, a in program.symbols.items() if not s.startswith('.') and program.text_base <= a < text_end)})")
+    boundaries = sorted(
+        address for symbol, address in program.symbols.items()
+        if not symbol.startswith(".")
+        and program.text_base <= address < text_end)
+    following = [address for address in boundaries if address > start]
+    return start, (following[0] if following else text_end)
+
+
+def region_slot_indices(program: Program, region: Region,
+                        mode: EncryptionMode) -> list[int]:
+    """Instruction-slot indices a region covers, in layout order.
+
+    FIELD mode keeps only 4-byte slots — the same eligibility rule as
+    :func:`repro.core.encryptor.select_field_slots` (compressed slots
+    carry no encryptable fields).
+    """
+    region.validate()
+    if region.kind == "program":
+        window = (program.text_base,
+                  program.text_base + len(program.text))
+    elif region.kind == "function":
+        window = function_bounds(program, region.name)
+    else:
+        window = (region.start, region.stop)
+    start, stop = window
+    indices = [
+        i for i, slot in enumerate(program.layout)
+        if start <= program.text_base + slot.offset < stop
+        and (mode is not EncryptionMode.FIELD or slot.size == 4)
+    ]
+    return indices
+
+
+def build_policy_map(program: Program,
+                     policy: ProtectionPolicy,
+                     config: EricConfig) -> EncryptionMap:
+    """Compile the policy's encrypt rules down to one encryption map.
+
+    Each rule draws its own deterministic selection (seeded by the
+    policy seed and the rule's position) from its region's slots; the
+    union of all selections is the package map.  Overlapping regions
+    therefore compose monotonically — adding a rule can only encrypt
+    more.
+    """
+    policy.validate()
+    mode = config.mode
+    chosen: set[int] = set()
+    for index, rule in enumerate(policy.encrypt):
+        slots = region_slot_indices(program, rule.region, mode)
+        count = round(len(slots) * rule.fraction)
+        if count == 0:
+            continue
+        prng = Xoshiro256StarStar(policy.seed + index)
+        picks = prng.sample_indices(len(slots), count)
+        chosen.update(slots[i] for i in picks)
+    return EncryptionMap.from_indices(program.instruction_count,
+                                      sorted(chosen))

@@ -55,6 +55,12 @@ FINGERPRINT_MODULES: tuple[str, ...] = (
     # Cipher and hash identities.
     "crypto/xor_cipher.py",
     "crypto/sha256.py",
+    # Protection policies: region resolution and per-region selection
+    # determine the encryption map, and the opaque-predicate pass
+    # determines the instruction stream itself — both change package
+    # bytes and cycle counts for an unchanged job spec.
+    "policy/policy.py",
+    "policy/opaque.py",
 )
 
 

@@ -1,0 +1,138 @@
+"""The policy axis: job keys, sweep specs, execution, reporting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.farm import (JobMatrix, JobSpec, ResultStore, SimParams,
+                        SimulationFarm, execute_job)
+from repro.policy import policy_from_dict, policy_to_dict
+
+HELLO = 'int main() { print_int(41); print_char(10); return 0; }\n'
+
+PARTIAL_HALF = {
+    "name": "half",
+    "encrypt": [{"region": {"kind": "program"}, "fraction": 0.5}],
+}
+
+
+def policied_spec(policy_dict=PARTIAL_HALF, **overrides):
+    options = dict(source=HELLO, name="hello",
+                   params=SimParams(policy=policy_from_dict(policy_dict)))
+    options.update(overrides)
+    return JobSpec(**options)
+
+
+class TestPolicyInTheKey:
+    def test_policy_changes_the_key(self):
+        assert policied_spec().key() != JobSpec(source=HELLO).key()
+
+    def test_renaming_a_policy_does_not_re_measure(self):
+        """The name is display-only; two policies differing only by it
+        must address the same stored record."""
+        a = dict(PARTIAL_HALF, name="alpha")
+        b = dict(PARTIAL_HALF, name="beta")
+        assert policied_spec(a).key() == policied_spec(b).key()
+
+    def test_substantive_policy_edits_change_the_key(self):
+        quarter = {"name": "half",
+                   "encrypt": [{"region": {"kind": "program"},
+                                "fraction": 0.25}]}
+        reseeded = dict(PARTIAL_HALF, seed=777)
+        base = policied_spec().key()
+        assert policied_spec(quarter).key() != base
+        assert policied_spec(reseeded).key() != base
+
+    def test_key_is_deterministic_across_revivals(self):
+        revived = policy_from_dict(
+            policy_to_dict(policy_from_dict(PARTIAL_HALF)))
+        assert JobSpec(source=HELLO, name="hello",
+                       params=SimParams(policy=revived)).key() \
+            == policied_spec().key()
+
+    def test_key_schema_bump_orphans_policy_records(self, tmp_path,
+                                                    monkeypatch):
+        from repro.farm import spec as spec_module
+
+        matrix = JobMatrix(programs=(("hello", HELLO),),
+                           params=(SimParams(
+                               policy=policy_from_dict(PARTIAL_HALF)),))
+        store = ResultStore(tmp_path)
+        warm = SimulationFarm(store=store).run(matrix)
+        assert warm.executed == 1
+        assert SimulationFarm(store=store).run(matrix).hits == 1
+
+        monkeypatch.setattr(spec_module, "KEY_SCHEMA",
+                            spec_module.KEY_SCHEMA + 1)
+        bumped = SimulationFarm(store=store).run(matrix)
+        assert bumped.hits == 0 and bumped.executed == 1
+
+
+class TestSweepSpecAxis:
+    def test_policies_axis_expands_the_grid(self):
+        matrix = JobMatrix.from_spec({
+            "programs": [{"name": "hello", "source": HELLO}],
+            "policies": [None, PARTIAL_HALF],
+        })
+        jobs = matrix.jobs()
+        assert len(jobs) == 2
+        policies = [job.params.policy for job in jobs]
+        assert sum(p is None for p in policies) == 1
+        assert sum(p is not None and p.name == "half"
+                   for p in policies) == 1
+
+    def test_omitted_axis_means_unpolicied(self):
+        [job] = JobMatrix.from_spec({
+            "programs": [{"name": "hello", "source": HELLO}]}).jobs()
+        assert job.params.policy is None
+
+    def test_bad_policy_entries_fail_loudly(self):
+        with pytest.raises(ConfigError, match="unknown policy keys"):
+            JobMatrix.from_spec({
+                "programs": [{"name": "hello", "source": HELLO}],
+                "policies": [{"encrpyt": []}]})
+        with pytest.raises(ConfigError):
+            JobMatrix.from_spec({
+                "programs": [{"name": "hello", "source": HELLO}],
+                "policies": []})
+
+
+class TestPolicyExecution:
+    def test_record_round_trips_the_policy(self):
+        record = execute_job(policied_spec(simulate=False, analyze=True))
+        assert record.params["policy"]["name"] == "half"
+        assert policy_from_dict(record.params["policy"]) \
+            == policy_from_dict(PARTIAL_HALF)
+        assert record.analysis["enc_slots"] > 0
+
+    def test_policy_overlap_hde_overrides_params(self):
+        base = dict(PARTIAL_HALF)
+        overlapped = dict(PARTIAL_HALF, overlap_hde=True)
+        serial = execute_job(policied_spec(base))
+        fast = execute_job(policied_spec(overlapped))
+        assert fast.hde_cycles < fast.hde_serial_cycles
+        assert serial.hde_serial_cycles == serial.hde_cycles
+
+    def test_obfuscating_policy_overhead_prices_the_whole_stack(self):
+        """The plain baseline of a policied job is the *unobfuscated*
+        program, so overhead_pct includes the opaque-predicate cost."""
+        plain = execute_job(JobSpec(source=HELLO, name="hello"))
+        policy = {
+            "name": "guarded",
+            "obfuscate": [{"region": {"kind": "program"},
+                           "density": 0.2, "junk": 3}],
+        }
+        guarded = execute_job(policied_spec(policy))
+        assert guarded.plain_cycles == plain.plain_cycles
+        assert guarded.eric_cycles > guarded.plain_cycles
+
+    def test_report_renders_the_policy_column(self, tmp_path):
+        matrix = JobMatrix.from_spec({
+            "programs": [{"name": "hello", "source": HELLO}],
+            "policies": [None, PARTIAL_HALF],
+        })
+        report = SimulationFarm(store=ResultStore(tmp_path)).run(matrix)
+        rendered = report.render()
+        assert "policy" in rendered
+        assert "half" in rendered
+        # unpolicied rows show a dash, not an empty cell
+        assert "-" in rendered

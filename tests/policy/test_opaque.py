@@ -1,0 +1,191 @@
+"""Opaque-predicate pass: architectural equivalence and determinism.
+
+The acceptance gate for the obfuscation pass mirrors the decode-once
+refactor's: for *every* registry workload, the obfuscated program must
+produce the same console bytes and exit code as the unobfuscated one
+(and as the workload's pure-Python oracle), under both the fast
+superblock interpreter and the reference loop — while retiring strictly
+more instructions (each guard branch really executes).
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.cc.driver import compile_source
+from repro.policy import insert_opaque_predicates, policy_from_dict
+from repro.policy.opaque import LABEL_PREFIX, MARK
+from repro.soc.soc import RocketLikeSoC
+from repro.workloads import all_workloads
+
+WORKLOAD_NAMES = sorted(all_workloads())
+
+OBFUSCATE_ALL = {
+    "name": "opq",
+    "obfuscate": [{"region": {"kind": "program"},
+                   "density": 0.1, "junk": 3}],
+}
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return {name: compile_source(wl.source, name=name)
+            for name, wl in all_workloads().items()}
+
+
+def obfuscated_program(result, policy_dict=OBFUSCATE_ALL):
+    policy = policy_from_dict(policy_dict)
+    rewritten = insert_opaque_predicates(result.asm_text, policy)
+    return rewritten, assemble(rewritten.asm_text, name=result.name)
+
+
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_obfuscation_preserves_architectural_results(self, compiled,
+                                                         name):
+        result = compiled[name]
+        rewritten, program = obfuscated_program(result)
+        assert rewritten.guards > 0
+        baseline = RocketLikeSoC().run(result.program)
+        fast = RocketLikeSoC().run(program)
+        ref = RocketLikeSoC(run_mode="reference").run(program)
+        # fast and reference agree on every observable
+        assert fast.counters.snapshot() == ref.counters.snapshot()
+        assert fast.counters.mix == ref.counters.mix
+        assert fast.console == ref.console
+        assert fast.exit_code == ref.exit_code
+        # the program still does its job (oracle + baseline identity)
+        assert fast.stdout == all_workloads()[name].expected_stdout
+        assert fast.console == baseline.console
+        assert fast.exit_code == baseline.exit_code
+        # and honestly pays for it: guards retire (once per dynamic
+        # execution of their site — loops multiply the static count)
+        extra = fast.counters.instret - baseline.counters.instret
+        assert extra > 0
+        # the only new dynamic instructions are the guard branches,
+        # and every single one is taken (the predicates are opaque to
+        # an attacker, not to the machine)
+        guard_mnemonics = {"beq", "bge", "bgeu"}
+        for mnemonic in set(fast.counters.mix) | set(baseline.counters.mix):
+            delta = fast.counters.mix.get(mnemonic, 0) \
+                - baseline.counters.mix.get(mnemonic, 0)
+            if mnemonic in guard_mnemonics:
+                assert delta >= 0
+            else:
+                assert delta == 0, f"junk executed: {mnemonic}"
+        assert fast.counters.branches \
+            == baseline.counters.branches + extra
+        assert fast.counters.branches_taken \
+            == baseline.counters.branches_taken + extra
+
+    def test_junk_never_executes(self, compiled):
+        """Fattening the junk blocks changes the static image only —
+        the dynamic instruction count is exactly the thin variant's."""
+        result = compiled["crc32"]
+        fat = dict(OBFUSCATE_ALL)
+        fat["obfuscate"] = [{"region": {"kind": "program"},
+                             "density": 0.1, "junk": 8}]
+        thin_rewritten, thin = obfuscated_program(result)
+        fat_rewritten, fat_program = obfuscated_program(result, fat)
+        assert fat_rewritten.junk_instructions == fat_rewritten.guards * 8
+        assert fat_rewritten.guards == thin_rewritten.guards
+        thin_run = RocketLikeSoC().run(thin)
+        fat_run = RocketLikeSoC().run(fat_program)
+        assert fat_run.counters.instret == thin_run.counters.instret
+        assert fat_run.console == thin_run.console
+        assert len(fat_program.text) > len(thin.text)
+
+
+class TestRewriteMechanics:
+    def test_deterministic_bytes(self, compiled):
+        result = compiled["bitcount"]
+        policy = policy_from_dict(OBFUSCATE_ALL)
+        a = insert_opaque_predicates(result.asm_text, policy)
+        b = insert_opaque_predicates(result.asm_text, policy)
+        assert a.asm_text == b.asm_text
+        assert (a.guards, a.junk_instructions) \
+            == (b.guards, b.junk_instructions)
+
+    def test_seed_changes_the_rewrite(self, compiled):
+        result = compiled["bitcount"]
+        seeded = dict(OBFUSCATE_ALL)
+        seeded["seed"] = 12345
+        a = insert_opaque_predicates(result.asm_text,
+                                     policy_from_dict(OBFUSCATE_ALL))
+        b = insert_opaque_predicates(result.asm_text,
+                                     policy_from_dict(seeded))
+        assert a.asm_text != b.asm_text
+
+    def test_inserted_lines_carry_the_marker(self, compiled):
+        result = compiled["qsort"]
+        rewritten, _ = obfuscated_program(result)
+        inserted = [line for line in rewritten.asm_text.splitlines()
+                    if line.endswith(MARK)]
+        labels = [line for line in inserted
+                  if line.startswith(LABEL_PREFIX)]
+        # one label per guard; guards + junk + labels = all insertions
+        assert len(labels) == rewritten.guards
+        assert len(inserted) \
+            == rewritten.guards * 2 + rewritten.junk_instructions
+        # stripping every marked line restores the original text
+        kept = [line for line in rewritten.asm_text.splitlines()
+                if not line.endswith(MARK)]
+        assert "\n".join(kept) + "\n" == result.asm_text + (
+            "" if result.asm_text.endswith("\n") else "\n")
+
+    def test_function_region_scopes_the_insertions(self, compiled):
+        """A rule targeting one function must leave the others'
+        instruction streams byte-identical."""
+        result = compiled["fft"]
+        scoped = {
+            "name": "scoped",
+            "obfuscate": [{"region": {"kind": "function", "name": "main"},
+                           "density": 0.3, "junk": 2}],
+        }
+        rewritten, program = obfuscated_program(result, scoped)
+        assert rewritten.guards > 0
+        original_lines = result.asm_text.splitlines()
+        new_lines = rewritten.asm_text.splitlines()
+        inserted = [line for line in new_lines if line.endswith(MARK)]
+        assert len(new_lines) - len(original_lines) == len(inserted)
+        # every insertion lands inside main's span: between the `main:`
+        # label and the next column-0 function label
+        spans = []
+        current = None
+        for index, line in enumerate(new_lines):
+            if line and not line[0].isspace() and line.rstrip().endswith(":") \
+                    and not line.startswith("."):
+                current = line.split(":", 1)[0]
+            if line.endswith(MARK):
+                spans.append(current)
+        # guard/junk lines appear under main (labels inserted by the
+        # pass itself start with .L$opq and don't change the owner)
+        assert set(spans) <= {"main"}
+        run = RocketLikeSoC().run(program)
+        assert run.stdout == all_workloads()["fft"].expected_stdout
+
+    def test_no_rules_is_identity(self, compiled):
+        result = compiled["sha"]
+        policy = policy_from_dict({"name": "noop"})
+        rewritten = insert_opaque_predicates(result.asm_text, policy)
+        assert rewritten.asm_text == result.asm_text
+        assert rewritten.inserted_instructions == 0
+
+    def test_unknown_function_fails_loudly(self, compiled):
+        from repro.errors import ConfigError
+        policy = policy_from_dict({
+            "obfuscate": [{"region": {"kind": "function",
+                                      "name": "ghost"}}]})
+        with pytest.raises(ConfigError, match="unknown function 'ghost'"):
+            insert_opaque_predicates(compiled["sha"].asm_text, policy)
+
+    def test_compressed_assembly_survives(self, compiled):
+        """The rewritten text must assemble under RVC compression too
+        (policy packages may set compress=true)."""
+        wl = all_workloads()["crc32"]
+        result = compile_source(wl.source, name="crc32", compress=True)
+        rewritten = insert_opaque_predicates(
+            result.asm_text, policy_from_dict(OBFUSCATE_ALL))
+        program = assemble(rewritten.asm_text, name="crc32",
+                           compress=True)
+        run = RocketLikeSoC().run(program)
+        assert run.stdout == wl.expected_stdout

@@ -1,0 +1,221 @@
+"""ProtectionPolicy: JSON dialect, validation, compile-down to maps."""
+
+import pytest
+
+from repro.cc.driver import compile_source
+from repro.core.config import EncryptionMode, EricConfig
+from repro.errors import ConfigError
+from repro.policy import (EncryptRule, ObfuscateRule, ProtectionPolicy,
+                          Region, build_policy_map, function_bounds,
+                          policy_from_dict, policy_to_dict,
+                          region_slot_indices)
+
+TWO_FUNCTIONS = """
+int helper(int x) { return x * 3 + 1; }
+int main() { print_int(helper(13)); print_char(10); return 0; }
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(TWO_FUNCTIONS, name="two").program
+
+
+class TestDialect:
+    def test_round_trip_preserves_everything(self):
+        policy = ProtectionPolicy(
+            name="locked", mode="field", cipher="xor-sha256ctr",
+            encrypt=(EncryptRule(Region("program"), 0.5),
+                     EncryptRule(Region("function", name="helper"), 1.0)),
+            obfuscate=(ObfuscateRule(Region("function", name="main"),
+                                     density=0.2, junk=4),),
+            sign_data=True, overlap_hde=False, seed=99).validate()
+        revived = policy_from_dict(policy_to_dict(policy))
+        assert revived == policy
+        # and the dict itself is JSON-portable
+        import json
+        assert policy_from_dict(
+            json.loads(json.dumps(policy_to_dict(policy)))) == policy
+
+    def test_minimal_dict_gets_defaults(self):
+        policy = policy_from_dict({"name": "p"})
+        assert policy.mode == "partial"
+        assert policy.encrypt == () and policy.obfuscate == ()
+        assert policy.cipher is None and policy.overlap_hde is None
+
+    def test_unknown_keys_fail_loudly(self):
+        with pytest.raises(ConfigError, match="unknown policy keys"):
+            policy_from_dict({"encrpyt": []})
+        with pytest.raises(ConfigError, match="unknown encrypt rule keys"):
+            policy_from_dict({"encrypt": [{"fractoin": 0.5}]})
+        with pytest.raises(ConfigError, match="unknown region keys"):
+            policy_from_dict(
+                {"encrypt": [{"region": {"kind": "program",
+                                         "nmae": "x"}}]})
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError, match="region kind"):
+            Region(kind="module").validate()
+        with pytest.raises(ConfigError, match="symbol name"):
+            Region(kind="function").validate()
+        with pytest.raises(ConfigError, match="empty or inverted"):
+            Region(kind="window", start=0x200, stop=0x100).validate()
+        with pytest.raises(ConfigError, match="takes no name"):
+            Region(kind="window", name="f", start=0, stop=4).validate()
+        with pytest.raises(ConfigError, match=r"fraction must be in"):
+            EncryptRule(fraction=1.5).validate()
+        with pytest.raises(ConfigError, match="density"):
+            ObfuscateRule(density=-0.1).validate()
+        with pytest.raises(ConfigError, match="junk"):
+            ObfuscateRule(junk=0).validate()
+        with pytest.raises(ConfigError, match="program/function"):
+            ObfuscateRule(Region("window", start=0, stop=8)).validate()
+        with pytest.raises(ConfigError, match="policy mode"):
+            ProtectionPolicy(mode="full").validate()
+        with pytest.raises(ConfigError, match="unknown cipher"):
+            ProtectionPolicy(cipher="rot13").validate()
+        with pytest.raises(ConfigError, match="seed"):
+            ProtectionPolicy(seed=-1).validate()
+
+    def test_describe_reads_like_a_sentence(self):
+        policy = policy_from_dict({
+            "name": "demo",
+            "encrypt": [{"region": {"kind": "function", "name": "main"},
+                         "fraction": 0.25}],
+            "obfuscate": [{"region": {"kind": "program"}}]})
+        text = policy.describe()
+        assert "demo" in text and "fn main" in text and "@0.25" in text
+
+
+class TestEffectiveConfig:
+    def test_encrypt_rules_force_the_policy_mode(self):
+        base = EricConfig()
+        policy = policy_from_dict(
+            {"mode": "field", "encrypt": [{"region": {}}]})
+        assert policy.effective_config(base).mode is EncryptionMode.FIELD
+
+    def test_without_encrypt_rules_base_mode_stands(self):
+        base = EricConfig()
+        policy = policy_from_dict({"mode": "field"})
+        assert policy.effective_config(base).mode is base.mode
+
+    def test_tri_state_overrides(self):
+        base = EricConfig()
+        keep = policy_from_dict({})
+        assert keep.effective_config(base).sign_data == base.sign_data
+        flip = policy_from_dict({"sign_data": not base.sign_data,
+                                 "cipher": "xor-sha256ctr"})
+        effective = flip.effective_config(base)
+        assert effective.sign_data == (not base.sign_data)
+        assert effective.cipher == "xor-sha256ctr"
+
+
+class TestRegionResolution:
+    def test_function_bounds_partition_the_text(self, program):
+        helper = function_bounds(program, "helper")
+        main = function_bounds(program, "main")
+        assert helper[0] < helper[1] and main[0] < main[1]
+        # functions never overlap; each starts where its symbol points
+        assert helper[1] <= main[0] or main[1] <= helper[0]
+        assert helper[0] == program.symbols["helper"]
+
+    def test_unknown_function_names_the_candidates(self, program):
+        with pytest.raises(ConfigError, match="unknown function 'nope'"):
+            function_bounds(program, "nope")
+
+    def test_program_region_covers_every_slot(self, program):
+        indices = region_slot_indices(program, Region("program"),
+                                      EncryptionMode.PARTIAL)
+        assert indices == list(range(program.instruction_count))
+
+    def test_function_regions_partition_program_slots(self, program):
+        total = set()
+        symbols = [s for s in program.symbols
+                   if not s.startswith(".")
+                   and program.text_base <= program.symbols[s]
+                   < program.text_base + len(program.text)]
+        for name in symbols:
+            slots = region_slot_indices(
+                program, Region("function", name=name),
+                EncryptionMode.PARTIAL)
+            assert not total & set(slots)
+            total |= set(slots)
+        assert total == set(range(program.instruction_count))
+
+    def test_window_region_selects_by_address(self, program):
+        base = program.text_base
+        indices = region_slot_indices(
+            program, Region("window", start=base, stop=base + 16),
+            EncryptionMode.PARTIAL)
+        assert indices and all(program.layout[i].offset < 16
+                               for i in indices)
+
+
+class TestBuildPolicyMap:
+    def test_fraction_one_program_rule_is_the_full_map(self, program):
+        policy = policy_from_dict(
+            {"encrypt": [{"region": {}, "fraction": 1.0}]})
+        enc_map = build_policy_map(program, policy,
+                                   policy.effective_config(EricConfig()))
+        assert enc_map.encrypted_count == program.instruction_count
+
+    def test_function_rule_stays_inside_its_range(self, program):
+        policy = policy_from_dict(
+            {"encrypt": [{"region": {"kind": "function",
+                                     "name": "helper"}}]})
+        enc_map = build_policy_map(program, policy,
+                                   policy.effective_config(EricConfig()))
+        inside = set(region_slot_indices(
+            program, Region("function", name="helper"),
+            EncryptionMode.PARTIAL))
+        chosen = {i for i in range(enc_map.count) if enc_map[i]}
+        assert chosen == inside
+
+    def test_rules_union_monotonically(self, program):
+        one = policy_from_dict(
+            {"encrypt": [{"region": {}, "fraction": 0.3}]})
+        two = policy_from_dict(
+            {"encrypt": [{"region": {}, "fraction": 0.3},
+                         {"region": {"kind": "function",
+                                     "name": "helper"}}]})
+        config = one.effective_config(EricConfig())
+        base = build_policy_map(program, one, config)
+        more = build_policy_map(program, two, config)
+        assert more.encrypted_count >= base.encrypted_count
+        for i in range(base.count):
+            if base[i]:
+                assert more[i]  # adding a rule never un-encrypts
+
+    def test_field_mode_keeps_only_four_byte_slots(self):
+        program = compile_source(TWO_FUNCTIONS, name="two",
+                                 compress=True).program
+        sizes = {slot.size for slot in program.layout}
+        assert 2 in sizes  # compression produced some RVC slots
+        policy = policy_from_dict(
+            {"mode": "field", "encrypt": [{"region": {}}]})
+        enc_map = build_policy_map(program, policy,
+                                   policy.effective_config(
+                                       EricConfig(compress=True)))
+        for i, slot in enumerate(program.layout):
+            if slot.size != 4:
+                assert not enc_map[i]
+
+    def test_same_seed_same_map_different_seed_differs(self, program):
+        def build(seed):
+            policy = policy_from_dict(
+                {"seed": seed,
+                 "encrypt": [{"region": {}, "fraction": 0.5}]})
+            return build_policy_map(
+                program, policy, policy.effective_config(EricConfig()))
+
+        assert build(7).bits == build(7).bits
+        assert build(7).bits != build(8).bits
+
+    def test_name_never_changes_the_map(self, program):
+        a = policy_from_dict(
+            {"name": "a", "encrypt": [{"region": {}, "fraction": 0.5}]})
+        b = policy_from_dict(
+            {"name": "b", "encrypt": [{"region": {}, "fraction": 0.5}]})
+        config = a.effective_config(EricConfig())
+        assert build_policy_map(program, a, config).bits \
+            == build_policy_map(program, b, config).bits

@@ -1,0 +1,162 @@
+"""The docs/ tree: generated-page freshness and example correctness.
+
+Two failure modes these tests exist to catch:
+
+* **drift** — a new CLI flag ships while the committed ``docs/cli.md``
+  still documents the old tree (the page is generated, so the fix is
+  one command, and CI points at it);
+* **rot** — a fenced ``python`` or ``json`` block in a hand-written
+  page stops being valid as the code evolves.  Blocks are
+  syntax-checked, not executed: ``python`` blocks must compile,
+  ``json`` blocks must parse, and ``json`` policy/sweep examples must
+  additionally survive the real spec parsers.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+README = DOCS.parent / "README.md"
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def fenced_blocks(path: Path):
+    """(language, first_line_no, text) per fenced block in a page."""
+    blocks = []
+    language = None
+    start = 0
+    body: list[str] = []
+    for number, line in enumerate(path.read_text(
+            encoding="utf-8").splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match and language is None:
+            language, start, body = match.group(1), number, []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, start, "\n".join(body)))
+            language = None
+        elif language is not None:
+            body.append(line)
+    assert language is None, f"{path}: unclosed fence at line {start}"
+    return blocks
+
+
+def doc_pages():
+    pages = sorted(DOCS.glob("*.md")) + [README]
+    assert len(pages) >= 5  # architecture, cli, policy, store-formats +
+    return pages
+
+
+class TestDocsTree:
+    def test_required_pages_exist(self):
+        for name in ("architecture.md", "policy.md", "store-formats.md",
+                     "cli.md"):
+            assert (DOCS / name).is_file(), f"docs/{name} is missing"
+
+    def test_readme_links_every_docs_page(self):
+        readme = README.read_text(encoding="utf-8")
+        for page in DOCS.glob("*.md"):
+            assert f"docs/{page.name}" in readme, \
+                f"README does not link docs/{page.name}"
+
+    def test_internal_doc_links_resolve(self):
+        link = re.compile(r"\]\((?!https?://|#)([^)#]+)")
+        for page in doc_pages():
+            for target in link.findall(page.read_text(encoding="utf-8")):
+                resolved = (page.parent / target).resolve()
+                assert resolved.exists(), \
+                    f"{page.name} links to missing {target}"
+
+
+class TestGeneratedCliPage:
+    def test_committed_page_is_current(self):
+        from repro.cli import build_parser
+        from repro.cli_docs import render_cli_docs
+
+        committed = (DOCS / "cli.md").read_text(encoding="utf-8")
+        assert committed == render_cli_docs(build_parser()), (
+            "docs/cli.md is stale; regenerate with: "
+            "PYTHONPATH=src python -m repro.cli docs-cli > docs/cli.md")
+
+    def test_renderer_is_deterministic(self):
+        from repro.cli import build_parser
+        from repro.cli_docs import render_cli_docs
+
+        assert render_cli_docs(build_parser()) \
+            == render_cli_docs(build_parser())
+
+    def test_every_subcommand_is_documented(self):
+        from repro.cli import build_parser
+        from repro.cli_docs import _subcommands
+
+        page = (DOCS / "cli.md").read_text(encoding="utf-8")
+        for name in _subcommands(build_parser()):
+            assert f"## `eric {name}`" in page
+
+
+@pytest.mark.parametrize("page", doc_pages(), ids=lambda p: p.name)
+class TestFencedBlocks:
+    def test_python_blocks_compile(self, page):
+        for language, line, text in fenced_blocks(page):
+            if language == "python":
+                try:
+                    compile(text, f"{page.name}:{line}", "exec")
+                except SyntaxError as exc:
+                    pytest.fail(f"{page.name}:{line} python block does "
+                                f"not compile: {exc}")
+
+    def test_json_blocks_parse(self, page):
+        for language, line, text in fenced_blocks(page):
+            if language == "json":
+                try:
+                    json.loads(text)
+                except json.JSONDecodeError as exc:
+                    pytest.fail(f"{page.name}:{line} json block is not "
+                                f"valid JSON: {exc}")
+
+
+class TestPolicyExamplesAreLive:
+    """docs/policy.md's JSON examples must survive the real parsers —
+    a dialect change that forgets the reference page fails here."""
+
+    def test_policy_objects_parse(self):
+        from repro.policy import policy_from_dict
+
+        checked = 0
+        for language, line, text in fenced_blocks(DOCS / "policy.md"):
+            if language != "json":
+                continue
+            data = json.loads(text)
+            if isinstance(data, dict) and (
+                    {"encrypt", "obfuscate", "mode", "cipher",
+                     "seed"} & set(data)):
+                policy_from_dict(data)
+                checked += 1
+            elif isinstance(data, dict) and "kind" in data:
+                from repro.policy import Region
+                Region.from_dict(data)
+                checked += 1
+            elif isinstance(data, dict) and "region" in data:
+                from repro.policy import EncryptRule, ObfuscateRule
+                rule_cls = (ObfuscateRule if "density" in data
+                            else EncryptRule)
+                rule_cls.from_dict(data)
+                checked += 1
+        assert checked >= 5
+
+    def test_sweep_spec_example_parses(self):
+        from repro.farm import JobMatrix
+
+        specs = 0
+        for language, line, text in fenced_blocks(DOCS / "policy.md"):
+            if language != "json":
+                continue
+            data = json.loads(text)
+            if isinstance(data, dict) and "policies" in data:
+                matrix = JobMatrix.from_spec(data)
+                assert len(matrix.jobs()) >= 2
+                specs += 1
+        assert specs >= 1

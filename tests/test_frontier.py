@@ -1,0 +1,125 @@
+"""Security-vs-overhead frontier: scoring, stability, warm resume."""
+
+import pytest
+
+from repro.core.config import EricConfig
+from repro.errors import ConfigError
+from repro.eval.frontier import (UNPOLICIED, frontier_matrix,
+                                 frontier_report)
+from repro.farm import JobSpec, ResultStore, SimulationFarm
+from repro.policy import policy_from_dict
+
+HELLO = 'int main() { print_int(41); print_char(10); return 0; }\n'
+LOOPY = ('int main() { int i; int s; s = 0; '
+         'for (i = 0; i < 50; i = i + 1) { s = s + i; } '
+         'print_int(s); print_char(10); return 0; }\n')
+
+LIGHT = policy_from_dict({
+    "name": "light",
+    "encrypt": [{"region": {"kind": "program"}, "fraction": 0.25}],
+})
+HEAVY = policy_from_dict({
+    "name": "heavy",
+    "encrypt": [{"region": {"kind": "program"}, "fraction": 1.0}],
+    "obfuscate": [{"region": {"kind": "program"},
+                   "density": 0.1, "junk": 3}],
+})
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.farm.spec import JobMatrix, SimParams
+    matrix = JobMatrix(
+        programs=(("hello", HELLO), ("loopy", LOOPY)),
+        params=tuple(SimParams(policy=policy)
+                     for policy in (None, LIGHT, HEAVY)),
+        simulate=True, analyze=True)
+    farm_report = SimulationFarm().run(matrix)
+    farm_report.require_ok()
+    return farm_report
+
+
+class TestFrontierMatrix:
+    def test_builds_the_policy_grid(self):
+        matrix = frontier_matrix([None, LIGHT], ["crc32", "bitcount"])
+        jobs = matrix.jobs()
+        assert len(jobs) == 4
+        assert all(job.simulate and job.analyze for job in jobs)
+        names = {job.params.policy.name if job.params.policy else None
+                 for job in jobs}
+        assert names == {None, "light"}
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigError, match="at least one policy"):
+            frontier_matrix([], ["crc32"])
+        with pytest.raises(ConfigError, match="at least one workload"):
+            frontier_matrix([None], [])
+
+    def test_forwards_config_and_param_overrides(self):
+        matrix = frontier_matrix(
+            [None], ["crc32"], config=EricConfig(compress=True),
+            device_seed=0xBEEF, max_instructions=1_000_000)
+        [job] = matrix.jobs()
+        assert job.config.compress is True
+        assert job.params.device_seed == 0xBEEF
+        assert job.params.max_instructions == 1_000_000
+
+
+class TestFrontierReport:
+    def test_groups_by_policy_in_sweep_order(self, report):
+        result = frontier_report(report)
+        assert [s.policy for s in result.scores] \
+            == [UNPOLICIED, "light", "heavy"]
+        assert all(s.jobs == 2 for s in result.scores)
+
+    def test_scores_reflect_the_protection_gradient(self, report):
+        result = frontier_report(report)
+        by_name = {score.policy: score for score in result.scores}
+        # encrypting everything + opaque predicates must cost more
+        # cycles than encrypting a quarter of the slots
+        assert by_name["heavy"].overhead_pct \
+            > by_name["light"].overhead_pct
+        # and hide more: full-map ciphertext decodes worse and looks
+        # more random than a quarter-map's
+        assert by_name["heavy"].byte_entropy > by_name["light"].byte_entropy
+        for score in result.scores:
+            assert 0.0 <= score.decode_fraction <= 1.0
+            assert 0.0 < score.byte_entropy <= 8.0
+            assert score.dynamic_attempts == 2 * 3  # 3 attacker seeds
+
+    def test_render_is_byte_stable(self, report):
+        a = frontier_report(report).render()
+        b = frontier_report(report).render()
+        assert a == b
+        assert a == frontier_report(report).render(stable=True)
+        assert "Security-vs-overhead frontier" in a
+        assert "light" in a and "heavy" in a and UNPOLICIED in a
+
+    def test_rejects_unmeasured_records(self):
+        farm_report = SimulationFarm().run(
+            [JobSpec(source=HELLO, name="hello", simulate=False)])
+        with pytest.raises(ConfigError, match="simulate"):
+            frontier_report(farm_report)
+
+    def test_rejects_empty_reports(self):
+        broken = SimulationFarm().run(
+            [JobSpec(source="int main( {", name="broken")])
+        with pytest.raises(ConfigError, match="at least one"):
+            frontier_report(broken)
+
+
+class TestWarmResume:
+    def test_second_run_serves_from_store_and_renders_identically(
+            self, tmp_path):
+        from repro.farm.spec import JobMatrix, SimParams
+        matrix = JobMatrix(
+            programs=(("hello", HELLO),),
+            params=(SimParams(policy=LIGHT), SimParams(policy=HEAVY)),
+            simulate=True, analyze=True)
+        store = ResultStore(tmp_path)
+        cold = SimulationFarm(store=store).run(matrix)
+        assert cold.executed == 2
+        warm = SimulationFarm(store=ResultStore(tmp_path)).run(matrix)
+        assert warm.executed == 0 and warm.hit_rate == 1.0
+        assert frontier_report(cold).render() \
+            == frontier_report(warm).render()
